@@ -1,0 +1,77 @@
+// Shared helpers for the experiment binaries: aligned table printing and
+// repeated-trial measurement of protocol costs.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/channel.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace setint::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Prints rows of pre-formatted cells with column alignment.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : widths_(columns.size()) {
+    add_row(std::move(columns));
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths_[c]),
+                    rows_[r][c].c_str());
+      }
+      std::printf("\n");
+      if (r == 0) {
+        std::size_t total = 0;
+        for (std::size_t w : widths_) total += w + 2;
+        std::printf("%s\n", std::string(total, '-').c_str());
+      }
+    }
+  }
+
+ private:
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+inline std::string fmt_double(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+// Average cost of `run` (which must execute one protocol instance on a
+// fresh channel and return its CostStats) over `trials` repetitions.
+template <typename RunFn>
+sim::CostStats average_cost(int trials, RunFn run) {
+  sim::CostStats total;
+  for (int t = 0; t < trials; ++t) total += run(t);
+  total.bits_total /= static_cast<std::uint64_t>(trials);
+  total.bits_from_alice /= static_cast<std::uint64_t>(trials);
+  total.bits_from_bob /= static_cast<std::uint64_t>(trials);
+  total.messages /= static_cast<std::uint64_t>(trials);
+  total.rounds /= static_cast<std::uint64_t>(trials);
+  return total;
+}
+
+}  // namespace setint::bench

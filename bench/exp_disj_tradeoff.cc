@@ -1,0 +1,85 @@
+// E13 — optimality context: the r-round tradeoff for DISJOINTNESS
+// (Saglam-Tardos-style sparse-set protocol, whose Omega(k log^(r) k)
+// lower bound [ST13] is what makes the paper's INT_k protocols optimal)
+// next to the r-round tradeoff for finding the INTERSECTION.
+//
+// Expected shape: both columns decay like log^(r) k as r grows — the same
+// tradeoff curve for the decision and the search problem, which is the
+// paper's headline ("our algorithms are optimal up to constant factors in
+// communication and number of rounds"). The intersection column sits a
+// constant factor above the decision column: recovering the witness is
+// not asymptotically harder than deciding.
+#include <cstdio>
+
+#include "baselines/st13_disjointness.h"
+#include "bench_util.h"
+#include "core/verification_tree.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/iterated_log.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+int main() {
+  using namespace setint;
+  const std::uint64_t universe = std::uint64_t{1} << 32;
+  const std::size_t k = 8192;
+
+  bench::print_header(
+      "E13: r-round tradeoff, DISJ (ST13-style) vs INT (Theorem 1.1), "
+      "k = 8192");
+  bench::Table table({"r", "DISJ bits/elem (disjoint)",
+                      "DISJ bits/elem (intersecting)", "DISJ correct",
+                      "INT bits/elem", "INT exact", "log^(r) k"});
+  for (int r = 1; r <= 5; ++r) {
+    util::Rng wrng(static_cast<std::uint64_t>(r));
+    const util::SetPair disjoint_pair =
+        util::random_set_pair(wrng, universe, k, 0);
+    const util::SetPair overlapping_pair =
+        util::random_set_pair(wrng, universe, k, k / 2);
+
+    sim::SharedRandomness shared(static_cast<std::uint64_t>(r) * 11);
+    sim::Channel disj_ch;
+    const auto disj_answer = baselines::st13_disjointness(
+        disj_ch, shared, 0, universe, disjoint_pair.s, disjoint_pair.t, r);
+    sim::Channel int_ch_for_disj;
+    const auto intersecting_answer = baselines::st13_disjointness(
+        int_ch_for_disj, shared, 1, universe, overlapping_pair.s,
+        overlapping_pair.t, r);
+    const bool disj_correct =
+        disj_answer.disjoint && !intersecting_answer.disjoint;
+
+    core::VerificationTreeParams params;
+    params.rounds_r = r;
+    sim::Channel tree_ch;
+    const auto out = core::verification_tree_intersection(
+        tree_ch, shared, 2, universe, overlapping_pair.s, overlapping_pair.t,
+        params);
+    const bool exact = out.alice == overlapping_pair.expected_intersection;
+
+    table.add_row(
+        {bench::fmt_u64(static_cast<std::uint64_t>(r)),
+         bench::fmt_double(static_cast<double>(disj_ch.cost().bits_total) /
+                           static_cast<double>(k)),
+         bench::fmt_double(
+             static_cast<double>(int_ch_for_disj.cost().bits_total) /
+             static_cast<double>(k)),
+         disj_correct ? "yes" : "NO",
+         bench::fmt_double(static_cast<double>(tree_ch.cost().bits_total) /
+                           static_cast<double>(k)),
+         exact ? "yes" : "NO",
+         bench::fmt_double(util::iterated_log(r, static_cast<double>(k)))});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: on disjoint inputs both problems ride the same\n"
+      "log^(r) k curve, and the search problem (INT) pays only a constant\n"
+      "factor over the decision problem (DISJ) — the paper's optimality\n"
+      "claim against the [ST13] lower bound. The ST13 intersecting column\n"
+      "exposes why these techniques don't extend to INT_k: common\n"
+      "elements survive every sparse round, so its endgame must ship all\n"
+      "~k/2 survivors at Theta(log k) bits each, erasing the tradeoff\n"
+      "exactly when the intersection is large. The verification tree\n"
+      "handles that case at the same flat cost (see E8).\n");
+  return 0;
+}

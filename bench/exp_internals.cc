@@ -1,0 +1,94 @@
+// E11 — internal quantities the proofs rely on:
+//   * Lemma 3.10: expected Basic-Intersection re-runs per leaf = O(1);
+//   * the per-stage cost split (stage-0 equality dominates, every later
+//     level costs O(k) — the telescoping sum in Theorem 3.6's proof);
+//   * Theorem 3.1 equation (1): E[|E|] <= 6k bucket-pair instances;
+//   * amortized-equality tree depth.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/bucket_eq.h"
+#include "core/verification_tree.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+int main() {
+  using namespace setint;
+  const std::uint64_t universe = std::uint64_t{1} << 32;
+
+  bench::print_header(
+      "E11a: verification-tree internals per stage  (k = 16384, r = 4)");
+  {
+    const std::size_t k = 16384;
+    util::Rng wrng(1);
+    const util::SetPair p = util::random_set_pair(wrng, universe, k, k / 2);
+    core::VerificationTreeParams params;
+    params.rounds_r = 4;
+    core::VerificationTreeDiag diag;
+    sim::SharedRandomness shared(1);
+    sim::Channel ch;
+    core::verification_tree_intersection(ch, shared, 0, universe, p.s, p.t,
+                                         params, &diag);
+    bench::Table table({"stage", "failed nodes", "equality bits",
+                        "basic-intersection bits", "eq bits/k"});
+    for (std::size_t i = 0; i < diag.stage_failures.size(); ++i) {
+      table.add_row(
+          {bench::fmt_u64(i), bench::fmt_u64(diag.stage_failures[i]),
+           bench::fmt_u64(diag.stage_eq_bits[i]),
+           bench::fmt_u64(diag.stage_bi_bits[i]),
+           bench::fmt_double(static_cast<double>(diag.stage_eq_bits[i]) /
+                             static_cast<double>(k))});
+    }
+    table.print();
+    std::printf(
+        "\nShape check: equality bits/k stay ~4-5 at every stage (the O(k)\n"
+        "per level of Theorem 3.6) except the last, whose 4 log k bits are\n"
+        "amortized over k/log k nodes; re-run volume collapses after\n"
+        "stage 0.\n");
+  }
+
+  bench::print_header("E11b: Lemma 3.10 — Basic-Intersection runs per leaf");
+  {
+    bench::Table table({"k", "total BI runs", "runs per leaf (expect O(1))"});
+    for (std::size_t k : {1024u, 4096u, 16384u, 65536u}) {
+      util::Rng wrng(k);
+      const util::SetPair p = util::random_set_pair(wrng, universe, k, k / 2);
+      core::VerificationTreeDiag diag;
+      sim::SharedRandomness shared(k);
+      sim::Channel ch;
+      core::verification_tree_intersection(ch, shared, 0, universe, p.s, p.t,
+                                           {}, &diag);
+      table.add_row({bench::fmt_u64(k), bench::fmt_u64(diag.total_bi_runs),
+                     bench::fmt_double(static_cast<double>(diag.total_bi_runs) /
+                                       static_cast<double>(k))});
+    }
+    table.print();
+  }
+
+  bench::print_header(
+      "E11c: Theorem 3.1 equation (1) — instance count E[|E|] <= 6k");
+  {
+    bench::Table table({"k", "avg |E| over 5 runs", "|E|/k (expect < 6)"});
+    for (std::size_t k : {256u, 1024u, 4096u, 16384u}) {
+      double total = 0;
+      for (int t = 0; t < 5; ++t) {
+        util::Rng wrng(k + static_cast<std::uint64_t>(t));
+        const util::SetPair p =
+            util::random_set_pair(wrng, universe, k, k / 2);
+        sim::SharedRandomness shared(static_cast<std::uint64_t>(t));
+        sim::Channel ch;
+        core::BucketEqStats stats;
+        core::bucket_eq_intersection(ch, shared, 0, universe, p.s, p.t, 3,
+                                     &stats);
+        total += static_cast<double>(stats.instances);
+      }
+      const double avg = total / 5.0;
+      table.add_row({bench::fmt_u64(k), bench::fmt_double(avg),
+                     bench::fmt_double(avg / static_cast<double>(k))});
+    }
+    table.print();
+  }
+  return 0;
+}

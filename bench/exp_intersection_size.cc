@@ -1,0 +1,64 @@
+// E8 — robustness to large intersections: the paper's motivating hard
+// case. Disjointness protocols (Hastad-Wigderson) exploit that common
+// elements are few or absent; INT_k must pay the same O(k) regardless of
+// |S cap T|. Expected shape: tree bits/element ~flat across the overlap
+// sweep, while the HW baseline (answering only the YES/NO question)
+// degrades as overlap grows — its halving argument stalls on common
+// elements.
+#include <cstdio>
+
+#include "baselines/hw_disjointness.h"
+#include "bench_util.h"
+#include "core/verification_tree.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+int main() {
+  using namespace setint;
+  const std::uint64_t universe = std::uint64_t{1} << 32;
+
+  bench::print_header(
+      "E8: bits/element vs intersection fraction alpha  (tree: full "
+      "intersection; HW: disjointness decision only)");
+  bench::Table table({"k", "alpha", "tree bits/elem", "tree exact",
+                      "HW bits/elem", "HW phases", "HW answer"});
+  for (std::size_t k : {1024u, 4096u, 16384u}) {
+    for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      util::Rng wrng(k + static_cast<std::uint64_t>(alpha * 100));
+      const auto shared_count =
+          static_cast<std::size_t>(alpha * static_cast<double>(k));
+      const util::SetPair p =
+          util::random_set_pair(wrng, universe, k, shared_count);
+
+      sim::SharedRandomness shared(k * 31);
+      sim::Channel tree_ch;
+      const auto out = core::verification_tree_intersection(
+          tree_ch, shared, 0, universe, p.s, p.t, {});
+      const bool exact = out.alice == p.expected_intersection;
+
+      sim::Channel hw_ch;
+      const auto hw =
+          baselines::hw_disjointness(hw_ch, shared, 1, universe, p.s, p.t);
+
+      table.add_row(
+          {bench::fmt_u64(k), bench::fmt_double(alpha, 2),
+           bench::fmt_double(static_cast<double>(tree_ch.cost().bits_total) /
+                             static_cast<double>(k)),
+           exact ? "yes" : "NO",
+           bench::fmt_double(static_cast<double>(hw_ch.cost().bits_total) /
+                             static_cast<double>(k)),
+           bench::fmt_u64(hw.phases),
+           hw.disjoint ? "disjoint" : "intersecting"});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nShape check: the tree column is flat in alpha — the protocol's\n"
+      "cost does not depend on how large the intersection is, which is\n"
+      "precisely what separates INT_k techniques from disjointness\n"
+      "techniques (HW stalls: common elements never halve away, so its\n"
+      "phase loop runs to its cap once alpha > 0).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// E5 — Corollary 4.1 (coordinator protocol): average communication per
+// player O(k log^(r) k) independent of m; rounds O(r * max(1, log(m)/log k)).
+//
+// Expected shape: the avg-bits/player column stays ~flat as m grows 256x;
+// rounds grow only with the number of coordinator-recursion levels.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "multiparty/coordinator.h"
+#include "sim/network.h"
+#include "sim/randomness.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+int main() {
+  using namespace setint;
+
+  for (std::size_t k : {16u, 64u}) {
+    bench::print_header("E5: coordinator protocol, k = " + std::to_string(k) +
+                        "  (Corollary 4.1)");
+    bench::Table table({"m", "avg bits/player", "avg/(k) per elem",
+                        "max bits/player", "levels", "rounds", "exact"});
+    for (std::size_t m : {4u, 16u, 64u, 256u, 1024u}) {
+      util::Rng wrng(m * 7 + k);
+      const util::MultiSetInstance inst = util::random_multi_sets(
+          wrng, std::uint64_t{1} << 26, m, k, k / 2);
+      sim::Network net(m);
+      sim::SharedRandomness shared(m + k);
+      const auto result = multiparty::coordinator_intersection(
+          net, shared, std::uint64_t{1} << 26, inst.sets);
+      const bool exact = result.intersection == inst.expected_intersection;
+      table.add_row(
+          {bench::fmt_u64(m), bench::fmt_double(net.average_player_bits()),
+           bench::fmt_double(net.average_player_bits() /
+                             static_cast<double>(k)),
+           bench::fmt_u64(net.max_player_bits()),
+           bench::fmt_u64(result.levels), bench::fmt_u64(net.rounds()),
+           exact ? "yes" : "NO"});
+    }
+    table.print();
+  }
+  std::printf(
+      "\nShape check: avg bits/player is ~flat in m (the Corollary 4.1\n"
+      "guarantee); max bits/player is ~2k times larger — the coordinator\n"
+      "bottleneck that Corollary 4.2 (E6) removes.\n");
+  return 0;
+}

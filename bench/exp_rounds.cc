@@ -1,0 +1,49 @@
+// E2 — Theorem 1.1: round complexity is at most 6r (and the r = 1 case is
+// a 2-message protocol). Reports measured rounds and messages against the
+// 6r budget across the same (k, r) sweep as E1.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/verification_tree.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+int main() {
+  using namespace setint;
+  const std::uint64_t universe = std::uint64_t{1} << 40;
+
+  bench::print_header("E2: measured rounds vs the 6r bound (Theorem 1.1)");
+  bench::Table table(
+      {"k", "r", "rounds (worst of 5)", "6r bound", "messages"});
+  bool all_within = true;
+  for (std::size_t k : {256u, 4096u, 65536u}) {
+    util::Rng wrng(k);
+    const util::SetPair p = util::random_set_pair(wrng, universe, k, k / 2);
+    for (int r = 1; r <= 6; ++r) {
+      std::uint64_t worst_rounds = 0;
+      std::uint64_t worst_messages = 0;
+      for (int t = 0; t < 5; ++t) {
+        core::VerificationTreeParams params;
+        params.rounds_r = r;
+        sim::SharedRandomness shared(k + static_cast<std::uint64_t>(t));
+        sim::Channel ch;
+        core::verification_tree_intersection(
+            ch, shared, static_cast<std::uint64_t>(t), universe, p.s, p.t,
+            params);
+        worst_rounds = std::max(worst_rounds, ch.cost().rounds);
+        worst_messages = std::max(worst_messages, ch.cost().messages);
+      }
+      all_within &= worst_rounds <= static_cast<std::uint64_t>(6 * r);
+      table.add_row({bench::fmt_u64(k), bench::fmt_u64(r),
+                     bench::fmt_u64(worst_rounds),
+                     bench::fmt_u64(static_cast<std::uint64_t>(6 * r)),
+                     bench::fmt_u64(worst_messages)});
+    }
+  }
+  table.print();
+  std::printf("\nAll runs within the 6r budget: %s\n",
+              all_within ? "YES" : "NO");
+  return all_within ? 0 : 1;
+}

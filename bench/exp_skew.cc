@@ -1,0 +1,79 @@
+// E14 — distribution-free guarantees on realistic database workloads.
+//
+// The theorems make no assumption on the input distribution: the bucket
+// hash is the protocol's own (shared) randomness. This experiment runs
+// the protocol zoo on uniform, Zipfian (web/database popularity skew) and
+// clustered (auto-increment shard ranges) key sets and checks that
+// communication and accuracy match the uniform baseline.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/deterministic_exchange.h"
+#include "core/verification_tree.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+#include "util/workloads.h"
+
+namespace {
+
+using namespace setint;
+
+util::SetPair make_pair(util::Rng& rng, const std::string& family,
+                        std::uint64_t universe, std::size_t k) {
+  util::SkewedPairOptions options;
+  options.universe = universe;
+  options.k = k;
+  options.shared = k / 2;
+  if (family == "zipf-0.8") options.zipf_theta = 0.8;
+  if (family == "zipf-1.2") options.zipf_theta = 1.2;
+  if (family == "clustered-4") options.clusters = 4;
+  if (family == "clustered-64") options.clusters = 64;
+  return util::skewed_set_pair(rng, options);
+}
+
+}  // namespace
+
+int main() {
+  using namespace setint;
+  const std::uint64_t universe = std::uint64_t{1} << 30;
+  const std::size_t k = 8192;
+
+  bench::print_header(
+      "E14: workload-skew robustness, k = 8192, 50% overlap");
+  bench::Table table({"workload", "tree bits/elem", "tree rounds",
+                      "tree exact", "naive bits/elem"});
+  for (const std::string family :
+       {"uniform", "zipf-0.8", "zipf-1.2", "clustered-4", "clustered-64"}) {
+    util::Rng rng(static_cast<std::uint64_t>(family.size()) * 1000 + 17);
+    const util::SetPair p = make_pair(rng, family, universe, k);
+
+    sim::SharedRandomness shared(7);
+    sim::Channel tree_ch;
+    const auto out = core::verification_tree_intersection(
+        tree_ch, shared, 0, universe, p.s, p.t, {});
+    const bool exact = out.alice == p.expected_intersection &&
+                       out.bob == p.expected_intersection;
+
+    sim::Channel naive_ch;
+    core::deterministic_exchange(naive_ch, universe, p.s, p.t, false);
+
+    table.add_row(
+        {family,
+         bench::fmt_double(static_cast<double>(tree_ch.cost().bits_total) /
+                           static_cast<double>(k)),
+         bench::fmt_u64(tree_ch.cost().rounds), exact ? "yes" : "NO",
+         bench::fmt_double(static_cast<double>(naive_ch.cost().bits_total) /
+                           static_cast<double>(k))});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: both columns are flat across workload families.\n"
+      "For the tree this is the point — the guarantees are\n"
+      "distribution-free because the bucket hash is protocol randomness,\n"
+      "not adversary-visible structure. For the naive baseline it shows\n"
+      "the Rice parameterization is already near the uniform-set entropy,\n"
+      "which no key-distribution skew can reduce below log2 C(n, k)/k.\n");
+  return 0;
+}

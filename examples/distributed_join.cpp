@@ -1,0 +1,71 @@
+// Example: a distributed relational join between two servers.
+//
+// The paper's motivating database scenario: an orders table on one server,
+// an invoices table on another, joined on a shared key. The servers run
+// the intersection protocol on their key sets and then exchange payloads
+// for matched keys only — versus the naive plan of shipping a whole table.
+//
+//   ./build/examples/example_distributed_join
+#include <cstdio>
+#include <string>
+
+#include "apps/join.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+int main() {
+  using namespace setint;
+
+  // Server A: 20,000 orders keyed by customer id; Server B: 20,000
+  // invoices. About 500 customers appear in both.
+  const std::uint64_t universe = std::uint64_t{1} << 34;
+  const std::size_t table_size = 20'000;
+  const std::size_t expected_matches = 500;
+
+  util::Rng wrng(2024);
+  const util::SetPair keys =
+      util::random_set_pair(wrng, universe, table_size, expected_matches);
+
+  std::vector<apps::Row> orders;
+  for (std::uint64_t key : keys.s) {
+    orders.push_back(apps::Row{key, "order: customer=" + std::to_string(key) +
+                                        " total=" +
+                                        std::to_string(key % 997) + ".00"});
+  }
+  std::vector<apps::Row> invoices;
+  for (std::uint64_t key : keys.t) {
+    invoices.push_back(apps::Row{
+        key, "invoice: customer=" + std::to_string(key) + " status=paid"});
+  }
+
+  sim::Channel channel;
+  sim::SharedRandomness shared(99);
+  const apps::JoinResult join = apps::distributed_join(
+      channel, shared, /*nonce=*/0, universe, orders, invoices);
+
+  std::printf("tables: %zu orders, %zu invoices, %zu joined rows\n",
+              orders.size(), invoices.size(), join.rows.size());
+  std::printf("first joined rows:\n");
+  for (std::size_t i = 0; i < join.rows.size() && i < 3; ++i) {
+    std::printf("  key %llu | %s | %s\n",
+                static_cast<unsigned long long>(join.rows[i].key),
+                join.rows[i].left_payload.c_str(),
+                join.rows[i].right_payload.c_str());
+  }
+  std::printf("\ncommunication plan comparison:\n");
+  std::printf("  intersection protocol : %llu bits\n",
+              static_cast<unsigned long long>(join.key_protocol_bits));
+  std::printf("  matched payloads      : %llu bits\n",
+              static_cast<unsigned long long>(join.payload_bits));
+  std::printf("  TOTAL                 : %llu bits\n",
+              static_cast<unsigned long long>(join.key_protocol_bits +
+                                              join.payload_bits));
+  std::printf("  naive (ship table)    : %llu bits  (%.1fx more)\n",
+              static_cast<unsigned long long>(join.naive_bits),
+              static_cast<double>(join.naive_bits) /
+                  static_cast<double>(join.key_protocol_bits +
+                                      join.payload_bits));
+  return join.rows.size() == expected_matches ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Example: exact similarity statistics between two document shingle sets.
+//
+// Search / text-analytics scenario from the paper's applications section:
+// two servers each hold the w-shingle fingerprints of a document and want
+// the EXACT Jaccard similarity (plus Hamming distance, distinct count and
+// rarity), not a min-hash estimate — at O(k) communication.
+//
+//   ./build/examples/example_jaccard_similarity
+#include <cstdio>
+
+#include "apps/similarity.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+int main() {
+  using namespace setint;
+
+  // Simulated shingle fingerprints: 64-bit hashes, 8192 shingles per
+  // document, with near-duplicate documents sharing ~85% of shingles.
+  const std::uint64_t universe = std::uint64_t{1} << 62;
+  const std::size_t shingles = 8192;
+  util::Rng wrng(7);
+  const util::SetPair docs = util::random_set_pair(
+      wrng, universe, shingles,
+      static_cast<std::size_t>(0.85 * static_cast<double>(shingles)));
+
+  sim::Channel channel;
+  sim::SharedRandomness shared(3);
+  const apps::SimilarityReport rep = apps::similarity_report(
+      channel, shared, /*nonce=*/0, universe, docs.s, docs.t);
+
+  std::printf("document A: %llu shingles, document B: %llu shingles\n",
+              static_cast<unsigned long long>(rep.size_s),
+              static_cast<unsigned long long>(rep.size_t_side));
+  std::printf("|A cap B| = %llu   |A cup B| = %llu\n",
+              static_cast<unsigned long long>(rep.intersection_size),
+              static_cast<unsigned long long>(rep.union_size));
+  std::printf("exact Jaccard similarity : %.6f\n", rep.jaccard);
+  std::printf("sparse Hamming distance  : %llu\n",
+              static_cast<unsigned long long>(rep.symmetric_difference));
+  std::printf("distinct shingles        : %llu\n",
+              static_cast<unsigned long long>(rep.union_size));
+  std::printf("1-rarity / 2-rarity      : %.6f / %.6f\n", rep.rarity1,
+              rep.rarity2);
+  std::printf("\ncommunication: %llu bits (%.2f per shingle) in %llu rounds\n",
+              static_cast<unsigned long long>(channel.cost().bits_total),
+              static_cast<double>(channel.cost().bits_total) /
+                  static_cast<double>(shingles),
+              static_cast<unsigned long long>(channel.cost().rounds));
+  std::printf(
+      "versus shipping the raw shingle sets: ~%zu bits (62-bit universe)\n",
+      shingles * 50);
+
+  const bool exact = rep.intersection == docs.expected_intersection;
+  std::printf("result check: %s\n", exact ? "exact" : "WRONG");
+  return exact ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Quickstart: two servers compute the exact intersection of their record
+// sets with O(k) communication in O(log* k) stages (Theorem 1.1).
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "core/verification_tree.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/set_util.h"
+
+int main() {
+  using namespace setint;
+
+  // Two servers, each holding up to k = 4096 record ids from a universe of
+  // a billion, sharing about half their records.
+  const std::uint64_t universe = 1'000'000'000;
+  const std::size_t k = 4096;
+  util::Rng workload_rng(/*seed=*/42);
+  const util::SetPair instance =
+      util::random_set_pair(workload_rng, universe, k, /*shared=*/k / 2);
+
+  // The protocol: a simulated channel that meters every bit, plus a common
+  // random string both parties can see.
+  sim::Channel channel;
+  sim::SharedRandomness shared(/*seed=*/7);
+
+  core::VerificationTreeParams params;  // defaults: r = log* k, k buckets
+  core::VerificationTreeDiag diag;
+  const core::IntersectionOutput out = core::verification_tree_intersection(
+      channel, shared, /*nonce=*/0, universe, instance.s, instance.t, params,
+      &diag);
+
+  const bool alice_ok = out.alice == instance.expected_intersection;
+  const bool bob_ok = out.bob == instance.expected_intersection;
+
+  std::printf("universe n = %llu, k = %zu, |S cap T| = %zu\n",
+              static_cast<unsigned long long>(universe), k,
+              instance.expected_intersection.size());
+  std::printf("protocol output: alice %s, bob %s\n",
+              alice_ok ? "exact" : "WRONG", bob_ok ? "exact" : "WRONG");
+  std::printf("communication: %llu bits total (%.2f bits per element)\n",
+              static_cast<unsigned long long>(channel.cost().bits_total),
+              static_cast<double>(channel.cost().bits_total) / k);
+  std::printf("rounds: %llu   messages: %llu\n",
+              static_cast<unsigned long long>(channel.cost().rounds),
+              static_cast<unsigned long long>(channel.cost().messages));
+  std::printf(
+      "yardstick: naive exchange would cost ~ k log2(n/k) = %.0f bits\n",
+      static_cast<double>(k) * 18);
+  std::printf("Basic-Intersection re-runs: %llu across %zu buckets\n",
+              static_cast<unsigned long long>(diag.total_bi_runs), k);
+  return (alice_ok && bob_ok) ? 0 : 1;
+}

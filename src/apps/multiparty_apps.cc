@@ -1,0 +1,154 @@
+#include "apps/multiparty_apps.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/bitio.h"
+#include "util/rng.h"
+
+namespace setint::apps {
+
+namespace {
+
+void append_payload(util::BitBuffer& out, const std::string& payload) {
+  out.append_gamma64(payload.size());
+  for (char c : payload) out.append_bits(static_cast<unsigned char>(c), 8);
+}
+
+util::Set keys_of_table(const std::vector<Row>& table) {
+  util::Set keys;
+  keys.reserve(table.size());
+  for (const Row& r : table) keys.push_back(r.key);
+  std::sort(keys.begin(), keys.end());
+  if (std::adjacent_find(keys.begin(), keys.end()) != keys.end()) {
+    throw std::invalid_argument("multiparty_join: duplicate keys");
+  }
+  return keys;
+}
+
+}  // namespace
+
+MultipartyJoinResult multiparty_join(
+    sim::Network& network, const sim::SharedRandomness& shared,
+    std::uint64_t universe, const std::vector<std::vector<Row>>& tables,
+    const multiparty::MultipartyParams& params) {
+  if (tables.size() != network.players()) {
+    throw std::invalid_argument("multiparty_join: players/tables mismatch");
+  }
+  std::vector<util::Set> key_sets;
+  key_sets.reserve(tables.size());
+  for (const auto& table : tables) key_sets.push_back(keys_of_table(table));
+
+  // Broadcast so every server knows the matched keys and can send its
+  // payloads in the gather step.
+  multiparty::MultipartyParams with_broadcast = params;
+  with_broadcast.broadcast_result = true;
+  const std::uint64_t before = network.total_bits();
+  const multiparty::MultipartyResult keys = multiparty::coordinator_intersection(
+      network, shared, universe, key_sets, with_broadcast);
+
+  MultipartyJoinResult result;
+  result.key_bits = network.total_bits() - before;
+
+  // Gather: every server != 0 ships its payloads for the matched keys to
+  // the coordinator, in key order (one parallel round).
+  std::vector<std::unordered_map<std::uint64_t, const std::string*>> by_key(
+      tables.size());
+  for (std::size_t p = 0; p < tables.size(); ++p) {
+    for (const Row& row : tables[p]) {
+      by_key[p].emplace(row.key, &row.payload);
+    }
+  }
+  if (network.players() > 1) {
+    network.begin_batch();
+    for (std::size_t p = 1; p < tables.size(); ++p) {
+      util::BitBuffer gather;
+      for (std::uint64_t key : keys.intersection) {
+        append_payload(gather, *by_key[p].at(key));
+      }
+      sim::CostStats one_message;
+      one_message.bits_total = gather.size_bits();
+      one_message.bits_from_alice = gather.size_bits();
+      one_message.messages = 1;
+      one_message.rounds = 1;
+      network.bill_pairwise_in_batch(p, 0, one_message);
+      result.payload_bits += gather.size_bits();
+    }
+    network.end_batch();
+  }
+
+  for (std::uint64_t key : keys.intersection) {
+    MultipartyJoinResult::JoinedRow row;
+    row.key = key;
+    for (std::size_t p = 0; p < tables.size(); ++p) {
+      row.payloads.push_back(*by_key[p].at(key));
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+ReplicaAuditReport replica_audit(sim::Network& network,
+                                 const sim::SharedRandomness& shared,
+                                 std::uint64_t universe,
+                                 const std::vector<util::Set>& replicas,
+                                 const multiparty::MultipartyParams& params) {
+  multiparty::MultipartyParams with_broadcast = params;
+  with_broadcast.broadcast_result = true;
+  const std::uint64_t before = network.total_bits();
+  const multiparty::MultipartyResult core = multiparty::coordinator_intersection(
+      network, shared, universe, replicas, with_broadcast);
+
+  ReplicaAuditReport report;
+  report.fully_replicated = core.intersection;
+  report.protocol_bits = network.total_bits() - before;
+  std::size_t max_size = 0;
+  for (const util::Set& replica : replicas) {
+    report.extra_count.push_back(
+        util::set_difference(replica, core.intersection).size());
+    max_size = std::max(max_size, replica.size());
+  }
+  if (max_size > 0) {
+    report.replication_factor =
+        static_cast<double>(core.intersection.size()) /
+        static_cast<double>(max_size);
+  }
+  return report;
+}
+
+std::vector<std::vector<double>> similarity_matrix(
+    sim::Network& network, const sim::SharedRandomness& shared,
+    std::uint64_t universe, const std::vector<util::Set>& sets,
+    const core::VerificationTreeParams& tree) {
+  const std::size_t m = sets.size();
+  if (m != network.players()) {
+    throw std::invalid_argument("similarity_matrix: players/sets mismatch");
+  }
+  std::vector<std::vector<double>> matrix(m, std::vector<double>(m, 1.0));
+  // All pairs run concurrently: a player participates in m-1 of them, but
+  // the message-passing model lets it interleave, so one batch.
+  network.begin_batch();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const std::uint64_t nonce = util::mix64(0x51AA, util::mix64(i, j));
+      const multiparty::VerifiedRunResult run =
+          multiparty::verified_two_party_intersection(
+              shared, nonce, universe, sets[i], sets[j], tree,
+              std::max(sets[i].size(), sets[j].size()));
+      network.bill_pairwise_in_batch(i, j, run.cost);
+      const std::size_t union_size =
+          sets[i].size() + sets[j].size() - run.intersection.size();
+      const double jaccard =
+          union_size == 0 ? 1.0
+                          : static_cast<double>(run.intersection.size()) /
+                                static_cast<double>(union_size);
+      matrix[i][j] = jaccard;
+      matrix[j][i] = jaccard;
+    }
+  }
+  network.end_batch();
+  return matrix;
+}
+
+}  // namespace setint::apps

@@ -1,0 +1,68 @@
+// Multi-party application layer: the m-server versions of the database
+// workloads from the paper's applications discussion.
+//
+//  * m-way distributed join: rows keyed by [universe) on every server;
+//    the join (rows present on ALL servers) is the m-way key intersection
+//    plus a payload gather.
+//  * replica audit: which records are common to every replica, and what
+//    each replica is missing relative to that core (the m-server
+//    generalization of symmetric difference).
+//  * pairwise similarity matrix: exact Jaccard between every pair of
+//    servers, each entry from one verified two-party run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/join.h"
+#include "multiparty/coordinator.h"
+#include "sim/network.h"
+#include "sim/randomness.h"
+#include "util/set_util.h"
+
+namespace setint::apps {
+
+struct MultipartyJoinResult {
+  // Keys on every server, with the payloads gathered from each.
+  struct JoinedRow {
+    std::uint64_t key = 0;
+    std::vector<std::string> payloads;  // one per server, in server order
+  };
+  std::vector<JoinedRow> rows;
+  std::uint64_t key_bits = 0;      // m-way intersection protocol cost
+  std::uint64_t payload_bits = 0;  // gather cost
+};
+
+// Tables must have unique keys per server. The gather ships matched
+// payloads from every server to the coordinator (server 0).
+MultipartyJoinResult multiparty_join(
+    sim::Network& network, const sim::SharedRandomness& shared,
+    std::uint64_t universe, const std::vector<std::vector<Row>>& tables,
+    const multiparty::MultipartyParams& params = {});
+
+struct ReplicaAuditReport {
+  util::Set fully_replicated;            // on every server
+  std::vector<std::size_t> extra_count;  // per server: records outside core
+  double replication_factor = 0.0;       // |core| / max replica size
+  std::uint64_t protocol_bits = 0;
+};
+
+// Audits m replicas: the fully-replicated core via the coordinator
+// protocol (with result broadcast so every replica can diff locally),
+// plus per-replica divergence statistics.
+ReplicaAuditReport replica_audit(sim::Network& network,
+                                 const sim::SharedRandomness& shared,
+                                 std::uint64_t universe,
+                                 const std::vector<util::Set>& replicas,
+                                 const multiparty::MultipartyParams& params =
+                                     {});
+
+// Exact pairwise Jaccard matrix (m x m, symmetric, unit diagonal); entry
+// (i, j) costs one verified two-party intersection billed to the network.
+std::vector<std::vector<double>> similarity_matrix(
+    sim::Network& network, const sim::SharedRandomness& shared,
+    std::uint64_t universe, const std::vector<util::Set>& sets,
+    const core::VerificationTreeParams& tree = {});
+
+}  // namespace setint::apps

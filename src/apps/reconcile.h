@@ -1,0 +1,47 @@
+// Incremental intersection maintenance.
+//
+// Two servers that already agree on I = S cap T and then each apply a
+// small batch of inserts/deletes should not pay O(k) again: the new
+// intersection is
+//     I' = (I minus removals on either side)
+//          cup (Alice's inserts cap T')  cup  (Bob's inserts cap S'),
+// so only the DELTAS need protocol work. This module reconciles at
+// O((|add| + |rem|) log k) bits + a constant-size verification
+// certificate, falling back to the full verification-tree protocol only
+// if the certificate fails — the database "continuous join maintenance"
+// companion to the one-shot protocols.
+#pragma once
+
+#include <cstdint>
+
+#include "core/verification_tree.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/set_util.h"
+
+namespace setint::apps {
+
+struct Delta {
+  util::Set added;    // canonical, disjoint from the pre-update set
+  util::Set removed;  // canonical, subset of the pre-update set
+};
+
+struct ReconcileResult {
+  util::Set intersection;     // the agreed new intersection
+  bool used_fallback = false; // certificate failed -> full protocol re-ran
+};
+
+// s_new / t_new are the post-update sets; old_intersection MUST be the
+// exact previous intersection (e.g. the certified output of a prior run):
+// the incremental identity relies on it, and a symmetric corruption of it
+// is invisible to the certificate. Hash collisions during the delta
+// exchange, by contrast, always desynchronize the two views and are
+// caught and repaired via the fallback.
+ReconcileResult reconcile_intersection(
+    sim::Channel& channel, const sim::SharedRandomness& shared,
+    std::uint64_t nonce, std::uint64_t universe, util::SetView s_new,
+    util::SetView t_new, util::SetView old_intersection,
+    const Delta& alice_delta, const Delta& bob_delta,
+    const core::VerificationTreeParams& fallback_params = {});
+
+}  // namespace setint::apps

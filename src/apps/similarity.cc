@@ -1,0 +1,48 @@
+#include "apps/similarity.h"
+
+#include "util/bitio.h"
+#include "util/rng.h"
+
+namespace setint::apps {
+
+SimilarityReport similarity_report(sim::Channel& channel,
+                                   const sim::SharedRandomness& shared,
+                                   std::uint64_t nonce, std::uint64_t universe,
+                                   util::SetView s, util::SetView t,
+                                   const core::VerificationTreeParams&
+                                       params) {
+  // Sizes are two gamma-coded messages (the paper: "communicating |S| and
+  // |T| can be done in one round" each).
+  util::BitBuffer a_msg;
+  a_msg.append_gamma64(s.size());
+  const util::BitBuffer a_sz =
+      channel.send(sim::PartyId::kAlice, std::move(a_msg), "size-s");
+  util::BitBuffer b_msg;
+  b_msg.append_gamma64(t.size());
+  const util::BitBuffer b_sz =
+      channel.send(sim::PartyId::kBob, std::move(b_msg), "size-t");
+  util::BitReader ra(a_sz);
+  util::BitReader rb(b_sz);
+  const std::uint64_t ns = ra.read_gamma64();
+  const std::uint64_t nt = rb.read_gamma64();
+
+  const core::IntersectionOutput out = core::verification_tree_intersection(
+      channel, shared, util::mix64(nonce, 0x5171), universe, s, t, params);
+
+  SimilarityReport report;
+  report.size_s = ns;
+  report.size_t_side = nt;
+  report.intersection = out.alice;
+  report.intersection_size = out.alice.size();
+  report.union_size = ns + nt - report.intersection_size;
+  report.symmetric_difference = report.union_size - report.intersection_size;
+  if (report.union_size > 0) {
+    const auto u = static_cast<double>(report.union_size);
+    report.jaccard = static_cast<double>(report.intersection_size) / u;
+    report.rarity1 = static_cast<double>(report.symmetric_difference) / u;
+    report.rarity2 = static_cast<double>(report.intersection_size) / u;
+  }
+  return report;
+}
+
+}  // namespace setint::apps

@@ -1,0 +1,37 @@
+// Applications of the intersection protocol (paper Section 1,
+// "Applications"): once |S cap T| is known exactly and |S|, |T| cost two
+// gamma-coded messages, every one of these statistics is exact at the same
+// O(k log^(r) k) / O(r) round budget — the first protocols with that
+// tradeoff for exact Jaccard, Hamming distance, distinct elements, and
+// 1-/2-rarity [DM02].
+#pragma once
+
+#include <cstdint>
+
+#include "core/verification_tree.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/set_util.h"
+
+namespace setint::apps {
+
+struct SimilarityReport {
+  std::uint64_t size_s = 0;
+  std::uint64_t size_t_side = 0;
+  std::uint64_t intersection_size = 0;
+  std::uint64_t union_size = 0;            // exact # distinct elements
+  std::uint64_t symmetric_difference = 0;  // == sparse Hamming distance
+  double jaccard = 0.0;                    // |S cap T| / |S cup T|
+  double rarity1 = 0.0;  // fraction of union elements seen exactly once
+  double rarity2 = 0.0;  // fraction of union elements seen exactly twice
+  util::Set intersection;                  // the witness itself
+};
+
+SimilarityReport similarity_report(sim::Channel& channel,
+                                   const sim::SharedRandomness& shared,
+                                   std::uint64_t nonce, std::uint64_t universe,
+                                   util::SetView s, util::SetView t,
+                                   const core::VerificationTreeParams&
+                                       params = {});
+
+}  // namespace setint::apps

@@ -1,0 +1,110 @@
+#include "baselines/hw_disjointness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hashing/pairwise.h"
+#include "util/bitio.h"
+#include "util/iterated_log.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace setint::baselines {
+
+namespace {
+
+// Pseudorandom membership of element e in the phase's random superset Z
+// (for elements outside the announced set; those inside are members by
+// construction). Derived from shared randomness so both the driver and the
+// "receiving party" evaluate it identically.
+bool z_coin(const sim::SharedRandomness& shared, std::uint64_t nonce,
+            std::uint64_t phase, std::uint64_t e) {
+  return shared.stream("hw-z", util::mix64(nonce, phase), e).coin();
+}
+
+}  // namespace
+
+DisjointnessResult hw_disjointness(sim::Channel& channel,
+                                   const sim::SharedRandomness& shared,
+                                   std::uint64_t nonce, std::uint64_t universe,
+                                   util::SetView s, util::SetView t) {
+  util::validate_set(s, universe);
+  util::validate_set(t, universe);
+  const std::uint64_t k = std::max<std::uint64_t>({s.size(), t.size(), 2});
+
+  // Compress to a poly(k) universe so the endgame exchange costs O(log k)
+  // per element (collision error O(1/k)).
+  const double nd = static_cast<double>(k) * k * k;
+  const std::uint64_t big_n =
+      std::max<std::uint64_t>(64, static_cast<std::uint64_t>(std::min(nd, 0x1p62)));
+  util::Rng hstream = shared.stream("hw-H", nonce);
+  const auto big_h = hashing::PairwiseHash::sample(hstream, universe, big_n);
+
+  auto image_of = [&big_h](util::SetView v) {
+    util::Set image;
+    image.reserve(v.size());
+    for (std::uint64_t x : v) image.push_back(big_h(x));
+    std::sort(image.begin(), image.end());
+    image.erase(std::unique(image.begin(), image.end()), image.end());
+    return image;
+  };
+  util::Set s_cur = image_of(s);
+  util::Set t_cur = image_of(t);
+
+  DisjointnessResult result{true, 0};
+  const std::uint64_t max_phases = 6 * util::ceil_log2(k) + 12;
+  bool alice_announces = true;
+  while (std::min(s_cur.size(), t_cur.size()) > 8 &&
+         result.phases < max_phases) {
+    const util::Set& announced = alice_announces ? s_cur : t_cur;
+    util::Set& filtered = alice_announces ? t_cur : s_cur;
+
+    // Entropy-equivalent transmission of the index of the first shared
+    // random set containing `announced`: Geometric(2^-|announced|) gamma-
+    // coded, i.e. |announced| + Theta(log |announced|) bits.
+    const std::size_t index_bits =
+        announced.size() + 2 * util::ceil_log2(announced.size() + 2) + 2;
+    util::BitBuffer msg;
+    msg.append_bits(0, 0);
+    for (std::size_t i = 0; i < index_bits; ++i) msg.append_bit(false);
+    channel.send(alice_announces ? sim::PartyId::kAlice : sim::PartyId::kBob,
+                 std::move(msg), "hw-index");
+
+    // Receiver keeps elements of Z: members of `announced` always, others
+    // with probability 1/2.
+    util::Set kept;
+    for (std::uint64_t e : filtered) {
+      if (util::set_contains(announced, e) ||
+          z_coin(shared, nonce, result.phases, e)) {
+        kept.push_back(e);
+      }
+    }
+    filtered = std::move(kept);
+    alice_announces = !alice_announces;
+    result.phases += 1;
+  }
+
+  // Endgame: smaller survivor set is sent verbatim.
+  const bool alice_sends = s_cur.size() <= t_cur.size();
+  const util::Set& small = alice_sends ? s_cur : t_cur;
+  const util::Set& large = alice_sends ? t_cur : s_cur;
+  util::BitBuffer final_msg;
+  util::append_set(final_msg, small);
+  const util::BitBuffer delivered = channel.send(
+      alice_sends ? sim::PartyId::kAlice : sim::PartyId::kBob,
+      std::move(final_msg), "hw-final");
+  util::BitReader reader(delivered);
+  const util::Set received = util::read_set(reader);
+  const util::Set common = util::set_intersection(received, large);
+  result.disjoint = common.empty();
+
+  // One-bit verdict back so both parties know the answer.
+  util::BitBuffer verdict;
+  verdict.append_bit(result.disjoint);
+  channel.send(alice_sends ? sim::PartyId::kBob : sim::PartyId::kAlice,
+               std::move(verdict), "hw-verdict");
+  return result;
+}
+
+}  // namespace setint::baselines

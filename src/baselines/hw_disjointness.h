@@ -1,0 +1,40 @@
+// Hastad-Wigderson randomized set disjointness [HW07]: R(DISJ_k) = O(k).
+//
+// Baseline for E8: the paper's INT_k protocols strictly generalize this —
+// disjointness only decides |S cap T| = 0, and the classic HW trick
+// (restricting to public-coin random supersets of the sender's set) breaks
+// down exactly when the intersection is large, which is the case INT_k
+// must handle.
+//
+// Protocol: first hash into a poly(k) universe, then repeat: the party
+// with the smaller surviving set announces the index of the first shared
+// random set containing its set; the peer keeps only elements inside that
+// set (common elements always survive, others die with prob 1/2). After
+// O(log k) phases the survivor sets are tiny and are exchanged verbatim.
+//
+// Simulation note (documented in DESIGN.md): the announced index is
+// astronomically large, so the simulator transmits its entropy-equivalent
+// cost (|S'| + Theta(log |S'|) bits, the expected Elias-gamma length of a
+// Geometric(2^-|S'|) index) and derives the random set's membership from
+// the shared stream — exactly the distribution the real protocol induces.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/set_util.h"
+
+namespace setint::baselines {
+
+struct DisjointnessResult {
+  bool disjoint;            // protocol's answer
+  std::uint64_t phases;     // halving phases executed
+};
+
+DisjointnessResult hw_disjointness(sim::Channel& channel,
+                                   const sim::SharedRandomness& shared,
+                                   std::uint64_t nonce, std::uint64_t universe,
+                                   util::SetView s, util::SetView t);
+
+}  // namespace setint::baselines

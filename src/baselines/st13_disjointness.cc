@@ -1,0 +1,111 @@
+#include "baselines/st13_disjointness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hashing/pairwise.h"
+#include "util/bitio.h"
+#include "util/iterated_log.h"
+#include "util/rng.h"
+
+namespace setint::baselines {
+
+namespace {
+
+// Pseudorandom membership of element e in the round's sparse coin set,
+// with density 2^-b (elements of the announced set are members by
+// construction; this decides the rest).
+bool sparse_coin(const sim::SharedRandomness& shared, std::uint64_t nonce,
+                 std::uint64_t round, std::uint64_t e, unsigned b) {
+  util::Rng stream = shared.stream("st13-z", util::mix64(nonce, round), e);
+  return (stream.next() & ((std::uint64_t{1} << b) - 1)) == 0;
+}
+
+}  // namespace
+
+SparseDisjointnessResult st13_disjointness(sim::Channel& channel,
+                                           const sim::SharedRandomness& shared,
+                                           std::uint64_t nonce,
+                                           std::uint64_t universe,
+                                           util::SetView s, util::SetView t,
+                                           int rounds_r) {
+  util::validate_set(s, universe);
+  util::validate_set(t, universe);
+  if (rounds_r < 1) throw std::invalid_argument("st13: rounds_r < 1");
+  const std::uint64_t k = std::max<std::uint64_t>({s.size(), t.size(), 2});
+
+  // Compress to poly(k) so the endgame costs O(log k) per element.
+  const double nd = static_cast<double>(k) * k * k;
+  const std::uint64_t big_n = std::max<std::uint64_t>(
+      1u << 16, static_cast<std::uint64_t>(std::min(nd, 0x1p62)));
+  util::Rng hstream = shared.stream("st13-H", nonce);
+  const auto big_h = hashing::PairwiseHash::sample(hstream, universe, big_n);
+  auto image_of = [&big_h](util::SetView v) {
+    util::Set image;
+    image.reserve(v.size());
+    for (std::uint64_t x : v) image.push_back(big_h(x));
+    std::sort(image.begin(), image.end());
+    image.erase(std::unique(image.begin(), image.end()), image.end());
+    return image;
+  };
+  util::Set a_cur = image_of(s);
+  util::Set b_cur = image_of(t);
+
+  SparseDisjointnessResult result{true, 0};
+  bool alice_turn = true;
+  for (int round = 1; round <= rounds_r; ++round) {
+    // Density schedule: b_i ~ log^(r-i+1) k, so round 1 costs
+    // k log^(r) k and survivor counts telescope tower-fast.
+    const auto b = static_cast<unsigned>(std::min(
+        62.0,
+        std::max(1.0, std::ceil(util::iterated_log(
+                          rounds_r - round + 1, static_cast<double>(k))))));
+    util::Set& announced = alice_turn ? a_cur : b_cur;
+    util::Set& filtered = alice_turn ? b_cur : a_cur;
+    if (announced.empty() || filtered.empty()) break;
+
+    // Entropy-equivalent announcement of the first coin-set index
+    // containing `announced`: |announced| * b + Theta(log) bits.
+    const std::size_t index_bits =
+        announced.size() * b + 2 * util::ceil_log2(announced.size() + 2) + 2;
+    util::BitBuffer msg;
+    for (std::size_t i = 0; i < index_bits; ++i) msg.append_bit(false);
+    channel.send(alice_turn ? sim::PartyId::kAlice : sim::PartyId::kBob,
+                 std::move(msg), "st13-index");
+    result.sparse_rounds += 1;
+
+    util::Set kept;
+    for (std::uint64_t e : filtered) {
+      if (util::set_contains(announced, e) ||
+          sparse_coin(shared, nonce, static_cast<std::uint64_t>(round), e,
+                      b)) {
+        kept.push_back(e);
+      }
+    }
+    filtered = std::move(kept);
+    alice_turn = !alice_turn;
+  }
+
+  // Endgame: ship the smaller survivor set verbatim; any survivor overlap
+  // decides the answer (common elements always survive every round).
+  const bool alice_sends = a_cur.size() <= b_cur.size();
+  const util::Set& small = alice_sends ? a_cur : b_cur;
+  const util::Set& large = alice_sends ? b_cur : a_cur;
+  util::BitBuffer final_msg;
+  util::append_set(final_msg, small);
+  const util::BitBuffer delivered = channel.send(
+      alice_sends ? sim::PartyId::kAlice : sim::PartyId::kBob,
+      std::move(final_msg), "st13-final");
+  util::BitReader reader(delivered);
+  const util::Set received = util::read_set(reader);
+  result.disjoint = util::set_intersection(received, large).empty();
+
+  util::BitBuffer verdict;
+  verdict.append_bit(result.disjoint);
+  channel.send(alice_sends ? sim::PartyId::kBob : sim::PartyId::kAlice,
+               std::move(verdict), "st13-verdict");
+  return result;
+}
+
+}  // namespace setint::baselines

@@ -1,0 +1,46 @@
+// Saglam-Tardos-style r-round sparse set disjointness [ST13].
+//
+// The paper's optimality claims rest on the Omega(k log^(r) k) r-round
+// DISJ lower bound of [ST13], which is matched by their sparse-set upper
+// bound: interpret the public coin as a sequence of SPARSE random sets;
+// the active party announces the index of the first coin set containing
+// its current set. With per-round densities q_i = 2^-b_i,
+// b_i ~ log^(r-i+1) k, announcing costs |current| * b_i bits while the
+// peer's non-common elements survive only with probability 2^-b_i — the
+// survivor counts telescope tower-fast and the total is O(k log^(r) k).
+//
+// The paper's "Our Technique" discussion points out these protocols are
+// specific to k-disj: common elements NEVER die (S is always inside the
+// announced set), so nothing here recovers the intersection — the gap
+// INT_k protocols must close. This baseline exists to reproduce exactly
+// that r-round tradeoff for the decision problem next to the paper's
+// tradeoff for the search problem (bench/exp_disj_tradeoff).
+//
+// Simulation note: like the HW baseline, the astronomically large coin
+// index is transmitted as its entropy-equivalent bit count with set
+// membership derived from the shared stream (DESIGN.md section 3).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/set_util.h"
+
+namespace setint::baselines {
+
+struct SparseDisjointnessResult {
+  bool disjoint;
+  std::uint64_t sparse_rounds; // index-announcement rounds executed
+};
+
+// r >= 1 controls the round/communication tradeoff, exactly as in the
+// paper's Theorem 1.1 but for the decision problem.
+SparseDisjointnessResult st13_disjointness(sim::Channel& channel,
+                                           const sim::SharedRandomness& shared,
+                                           std::uint64_t nonce,
+                                           std::uint64_t universe,
+                                           util::SetView s, util::SetView t,
+                                           int rounds_r);
+
+}  // namespace setint::baselines

@@ -1,0 +1,163 @@
+#include "core/basic_intersection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hashing/pairwise.h"
+#include "util/bitio.h"
+#include "util/iterated_log.h"
+
+namespace setint::core {
+
+// Hash range giving pairwise-collision failure <= target_failure: with
+// <= m^2/4 cross pairs at <= 2/t collision probability each (the factor 2
+// is the Carter-Wegman mod-fold slack), t = m^2 / (2 * target_failure)
+// suffices. Clamped to 2^62: beyond that the collision probability is
+// already negligible and prime sampling would overflow.
+std::uint64_t basic_intersection_range(std::uint64_t total_size,
+                                       double target_failure) {
+  if (total_size < 2) return 2;
+  const double t =
+      std::min(0x1p62, static_cast<double>(total_size) *
+                           static_cast<double>(total_size) /
+                           (2.0 * target_failure));
+  return std::max<std::uint64_t>(2, static_cast<std::uint64_t>(std::ceil(t)));
+}
+
+namespace {
+
+util::Set hashed_image(util::SetView s, const hashing::PairwiseHash& h) {
+  util::Set image;
+  image.reserve(s.size());
+  for (std::uint64_t x : s) image.push_back(h(x));
+  std::sort(image.begin(), image.end());
+  image.erase(std::unique(image.begin(), image.end()), image.end());
+  return image;
+}
+
+util::Set filter_by_peer_image(util::SetView own,
+                               const hashing::PairwiseHash& h,
+                               util::SetView peer_image) {
+  util::Set out;
+  for (std::uint64_t x : own) {
+    if (util::set_contains(peer_image, h(x))) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CandidatePair> basic_intersection_batch(
+    sim::Channel& channel, const sim::SharedRandomness& shared,
+    std::uint64_t nonce, std::uint64_t universe,
+    std::span<const std::pair<util::SetView, util::SetView>> pairs,
+    double target_failure) {
+  if (!(target_failure > 0.0) || !(target_failure < 1.0)) {
+    throw std::invalid_argument("basic_intersection: failure must be in (0,1)");
+  }
+  const std::size_t n = pairs.size();
+  std::vector<CandidatePair> result(n);
+  if (n == 0) return result;
+
+  // Rounds 1 and 2: sizes in both directions.
+  util::BitBuffer alice_sizes;
+  for (const auto& [s, t] : pairs) {
+    (void)t;
+    alice_sizes.append_gamma64(s.size());
+  }
+  const util::BitBuffer a_sz =
+      channel.send(sim::PartyId::kAlice, std::move(alice_sizes), "bi-sizes-a");
+  util::BitBuffer bob_sizes;
+  for (const auto& [s, t] : pairs) {
+    (void)s;
+    bob_sizes.append_gamma64(t.size());
+  }
+  const util::BitBuffer b_sz =
+      channel.send(sim::PartyId::kBob, std::move(bob_sizes), "bi-sizes-b");
+
+  // Both parties now know every m_j and can derive identical hash
+  // functions from shared randomness.
+  util::BitReader ra(a_sz);
+  util::BitReader rb(b_sz);
+  std::vector<std::uint64_t> m(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    m[j] = ra.read_gamma64() + rb.read_gamma64();
+  }
+
+  std::vector<hashing::PairwiseHash> hashes;
+  hashes.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    util::Rng stream = shared.stream("basic-intersection", nonce, j);
+    hashes.push_back(hashing::PairwiseHash::sample(
+        stream, universe,
+        basic_intersection_range(m[j], target_failure)));
+  }
+
+  // Rounds 3 and 4: hashed images in both directions, fixed-width coded
+  // (the paper's O(i * m log m) accounting). Instances where either side
+  // is empty have a certainly-empty intersection — both parties know the
+  // sizes by now, so no hash bits flow for them.
+  const auto skip = [&pairs](std::size_t j) {
+    return pairs[j].first.empty() || pairs[j].second.empty();
+  };
+  const auto append_image = [](util::BitBuffer& out, const util::Set& image,
+                               std::uint64_t range) {
+    out.append_gamma64(image.size());
+    const unsigned width = util::ceil_log2(std::max<std::uint64_t>(range, 2));
+    for (std::uint64_t v : image) out.append_bits(v, width);
+  };
+  const auto read_image = [](util::BitReader& in, std::uint64_t range) {
+    const std::uint64_t count = in.read_gamma64();
+    const unsigned width = util::ceil_log2(std::max<std::uint64_t>(range, 2));
+    util::Set image(count);
+    for (auto& v : image) v = in.read_bits(width);
+    return image;
+  };
+
+  util::BitBuffer alice_hashes;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (skip(j)) continue;
+    append_image(alice_hashes, hashed_image(pairs[j].first, hashes[j]),
+                 hashes[j].range());
+  }
+  const util::BitBuffer a_msg = channel.send(
+      sim::PartyId::kAlice, std::move(alice_hashes), "bi-hashes-a");
+
+  util::BitBuffer bob_hashes;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (skip(j)) continue;
+    append_image(bob_hashes, hashed_image(pairs[j].second, hashes[j]),
+                 hashes[j].range());
+  }
+  const util::BitBuffer b_msg =
+      channel.send(sim::PartyId::kBob, std::move(bob_hashes), "bi-hashes-b");
+
+  // Decode the peer's images and filter own elements.
+  util::BitReader a_reader(a_msg);
+  util::BitReader b_reader(b_msg);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (skip(j)) continue;  // candidates stay empty
+    const util::Set peer_for_bob = read_image(a_reader, hashes[j].range());
+    const util::Set peer_for_alice = read_image(b_reader, hashes[j].range());
+    result[j].s_candidate =
+        filter_by_peer_image(pairs[j].first, hashes[j], peer_for_alice);
+    result[j].t_candidate =
+        filter_by_peer_image(pairs[j].second, hashes[j], peer_for_bob);
+  }
+  return result;
+}
+
+CandidatePair basic_intersection(sim::Channel& channel,
+                                 const sim::SharedRandomness& shared,
+                                 std::uint64_t nonce, std::uint64_t universe,
+                                 util::SetView s, util::SetView t,
+                                 double target_failure) {
+  util::validate_set(s, universe);
+  util::validate_set(t, universe);
+  const std::pair<util::SetView, util::SetView> one[] = {{s, t}};
+  return basic_intersection_batch(channel, shared, nonce, universe, one,
+                                  target_failure)[0];
+}
+
+}  // namespace setint::core

@@ -1,0 +1,122 @@
+#include "core/bucket_eq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "eq/amortized_eq.h"
+#include "hashing/pairwise.h"
+#include "util/bitio.h"
+#include "util/iterated_log.h"
+#include "util/rng.h"
+
+namespace setint::core {
+
+IntersectionOutput bucket_eq_intersection(sim::Channel& channel,
+                                          const sim::SharedRandomness& shared,
+                                          std::uint64_t nonce,
+                                          std::uint64_t universe,
+                                          util::SetView s, util::SetView t,
+                                          int strength,
+                                          BucketEqStats* stats) {
+  validate_instance(universe, s, t);
+  if (strength < 3) throw std::invalid_argument("bucket_eq: strength < 3");
+  const std::uint64_t k = std::max<std::uint64_t>({s.size(), t.size(), 2});
+  const double nd = std::pow(static_cast<double>(k),
+                             static_cast<double>(strength));
+  if (nd > 0x1p62) throw std::invalid_argument("bucket_eq: range overflow");
+  // Floor of 2^16 keeps tiny-k instances reliable at negligible cost.
+  const std::uint64_t big_n =
+      std::max<std::uint64_t>(1u << 16, static_cast<std::uint64_t>(nd));
+
+  util::Rng hstream = shared.stream("bucket-eq-H", nonce);
+  const auto big_h = hashing::PairwiseHash::sample(hstream, universe, big_n);
+  util::Rng bstream = shared.stream("bucket-eq-h", nonce);
+  const auto h = hashing::PairwiseHash::sample(bstream, big_n, k);
+
+  // Per-bucket element lists (already sorted since inputs are sorted and we
+  // keep insertion order per bucket; order only needs to be deterministic).
+  std::vector<std::vector<std::uint64_t>> s_buckets(k);
+  std::vector<std::vector<std::uint64_t>> t_buckets(k);
+  for (std::uint64_t x : s) s_buckets[h(big_h(x))].push_back(x);
+  for (std::uint64_t y : t) t_buckets[h(big_h(y))].push_back(y);
+
+  // Rounds 1-2: bucket-size vectors (sum <= k, so gamma coding is O(k)).
+  util::BitBuffer a_sizes;
+  for (const auto& b : s_buckets) a_sizes.append_gamma64(b.size());
+  const util::BitBuffer a_sz =
+      channel.send(sim::PartyId::kAlice, std::move(a_sizes), "bucket-sizes-a");
+  util::BitBuffer b_sizes;
+  for (const auto& b : t_buckets) b_sizes.append_gamma64(b.size());
+  const util::BitBuffer b_sz =
+      channel.send(sim::PartyId::kBob, std::move(b_sizes), "bucket-sizes-b");
+
+  util::BitReader ra(a_sz);
+  util::BitReader rb(b_sz);
+  const unsigned element_bits = util::ceil_log2(big_n);
+
+  // The instance collection E: per bucket, all (a-th of S_i, b-th of T_i)
+  // pairs in lexicographic order — an ordering both parties derive from
+  // the size vectors alone.
+  struct InstanceRef {
+    std::size_t bucket;
+    std::size_t a_index;
+    std::size_t b_index;
+  };
+  std::vector<InstanceRef> refs;
+  std::vector<util::BitBuffer> xs;
+  std::vector<util::BitBuffer> ys;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t na = ra.read_gamma64();
+    const std::uint64_t nb = rb.read_gamma64();
+    if (na != s_buckets[i].size() || nb != t_buckets[i].size()) {
+      throw std::logic_error("bucket_eq: size vector mismatch");
+    }
+    for (std::size_t a = 0; a < na; ++a) {
+      for (std::size_t b = 0; b < nb; ++b) {
+        refs.push_back(InstanceRef{i, a, b});
+        util::BitBuffer xa;
+        xa.append_bits(big_h(s_buckets[i][a]), element_bits);
+        xs.push_back(std::move(xa));
+        util::BitBuffer yb;
+        yb.append_bits(big_h(t_buckets[i][b]), element_bits);
+        ys.push_back(std::move(yb));
+      }
+    }
+  }
+
+  eq::AmortizedEqStats eq_stats;
+  const std::vector<bool> equal = eq::amortized_equality(
+      channel, shared, util::mix64(nonce, 0xBEEF), xs, ys, &eq_stats);
+
+  IntersectionOutput out;
+  for (std::size_t j = 0; j < refs.size(); ++j) {
+    if (!equal[j]) continue;
+    out.alice.push_back(s_buckets[refs[j].bucket][refs[j].a_index]);
+    out.bob.push_back(t_buckets[refs[j].bucket][refs[j].b_index]);
+  }
+  std::sort(out.alice.begin(), out.alice.end());
+  out.alice.erase(std::unique(out.alice.begin(), out.alice.end()),
+                  out.alice.end());
+  std::sort(out.bob.begin(), out.bob.end());
+  out.bob.erase(std::unique(out.bob.begin(), out.bob.end()), out.bob.end());
+
+  if (stats != nullptr) {
+    stats->instances = refs.size();
+    stats->levels = eq_stats.levels;
+  }
+  return out;
+}
+
+RunResult BucketEqProtocol::run(std::uint64_t seed, std::uint64_t universe,
+                                util::SetView s, util::SetView t) const {
+  sim::Channel channel;
+  sim::SharedRandomness shared(seed);
+  RunResult r;
+  r.output = bucket_eq_intersection(channel, shared, /*nonce=*/0, universe, s,
+                                    t, strength_);
+  r.cost = channel.cost();
+  return r;
+}
+
+}  // namespace setint::core

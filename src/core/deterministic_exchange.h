@@ -1,0 +1,30 @@
+// The trivial deterministic protocol: D^(1)(INT_k) = O(k log(n/k)).
+//
+// Alice ships her whole set (delta-gamma coded, ~|S| log2(n/|S|) bits);
+// Bob intersects locally. In two-sided mode Bob replies with the
+// intersection so Alice learns it too (one extra round). Exact, zero
+// error, and the yardstick every randomized protocol here is measured
+// against.
+#pragma once
+
+#include <cstdint>
+
+#include "core/protocol.h"
+#include "sim/channel.h"
+#include "util/set_util.h"
+
+namespace setint::core {
+
+IntersectionOutput deterministic_exchange(sim::Channel& channel,
+                                          std::uint64_t universe,
+                                          util::SetView s, util::SetView t,
+                                          bool both_sides = true);
+
+class DeterministicExchangeProtocol final : public IntersectionProtocol {
+ public:
+  std::string name() const override { return "deterministic-exchange"; }
+  RunResult run(std::uint64_t seed, std::uint64_t universe, util::SetView s,
+                util::SetView t) const override;
+};
+
+}  // namespace setint::core

@@ -1,0 +1,39 @@
+// The one-round randomized protocol: R^(1)(INT_k) = O(k log k).
+//
+// Both parties hash their elements into [N] with N ~ k^c via a shared
+// pairwise hash and exchange the hashed images (one message each way).
+// Each party keeps the elements whose hash appears in the peer's image.
+// Error <= k^2 * O(1/N) = O(1/k^(c-2)); this matches the paper's
+// R^(1)(INT_k) = O(k log k) upper bound, optimal for a single round by
+// [DKS12, BGSMdW12]. It is also exactly the r = 1 base case of
+// Theorem 3.6.
+#pragma once
+
+#include <cstdint>
+
+#include "core/protocol.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/set_util.h"
+
+namespace setint::core {
+
+// strength c: hash range N = max(16, k^c), failure O(1/k^(c-2)).
+IntersectionOutput one_round_hash(sim::Channel& channel,
+                                  const sim::SharedRandomness& shared,
+                                  std::uint64_t nonce, std::uint64_t universe,
+                                  util::SetView s, util::SetView t,
+                                  int strength = 3);
+
+class OneRoundHashProtocol final : public IntersectionProtocol {
+ public:
+  explicit OneRoundHashProtocol(int strength = 3) : strength_(strength) {}
+  std::string name() const override { return "one-round-hash"; }
+  RunResult run(std::uint64_t seed, std::uint64_t universe, util::SetView s,
+                util::SetView t) const override;
+
+ private:
+  int strength_;
+};
+
+}  // namespace setint::core

@@ -1,0 +1,265 @@
+#include "core/parties.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/basic_intersection.h"
+#include "hashing/mask_hash.h"
+#include "util/iterated_log.h"
+
+namespace setint::core {
+
+namespace {
+
+util::Set hashed_image(util::SetView s, const hashing::PairwiseHash& h) {
+  util::Set image;
+  image.reserve(s.size());
+  for (std::uint64_t x : s) image.push_back(h(x));
+  std::sort(image.begin(), image.end());
+  image.erase(std::unique(image.begin(), image.end()), image.end());
+  return image;
+}
+
+void append_fixed_width_image(util::BitBuffer& out, const util::Set& image,
+                              unsigned width) {
+  out.append_gamma64(image.size());
+  for (std::uint64_t v : image) out.append_bits(v, width);
+}
+
+util::Set read_fixed_width_image(util::BitReader& in, unsigned width) {
+  const std::uint64_t count = in.read_gamma64();
+  util::Set image(count);
+  for (auto& v : image) v = in.read_bits(width);
+  return image;
+}
+
+util::Set filter_by_peer_image(util::SetView own,
+                               const hashing::PairwiseHash& h,
+                               util::SetView peer_image) {
+  util::Set out;
+  for (std::uint64_t x : own) {
+    if (util::set_contains(peer_image, h(x))) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------- equality ----------
+
+EqualitySender::EqualitySender(sim::SharedRandomness shared,
+                               std::uint64_t nonce, util::BitBuffer content,
+                               std::size_t bits)
+    : shared_(shared), nonce_(nonce), content_(std::move(content)),
+      bits_(bits) {
+  if (bits == 0) throw std::invalid_argument("EqualitySender: 0 bits");
+}
+
+std::optional<util::BitBuffer> EqualitySender::start() {
+  util::BitBuffer msg;
+  hashing::mask_hash_wide(content_, bits_, shared_.stream("eq", nonce_, 0),
+                          msg);
+  return msg;
+}
+
+std::optional<util::BitBuffer> EqualitySender::on_message(
+    const util::BitBuffer& message) {
+  util::BitReader reader(message);
+  declared_equal_ = reader.read_bit();
+  done_ = true;
+  return std::nullopt;
+}
+
+EqualityResponder::EqualityResponder(sim::SharedRandomness shared,
+                                     std::uint64_t nonce,
+                                     util::BitBuffer content,
+                                     std::size_t bits)
+    : shared_(shared), nonce_(nonce), content_(std::move(content)),
+      bits_(bits) {
+  if (bits == 0) throw std::invalid_argument("EqualityResponder: 0 bits");
+}
+
+std::optional<util::BitBuffer> EqualityResponder::on_message(
+    const util::BitBuffer& message) {
+  util::BitBuffer expected;
+  hashing::mask_hash_wide(content_, bits_, shared_.stream("eq", nonce_, 0),
+                          expected);
+  util::BitReader got(message);
+  util::BitReader want(expected);
+  bool match = true;
+  for (std::size_t b = 0; b < bits_; ++b) {
+    if (got.read_bit() != want.read_bit()) match = false;
+  }
+  declared_equal_ = match;
+  done_ = true;
+  util::BitBuffer verdict;
+  verdict.append_bit(match);
+  return verdict;
+}
+
+// ---------- one-round hashing ----------
+
+namespace {
+
+// Identical derivation to core::one_round_hash: the size bound k is
+// public protocol knowledge (|S|, |T| <= k), so parties take it as a
+// constructor argument rather than peeking at the peer's input.
+hashing::PairwiseHash one_round_hash_function(
+    const sim::SharedRandomness& shared, std::uint64_t nonce,
+    std::uint64_t universe, std::uint64_t k_bound, int strength) {
+  const std::uint64_t k = std::max<std::uint64_t>(k_bound, 2);
+  const double range =
+      std::pow(static_cast<double>(k), static_cast<double>(strength));
+  if (range > 0x1p62) throw std::invalid_argument("one-round: range overflow");
+  const std::uint64_t big_n =
+      std::max<std::uint64_t>(1u << 16, static_cast<std::uint64_t>(range));
+  util::Rng stream = shared.stream("one-round-hash", nonce);
+  return hashing::PairwiseHash::sample(stream, universe, big_n);
+}
+
+}  // namespace
+
+OneRoundHashAlice::OneRoundHashAlice(sim::SharedRandomness shared,
+                                     std::uint64_t nonce,
+                                     std::uint64_t universe, util::Set input,
+                                     std::uint64_t k_bound, int strength)
+    : shared_(shared), nonce_(nonce), universe_(universe),
+      input_(std::move(input)), k_bound_(k_bound), strength_(strength) {}
+
+std::optional<util::BitBuffer> OneRoundHashAlice::start() {
+  const auto h = one_round_hash_function(shared_, nonce_, universe_,
+                                         k_bound_, strength_);
+  util::BitBuffer msg;
+  append_fixed_width_image(msg, hashed_image(input_, h),
+                           util::ceil_log2(h.range()));
+  return msg;
+}
+
+std::optional<util::BitBuffer> OneRoundHashAlice::on_message(
+    const util::BitBuffer& message) {
+  const auto h = one_round_hash_function(shared_, nonce_, universe_,
+                                         k_bound_, strength_);
+  util::BitReader reader(message);
+  const util::Set peer_image =
+      read_fixed_width_image(reader, util::ceil_log2(h.range()));
+  candidates_ = filter_by_peer_image(input_, h, peer_image);
+  done_ = true;
+  return std::nullopt;
+}
+
+OneRoundHashBob::OneRoundHashBob(sim::SharedRandomness shared,
+                                 std::uint64_t nonce, std::uint64_t universe,
+                                 util::Set input, std::uint64_t k_bound,
+                                 int strength)
+    : shared_(shared), nonce_(nonce), universe_(universe),
+      input_(std::move(input)), k_bound_(k_bound), strength_(strength) {}
+
+std::optional<util::BitBuffer> OneRoundHashBob::on_message(
+    const util::BitBuffer& message) {
+  const auto h = one_round_hash_function(shared_, nonce_, universe_,
+                                         k_bound_, strength_);
+  const unsigned width = util::ceil_log2(h.range());
+  util::BitReader reader(message);
+  const util::Set peer_image = read_fixed_width_image(reader, width);
+  candidates_ = filter_by_peer_image(input_, h, peer_image);
+  done_ = true;
+  util::BitBuffer reply;
+  append_fixed_width_image(reply, hashed_image(input_, h), width);
+  return reply;
+}
+
+// ---------- Basic-Intersection ----------
+
+BasicIntersectionAlice::BasicIntersectionAlice(sim::SharedRandomness shared,
+                                               std::uint64_t nonce,
+                                               std::uint64_t universe,
+                                               util::Set input,
+                                               double target_failure)
+    : shared_(shared), nonce_(nonce), universe_(universe),
+      input_(std::move(input)), target_failure_(target_failure) {}
+
+std::optional<util::BitBuffer> BasicIntersectionAlice::start() {
+  state_ = State::kAwaitSizes;
+  util::BitBuffer msg;
+  msg.append_gamma64(input_.size());
+  return msg;
+}
+
+std::optional<util::BitBuffer> BasicIntersectionAlice::on_message(
+    const util::BitBuffer& message) {
+  switch (state_) {
+    case State::kAwaitSizes: {
+      util::BitReader reader(message);
+      peer_size_ = reader.read_gamma64();
+      const std::uint64_t m = input_.size() + peer_size_;
+      util::Rng stream = shared_.stream("basic-intersection", nonce_, 0);
+      hash_ = hashing::PairwiseHash::sample(
+          stream, universe_, basic_intersection_range(m, target_failure_));
+      state_ = State::kAwaitPeerImage;
+      util::BitBuffer msg;
+      if (!input_.empty() && peer_size_ != 0) {
+        append_fixed_width_image(
+            msg, hashed_image(input_, *hash_),
+            util::ceil_log2(std::max<std::uint64_t>(hash_->range(), 2)));
+      }
+      return msg;
+    }
+    case State::kAwaitPeerImage: {
+      if (!input_.empty() && peer_size_ != 0) {
+        util::BitReader reader(message);
+        const util::Set peer_image = read_fixed_width_image(
+            reader,
+            util::ceil_log2(std::max<std::uint64_t>(hash_->range(), 2)));
+        candidates_ = filter_by_peer_image(input_, *hash_, peer_image);
+      }
+      state_ = State::kDone;
+      return std::nullopt;
+    }
+    default:
+      throw std::logic_error("BasicIntersectionAlice: unexpected message");
+  }
+}
+
+BasicIntersectionBob::BasicIntersectionBob(sim::SharedRandomness shared,
+                                           std::uint64_t nonce,
+                                           std::uint64_t universe,
+                                           util::Set input,
+                                           double target_failure)
+    : shared_(shared), nonce_(nonce), universe_(universe),
+      input_(std::move(input)), target_failure_(target_failure) {}
+
+std::optional<util::BitBuffer> BasicIntersectionBob::on_message(
+    const util::BitBuffer& message) {
+  switch (state_) {
+    case State::kAwaitSizes: {
+      util::BitReader reader(message);
+      peer_size_ = reader.read_gamma64();
+      const std::uint64_t m = input_.size() + peer_size_;
+      util::Rng stream = shared_.stream("basic-intersection", nonce_, 0);
+      hash_ = hashing::PairwiseHash::sample(
+          stream, universe_, basic_intersection_range(m, target_failure_));
+      state_ = State::kAwaitImage;
+      util::BitBuffer msg;
+      msg.append_gamma64(input_.size());
+      return msg;
+    }
+    case State::kAwaitImage: {
+      state_ = State::kDone;
+      util::BitBuffer reply;
+      if (!input_.empty() && peer_size_ != 0) {
+        const unsigned width =
+            util::ceil_log2(std::max<std::uint64_t>(hash_->range(), 2));
+        util::BitReader reader(message);
+        const util::Set peer_image = read_fixed_width_image(reader, width);
+        candidates_ = filter_by_peer_image(input_, *hash_, peer_image);
+        append_fixed_width_image(reply, hashed_image(input_, *hash_), width);
+      }
+      return reply;
+    }
+    default:
+      throw std::logic_error("BasicIntersectionBob: unexpected message");
+  }
+}
+
+}  // namespace setint::core

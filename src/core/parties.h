@@ -1,0 +1,156 @@
+// Strictly-separated party implementations of the building-block
+// protocols (see sim/runtime.h). Each party object holds ONLY its own
+// input plus its view of the common random string, and mirrors the
+// driver-style implementation bit-for-bit: identical substream labels and
+// encodings, hence identical transcripts — which the runtime tests verify
+// by digest comparison.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "hashing/pairwise.h"
+#include "sim/randomness.h"
+#include "sim/runtime.h"
+#include "util/set_util.h"
+
+namespace setint::core {
+
+// ---------- Fact 3.5 equality ----------
+
+// Opener: sends the mask hash of its string, then reads the verdict.
+class EqualitySender final : public sim::Party {
+ public:
+  EqualitySender(sim::SharedRandomness shared, std::uint64_t nonce,
+                 util::BitBuffer content, std::size_t bits);
+  std::optional<util::BitBuffer> start() override;
+  std::optional<util::BitBuffer> on_message(
+      const util::BitBuffer& message) override;
+  bool done() const override { return done_; }
+  bool declared_equal() const { return declared_equal_; }
+
+ private:
+  sim::SharedRandomness shared_;
+  std::uint64_t nonce_;
+  util::BitBuffer content_;
+  std::size_t bits_;
+  bool done_ = false;
+  bool declared_equal_ = false;
+};
+
+// Responder: compares the received hash with its own, replies the verdict.
+class EqualityResponder final : public sim::Party {
+ public:
+  EqualityResponder(sim::SharedRandomness shared, std::uint64_t nonce,
+                    util::BitBuffer content, std::size_t bits);
+  std::optional<util::BitBuffer> on_message(
+      const util::BitBuffer& message) override;
+  bool done() const override { return done_; }
+  bool declared_equal() const { return declared_equal_; }
+
+ private:
+  sim::SharedRandomness shared_;
+  std::uint64_t nonce_;
+  util::BitBuffer content_;
+  std::size_t bits_;
+  bool done_ = false;
+  bool declared_equal_ = false;
+};
+
+// ---------- one-round hashing (R^(1)) ----------
+
+class OneRoundHashAlice final : public sim::Party {
+ public:
+  // k_bound is the public size bound (|S|, |T| <= k_bound); both parties
+  // must pass the same value or their hash functions desynchronize.
+  OneRoundHashAlice(sim::SharedRandomness shared, std::uint64_t nonce,
+                    std::uint64_t universe, util::Set input,
+                    std::uint64_t k_bound, int strength = 3);
+  std::optional<util::BitBuffer> start() override;
+  std::optional<util::BitBuffer> on_message(
+      const util::BitBuffer& message) override;
+  bool done() const override { return done_; }
+  const util::Set& candidates() const { return candidates_; }
+
+ private:
+  sim::SharedRandomness shared_;
+  std::uint64_t nonce_;
+  std::uint64_t universe_;
+  util::Set input_;
+  std::uint64_t k_bound_;
+  int strength_;
+  bool done_ = false;
+  util::Set candidates_;
+};
+
+class OneRoundHashBob final : public sim::Party {
+ public:
+  OneRoundHashBob(sim::SharedRandomness shared, std::uint64_t nonce,
+                  std::uint64_t universe, util::Set input,
+                  std::uint64_t k_bound, int strength = 3);
+  std::optional<util::BitBuffer> on_message(
+      const util::BitBuffer& message) override;
+  bool done() const override { return done_; }
+  const util::Set& candidates() const { return candidates_; }
+
+ private:
+  sim::SharedRandomness shared_;
+  std::uint64_t nonce_;
+  std::uint64_t universe_;
+  util::Set input_;
+  std::uint64_t k_bound_;
+  int strength_;
+  bool done_ = false;
+  util::Set candidates_;
+};
+
+// ---------- Basic-Intersection (Lemma 3.3), single instance ----------
+
+class BasicIntersectionAlice final : public sim::Party {
+ public:
+  BasicIntersectionAlice(sim::SharedRandomness shared, std::uint64_t nonce,
+                         std::uint64_t universe, util::Set input,
+                         double target_failure);
+  std::optional<util::BitBuffer> start() override;
+  std::optional<util::BitBuffer> on_message(
+      const util::BitBuffer& message) override;
+  bool done() const override { return state_ == State::kDone; }
+  const util::Set& candidates() const { return candidates_; }
+
+ private:
+  enum class State { kStart, kAwaitSizes, kAwaitPeerImage, kDone };
+  sim::SharedRandomness shared_;
+  std::uint64_t nonce_;
+  std::uint64_t universe_;
+  util::Set input_;
+  double target_failure_;
+  State state_ = State::kStart;
+  std::uint64_t peer_size_ = 0;
+  std::optional<hashing::PairwiseHash> hash_;
+  util::Set candidates_;
+};
+
+class BasicIntersectionBob final : public sim::Party {
+ public:
+  BasicIntersectionBob(sim::SharedRandomness shared, std::uint64_t nonce,
+                       std::uint64_t universe, util::Set input,
+                       double target_failure);
+  std::optional<util::BitBuffer> on_message(
+      const util::BitBuffer& message) override;
+  bool done() const override { return state_ == State::kDone; }
+  const util::Set& candidates() const { return candidates_; }
+
+ private:
+  enum class State { kAwaitSizes, kAwaitImage, kDone };
+  sim::SharedRandomness shared_;
+  std::uint64_t nonce_;
+  std::uint64_t universe_;
+  util::Set input_;
+  double target_failure_;
+  State state_ = State::kAwaitSizes;
+  std::uint64_t peer_size_ = 0;
+  std::optional<hashing::PairwiseHash> hash_;
+  util::Set candidates_;
+};
+
+}  // namespace setint::core

@@ -1,0 +1,109 @@
+#include "core/private_coin.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "hashing/fks.h"
+#include "sim/randomness.h"
+#include "util/bitio.h"
+
+namespace setint::core {
+
+IntersectionOutput private_coin_intersection(
+    sim::Channel& channel, util::Rng& private_rng, std::uint64_t universe,
+    util::SetView s, util::SetView t, const VerificationTreeParams& params,
+    PrivateCoinStats* stats) {
+  validate_instance(universe, s, t);
+  const std::uint64_t k = std::max<std::uint64_t>({s.size(), t.size(), 2});
+
+  PrivateCoinStats local;
+  std::uint64_t master_seed = 0;
+  std::uint64_t q = 0;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    // Alice samples the FKS prime (retrying locally until injective on S)
+    // and a master seed for all derived hash functions.
+    hashing::FksCompressor fks = [&] {
+      for (;;) {
+        auto f = hashing::FksCompressor::sample(private_rng, universe, 2 * k);
+        if (f.injective_on(s)) return f;
+      }
+    }();
+    master_seed = private_rng.next();
+    local.prime_attempts += 1;
+
+    util::BitBuffer seed_msg;
+    fks.append_seed(seed_msg);
+    seed_msg.append_bits(master_seed, 64);
+    local.seed_bits += seed_msg.size_bits();
+    const util::BitBuffer delivered =
+        channel.send(sim::PartyId::kAlice, std::move(seed_msg), "pc-seed");
+
+    util::BitReader reader(delivered);
+    const auto bob_fks = hashing::FksCompressor::read_seed(reader);
+    const std::uint64_t bob_seed = reader.read_bits(64);
+
+    // Bob accepts iff the prime is injective on his set too.
+    util::BitBuffer ack;
+    const bool ok = bob_fks.injective_on(t);
+    ack.append_bit(ok);
+    channel.send(sim::PartyId::kBob, std::move(ack), "pc-ack");
+    if (!ok) continue;
+
+    q = bob_fks.range();
+    (void)bob_seed;  // == master_seed by construction
+    break;
+  }
+  if (q == 0) {
+    throw std::runtime_error("private_coin: could not agree on FKS prime");
+  }
+
+  // Compress both sets into [q); injectivity on each side was just checked,
+  // so each party can lift its own candidates back unambiguously.
+  auto compress = [q](util::SetView v) {
+    util::Set image;
+    image.reserve(v.size());
+    for (std::uint64_t x : v) image.push_back(x % q);
+    std::sort(image.begin(), image.end());
+    return image;
+  };
+  const util::Set cs = compress(s);
+  const util::Set ct = compress(t);
+
+  sim::SharedRandomness derived(master_seed);
+  const IntersectionOutput compressed = verification_tree_intersection(
+      channel, derived, /*nonce=*/0x9c, q, cs, ct, params);
+
+  auto lift = [q](util::SetView own, const util::Set& candidates) {
+    std::unordered_map<std::uint64_t, std::uint64_t> preimage;
+    preimage.reserve(own.size() * 2);
+    for (std::uint64_t x : own) preimage.emplace(x % q, x);
+    util::Set out;
+    out.reserve(candidates.size());
+    for (std::uint64_t c : candidates) {
+      const auto it = preimage.find(c);
+      if (it != preimage.end()) out.push_back(it->second);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  IntersectionOutput out;
+  out.alice = lift(s, compressed.alice);
+  out.bob = lift(t, compressed.bob);
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+RunResult PrivateCoinProtocol::run(std::uint64_t seed, std::uint64_t universe,
+                                   util::SetView s, util::SetView t) const {
+  sim::Channel channel;
+  util::Rng private_rng(seed);
+  RunResult r;
+  r.output =
+      private_coin_intersection(channel, private_rng, universe, s, t, params_);
+  r.cost = channel.cost();
+  return r;
+}
+
+}  // namespace setint::core

@@ -1,0 +1,54 @@
+// Constructive private-randomness protocol (Section 3.1).
+//
+// Instead of Newman's non-constructive theorem, the paper prescribes:
+// compress the universe with an FKS mod-prime map (q ~ O~(k^2 log n), so
+// the prime costs O(log k + log log n) bits to send) and then ship the
+// few explicit hash-seed bits the shared-randomness protocol consumes.
+// We implement exactly that: Alice samples the FKS prime — resampling
+// until it is injective on her own set — plus a master seed for the
+// derived hash substreams, and sends both; Bob replies one bit indicating
+// whether the prime is injective on his set too (if not, Alice resamples;
+// expected O(1) attempts). The inner protocol then runs over the
+// compressed universe [q) and each party lifts its candidates back through
+// its own (injective) preimages.
+//
+// Measured guarantee (E9): additive O(log k + log log n) bits over the
+// shared-randomness cost and +2 rounds, with no dependence on r.
+#pragma once
+
+#include <cstdint>
+
+#include "core/protocol.h"
+#include "core/verification_tree.h"
+#include "sim/channel.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace setint::core {
+
+struct PrivateCoinStats {
+  std::uint64_t seed_bits = 0;      // explicit randomness shipped
+  std::uint64_t prime_attempts = 0; // FKS resamples (expected O(1))
+};
+
+// `private_rng` is Alice's local randomness (Bob needs none beyond the
+// shipped seed). Runs the verification-tree protocol underneath.
+IntersectionOutput private_coin_intersection(
+    sim::Channel& channel, util::Rng& private_rng, std::uint64_t universe,
+    util::SetView s, util::SetView t,
+    const VerificationTreeParams& params = {},
+    PrivateCoinStats* stats = nullptr);
+
+class PrivateCoinProtocol final : public IntersectionProtocol {
+ public:
+  explicit PrivateCoinProtocol(VerificationTreeParams params = {})
+      : params_(params) {}
+  std::string name() const override { return "private-coin-tree"; }
+  RunResult run(std::uint64_t seed, std::uint64_t universe, util::SetView s,
+                util::SetView t) const override;
+
+ private:
+  VerificationTreeParams params_;
+};
+
+}  // namespace setint::core

@@ -1,0 +1,14 @@
+#include "core/protocol.h"
+
+#include <stdexcept>
+
+namespace setint::core {
+
+void validate_instance(std::uint64_t universe, util::SetView s,
+                       util::SetView t) {
+  if (universe == 0) throw std::invalid_argument("universe must be positive");
+  util::validate_set(s, universe);
+  util::validate_set(t, universe);
+}
+
+}  // namespace setint::core

@@ -1,0 +1,50 @@
+// Common types and the polymorphic protocol interface.
+//
+// Every two-party intersection protocol in the library consumes
+// (universe, S, T) with |S|, |T| <= k and produces candidate outputs for
+// both parties plus exact communication costs. The polymorphic wrapper
+// exists so benchmarks can sweep a heterogeneous "protocol zoo".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/set_util.h"
+
+namespace setint::core {
+
+// What each party believes the intersection is after the protocol. All
+// protocols here guarantee alice == bob == S intersect T with high
+// probability, and alice, bob are SUPERSETS of the true intersection with
+// probability 1 (one-sided randomness; Lemma 3.3 property 3).
+struct IntersectionOutput {
+  util::Set alice;
+  util::Set bob;
+};
+
+struct RunResult {
+  IntersectionOutput output;
+  sim::CostStats cost;
+};
+
+class IntersectionProtocol {
+ public:
+  virtual ~IntersectionProtocol() = default;
+
+  virtual std::string name() const = 0;
+
+  // Runs one execution on a fresh channel with the given shared-randomness
+  // seed. Implementations must validate inputs (canonical sets within the
+  // universe).
+  virtual RunResult run(std::uint64_t seed, std::uint64_t universe,
+                        util::SetView s, util::SetView t) const = 0;
+};
+
+// Input validation shared by all protocol entry points.
+void validate_instance(std::uint64_t universe, util::SetView s,
+                       util::SetView t);
+
+}  // namespace setint::core

@@ -1,0 +1,49 @@
+// The warm-up protocol from the paper's "Our Technique" section:
+// O(k log log k) expected bits, a constant number of stages.
+//
+// Hash into k / log k buckets, so every bucket holds O(log k) elements
+// w.h.p. Per bucket, run Basic-Intersection with a hash range of
+// ~log^3 k (cost O(log k log log k) per bucket, correctness
+// 1 - 1/Omega(log k)), then VERIFY each bucket's candidate pair with an
+// O(log k)-bit equality test (error 1/k^C). Buckets whose verification
+// fails re-run Basic-Intersection with fresh randomness; the expected
+// number of re-runs per bucket is < 1, so the total expected
+// communication is (k / log k) * O(log k log log k) = O(k log log k).
+//
+// This sits strictly between R^(1) = O(k log k) and the full
+// verification tree, and is the conceptual stepping stone to it: the tree
+// protocol replaces the per-bucket verification with a hierarchy of
+// batched verifications.
+#pragma once
+
+#include <cstdint>
+
+#include "core/protocol.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/set_util.h"
+
+namespace setint::core {
+
+struct ToyProtocolDiag {
+  std::uint64_t buckets = 0;
+  std::uint64_t iterations = 0;       // verify/re-run sweeps executed
+  std::uint64_t total_reruns = 0;     // Basic-Intersection re-runs
+  std::uint64_t fallback_buckets = 0; // buckets resolved by plain exchange
+};
+
+IntersectionOutput toy_bucket_intersection(sim::Channel& channel,
+                                           const sim::SharedRandomness& shared,
+                                           std::uint64_t nonce,
+                                           std::uint64_t universe,
+                                           util::SetView s, util::SetView t,
+                                           ToyProtocolDiag* diag = nullptr);
+
+class ToyBucketProtocol final : public IntersectionProtocol {
+ public:
+  std::string name() const override { return "toy-buckets[k loglog k]"; }
+  RunResult run(std::uint64_t seed, std::uint64_t universe, util::SetView s,
+                util::SetView t) const override;
+};
+
+}  // namespace setint::core

@@ -1,0 +1,105 @@
+// The verification-tree protocol (Algorithm 1) as strictly-separated
+// party state machines — the paper's MAIN protocol in message-driven
+// form, proving the driver implementation in verification_tree.cc uses no
+// out-of-band knowledge. Message formats, substream labels and parameter
+// schedules mirror the driver bit-for-bit; tests/tree_parties_test.cc
+// checks whole-transcript digests for equality.
+//
+// Message flow per stage (at most 6 messages, matching the 6r bound):
+//   A -> B : equality hashes for every level-i node
+//   B -> A : verdict bitmap
+//   [only when some node failed]
+//   A -> B : Basic-Intersection sizes for every failed leaf
+//   B -> A : sizes
+//   A -> B : hashed images
+//   B -> A : hashed images
+//
+// Restrictions vs. the driver: r >= 2 (the r = 1 delegation to the
+// one-round protocol lives in OneRoundHash{Alice,Bob}) and no worst-case
+// cutoff (set params.worst_case_cutoff_factor = 0).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/verification_tree.h"
+#include "hashing/pairwise.h"
+#include "sim/randomness.h"
+#include "sim/runtime.h"
+#include "util/set_util.h"
+
+namespace setint::core {
+
+// State shared by the two endpoints (everything here is derived from
+// public parameters plus the party's own input).
+class TreePartyBase {
+ protected:
+  TreePartyBase(sim::SharedRandomness shared, std::uint64_t nonce,
+                std::uint64_t universe, util::Set input,
+                const VerificationTreeParams& params);
+
+  // The stage-i equality-bit width / Basic-Intersection failure target
+  // (identical formulas to the driver).
+  std::size_t eq_bits(int stage) const;
+  double bi_failure(int stage) const;
+
+  // Own-side message builders / decoders.
+  util::BitBuffer build_eq_hashes(int stage) const;
+  std::vector<util::BitBuffer> node_contents(int stage) const;
+  util::BitBuffer build_bi_sizes() const;
+  util::BitBuffer build_bi_images(int stage);  // derives bi_hashes_
+  void decode_peer_sizes(const util::BitBuffer& message);
+  void apply_peer_images(const util::BitBuffer& message, int stage);
+  void set_failed_from_verdicts(const std::vector<bool>& pass, int stage);
+
+  util::Set gather_output() const;
+
+  sim::SharedRandomness shared_;
+  std::uint64_t nonce_;
+  std::uint64_t universe_;
+  VerificationTreeParams params_;
+  std::size_t buckets_ = 0;
+  int r_ = 0;
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> layout_;
+  std::vector<util::Set> assignment_;       // per-leaf candidates
+  std::vector<std::size_t> failed_leaves_;  // current stage's repairs
+  std::vector<std::uint64_t> peer_sizes_;   // per failed leaf
+  std::vector<hashing::PairwiseHash> bi_hashes_;
+};
+
+class TreeAlice final : public sim::Party, private TreePartyBase {
+ public:
+  TreeAlice(sim::SharedRandomness shared, std::uint64_t nonce,
+            std::uint64_t universe, util::Set input,
+            const VerificationTreeParams& params);
+  std::optional<util::BitBuffer> start() override;
+  std::optional<util::BitBuffer> on_message(
+      const util::BitBuffer& message) override;
+  bool done() const override { return phase_ == Phase::kDone; }
+  util::Set output() const { return gather_output(); }
+
+ private:
+  enum class Phase { kAwaitVerdicts, kAwaitSizes, kAwaitImages, kDone };
+  std::optional<util::BitBuffer> advance_stage();
+  Phase phase_ = Phase::kAwaitVerdicts;
+  int stage_ = 0;
+};
+
+class TreeBob final : public sim::Party, private TreePartyBase {
+ public:
+  TreeBob(sim::SharedRandomness shared, std::uint64_t nonce,
+          std::uint64_t universe, util::Set input,
+          const VerificationTreeParams& params);
+  std::optional<util::BitBuffer> on_message(
+      const util::BitBuffer& message) override;
+  bool done() const override { return phase_ == Phase::kDone; }
+  util::Set output() const { return gather_output(); }
+
+ private:
+  enum class Phase { kAwaitEqHashes, kAwaitSizes, kAwaitImages, kDone };
+  Phase phase_ = Phase::kAwaitEqHashes;
+  int stage_ = 0;
+};
+
+}  // namespace setint::core

@@ -1,0 +1,205 @@
+#include "core/verification_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/basic_intersection.h"
+#include "core/deterministic_exchange.h"
+#include "core/one_round_hash.h"
+#include "eq/equality.h"
+#include "hashing/pairwise.h"
+#include "util/bitio.h"
+#include "util/iterated_log.h"
+#include "util/rng.h"
+
+namespace setint::core {
+
+namespace {
+
+using Range = std::pair<std::size_t, std::size_t>;  // [first, second)
+
+// Leaves covered by a level-i node: |C(v)| = log^(r-i) k, rounded, clamped
+// into [1, k] and kept monotone in i so ranges nest.
+std::vector<std::size_t> level_cover_sizes(std::size_t leaves, int r) {
+  std::vector<std::size_t> cover(static_cast<std::size_t>(r) + 1);
+  cover[static_cast<std::size_t>(r)] = leaves;
+  for (int i = r - 1; i >= 0; --i) {
+    const double v =
+        util::iterated_log(r - i, static_cast<double>(leaves));
+    auto c = static_cast<std::size_t>(std::llround(std::max(1.0, v)));
+    c = std::min(c, cover[static_cast<std::size_t>(i) + 1]);
+    cover[static_cast<std::size_t>(i)] = std::max<std::size_t>(1, c);
+  }
+  cover[0] = 1;  // level 0 nodes are the leaves themselves
+  return cover;
+}
+
+}  // namespace
+
+std::vector<std::vector<Range>> verification_tree_layout(std::size_t leaves,
+                                                         int rounds_r) {
+  if (leaves == 0) throw std::invalid_argument("layout: zero leaves");
+  if (rounds_r < 1) throw std::invalid_argument("layout: r < 1");
+  const std::vector<std::size_t> cover = level_cover_sizes(leaves, rounds_r);
+  std::vector<std::vector<Range>> layout(
+      static_cast<std::size_t>(rounds_r) + 1);
+  layout[static_cast<std::size_t>(rounds_r)] = {Range{0, leaves}};
+  for (int i = rounds_r - 1; i >= 0; --i) {
+    const std::size_t chunk = cover[static_cast<std::size_t>(i)];
+    for (const Range& parent : layout[static_cast<std::size_t>(i) + 1]) {
+      for (std::size_t lo = parent.first; lo < parent.second; lo += chunk) {
+        layout[static_cast<std::size_t>(i)].push_back(
+            Range{lo, std::min(lo + chunk, parent.second)});
+      }
+    }
+  }
+  return layout;
+}
+
+IntersectionOutput verification_tree_intersection(
+    sim::Channel& channel, const sim::SharedRandomness& shared,
+    std::uint64_t nonce, std::uint64_t universe, util::SetView s,
+    util::SetView t, const VerificationTreeParams& params,
+    VerificationTreeDiag* diag) {
+  validate_instance(universe, s, t);
+  const std::size_t k =
+      params.bucket_count != 0
+          ? params.bucket_count
+          : std::max<std::size_t>({s.size(), t.size(), 2});
+  const double kd = static_cast<double>(k);
+  const int r = params.rounds_r != 0 ? params.rounds_r
+                                     : std::max(1, util::log_star(kd));
+  if (r < 1) throw std::invalid_argument("verification_tree: r < 1");
+
+  // Theorem 3.6, r = 1 base case: plain hash exchange with range k^c —
+  // exactly the one-round protocol, c k log k bits in two messages.
+  if (r == 1) {
+    if (diag != nullptr) *diag = VerificationTreeDiag{};
+    return one_round_hash(channel, shared, nonce, universe, s, t);
+  }
+
+  // Bucket partition (the leaves' initial assignments S^(-1), T^(-1)).
+  util::Rng bucket_stream = shared.stream("vt-buckets", nonce);
+  const auto h = hashing::PairwiseHash::sample(bucket_stream, universe, k);
+  std::vector<util::Set> sa(k);
+  std::vector<util::Set> tb(k);
+  for (std::uint64_t x : s) sa[h(x)].push_back(x);
+  for (std::uint64_t y : t) tb[h(y)].push_back(y);
+  for (auto& b : sa) std::sort(b.begin(), b.end());
+  for (auto& b : tb) std::sort(b.begin(), b.end());
+
+  const auto layout = verification_tree_layout(k, r);
+
+  VerificationTreeDiag local;
+  local.stage_failures.assign(static_cast<std::size_t>(r), 0);
+  local.stage_eq_bits.assign(static_cast<std::size_t>(r), 0);
+  local.stage_bi_bits.assign(static_cast<std::size_t>(r), 0);
+  local.leaf_reruns.assign(k, 0);
+
+  const std::uint64_t start_bits = channel.cost().bits_total;
+  const double budget =
+      params.worst_case_cutoff_factor > 0
+          ? params.worst_case_cutoff_factor * kd *
+                std::max(1.0, util::iterated_log(r, kd))
+          : std::numeric_limits<double>::infinity();
+
+  for (int stage = 0; stage < r; ++stage) {
+    // Failure target 1/(log^(r-i-1) k)^4 for this stage's equality tests
+    // and Basic-Intersection re-runs (Algorithm 1).
+    const double tower =
+        std::max(2.0, util::iterated_log(r - stage - 1, kd));
+    const double stage_failure = 1.0 / std::pow(tower, 4.0);
+    const auto eq_bits = static_cast<std::size_t>(std::max(
+        1.0, std::ceil(params.eq_bits_scale * 4.0 * std::log2(tower))));
+    const double bi_failure =
+        std::min(0.25, stage_failure / std::max(1e-6, params.bi_range_scale));
+
+    // Step 1: batched equality tests at every level-`stage` node.
+    const auto& ranges = layout[static_cast<std::size_t>(stage)];
+    std::vector<util::BitBuffer> ca(ranges.size());
+    std::vector<util::BitBuffer> cb(ranges.size());
+    for (std::size_t v = 0; v < ranges.size(); ++v) {
+      for (std::size_t u = ranges[v].first; u < ranges[v].second; ++u) {
+        util::append_set(ca[v], sa[u]);
+        util::append_set(cb[v], tb[u]);
+      }
+    }
+    const std::uint64_t eq_before = channel.cost().bits_total;
+    const std::vector<bool> pass = eq::batch_equality_test(
+        channel, shared, util::mix64(nonce, util::mix64(0xE9, stage)), ca, cb,
+        eq_bits);
+    local.stage_eq_bits[static_cast<std::size_t>(stage)] =
+        channel.cost().bits_total - eq_before;
+
+    // Step 2: re-run Basic-Intersection on every leaf under a failed node.
+    std::vector<std::size_t> failed_leaves;
+    for (std::size_t v = 0; v < ranges.size(); ++v) {
+      if (pass[v]) continue;
+      local.stage_failures[static_cast<std::size_t>(stage)] += 1;
+      for (std::size_t u = ranges[v].first; u < ranges[v].second; ++u) {
+        failed_leaves.push_back(u);
+      }
+    }
+    if (!failed_leaves.empty()) {
+      std::vector<std::pair<util::SetView, util::SetView>> pairs;
+      pairs.reserve(failed_leaves.size());
+      for (std::size_t u : failed_leaves) {
+        pairs.emplace_back(sa[u], tb[u]);
+      }
+      const std::uint64_t bi_before = channel.cost().bits_total;
+      const std::vector<CandidatePair> cands = basic_intersection_batch(
+          channel, shared, util::mix64(nonce, util::mix64(0xB1, stage)),
+          universe, pairs, bi_failure);
+      local.stage_bi_bits[static_cast<std::size_t>(stage)] =
+          channel.cost().bits_total - bi_before;
+      for (std::size_t j = 0; j < failed_leaves.size(); ++j) {
+        const std::size_t u = failed_leaves[j];
+        sa[u] = cands[j].s_candidate;
+        tb[u] = cands[j].t_candidate;
+        local.leaf_reruns[u] += 1;
+      }
+      local.total_bi_runs += failed_leaves.size();
+    }
+
+    if (static_cast<double>(channel.cost().bits_total - start_bits) >
+        budget) {
+      local.fallback_used = true;
+      IntersectionOutput exact =
+          deterministic_exchange(channel, universe, s, t);
+      if (diag != nullptr) *diag = local;
+      return exact;
+    }
+  }
+
+  IntersectionOutput out;
+  for (std::size_t u = 0; u < k; ++u) {
+    out.alice.insert(out.alice.end(), sa[u].begin(), sa[u].end());
+    out.bob.insert(out.bob.end(), tb[u].begin(), tb[u].end());
+  }
+  std::sort(out.alice.begin(), out.alice.end());
+  std::sort(out.bob.begin(), out.bob.end());
+  if (diag != nullptr) *diag = local;
+  return out;
+}
+
+std::string VerificationTreeProtocol::name() const {
+  if (params_.rounds_r == 0) return "verification-tree[r=log*k]";
+  return "verification-tree[r=" + std::to_string(params_.rounds_r) + "]";
+}
+
+RunResult VerificationTreeProtocol::run(std::uint64_t seed,
+                                        std::uint64_t universe,
+                                        util::SetView s,
+                                        util::SetView t) const {
+  sim::Channel channel;
+  sim::SharedRandomness shared(seed);
+  RunResult result;
+  result.output = verification_tree_intersection(
+      channel, shared, /*nonce=*/0, universe, s, t, params_);
+  result.cost = channel.cost();
+  return result;
+}
+
+}  // namespace setint::core

@@ -1,0 +1,92 @@
+// The paper's main contribution: the verification-tree protocol
+// (Algorithm 1, Theorems 1.1 / 3.6).
+//
+// Shape: hash both sets into k buckets (the tree's leaves) with a shared
+// pairwise hash. Build a depth-r tree over the leaves whose level-i nodes
+// cover |C(v)| = log^(r-i) k leaves (so level degrees are
+// d_i = log^(r-i) k / log^(r-i+1) k, d_1 = log^(r-1) k). Then run r
+// stages, i = 0..r-1:
+//   1. batched equality tests on the concatenated per-leaf candidate
+//      assignments at every level-i node, with failure probability
+//      1/(log^(r-i-1) k)^4 (i.e. 4 log^(r-i) k hash bits) — 2 rounds;
+//   2. for every failed node, re-run Basic-Intersection on all leaves in
+//      its subtree with matching failure probability — 4 rounds.
+// Six rounds per stage -> <= 6r rounds total. Expected communication
+// O(k log^(r) k): the stage-0 equality tests dominate and every other
+// level costs O(k) (proof of Theorem 3.6); with r = log* k this is the
+// optimal O(k) bits.
+//
+// Correctness: candidate assignments are always supersets of the true
+// per-bucket intersection (Lemma 3.3 / Proposition 3.9), and equal
+// candidates are exactly the intersection (Corollary 3.4), so the output
+// equals S cap T unless some final equality test passes falsely —
+// probability <= 1/poly(k) (Corollary 3.8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/set_util.h"
+
+namespace setint::core {
+
+struct VerificationTreeParams {
+  // Number of stages r. 0 means "auto": log*(k), the communication-optimal
+  // choice (Theorem 1.1 with O(k) bits).
+  int rounds_r = 0;
+
+  // Number of buckets / tree leaves. 0 means "auto": max(|S|, |T|, 2).
+  std::size_t bucket_count = 0;
+
+  // Multiplier on the 4*log^(r-i) k equality-bit schedule (ablation knob;
+  // 1.0 reproduces the paper's constants).
+  double eq_bits_scale = 1.0;
+
+  // Multiplier on Basic-Intersection hash ranges (ablation knob).
+  double bi_range_scale = 1.0;
+
+  // If > 0, abort the randomized protocol once communication exceeds
+  // cutoff * k * log^(r) k bits and fall back to deterministic exchange —
+  // the paper's trick for turning the expected bound into a worst-case
+  // one. 0 disables.
+  double worst_case_cutoff_factor = 0.0;
+};
+
+// Per-run internals, exported for tests and the E11 bench.
+struct VerificationTreeDiag {
+  std::vector<std::uint64_t> stage_failures;   // failed nodes per stage
+  std::vector<std::uint64_t> stage_eq_bits;    // equality bits per stage
+  std::vector<std::uint64_t> stage_bi_bits;    // Basic-Intersection bits
+  std::vector<std::uint32_t> leaf_reruns;      // Basic-Intersection runs/leaf
+  std::uint64_t total_bi_runs = 0;
+  bool fallback_used = false;
+};
+
+IntersectionOutput verification_tree_intersection(
+    sim::Channel& channel, const sim::SharedRandomness& shared,
+    std::uint64_t nonce, std::uint64_t universe, util::SetView s,
+    util::SetView t, const VerificationTreeParams& params = {},
+    VerificationTreeDiag* diag = nullptr);
+
+class VerificationTreeProtocol final : public IntersectionProtocol {
+ public:
+  explicit VerificationTreeProtocol(VerificationTreeParams params = {})
+      : params_(params) {}
+  std::string name() const override;
+  RunResult run(std::uint64_t seed, std::uint64_t universe, util::SetView s,
+                util::SetView t) const override;
+
+ private:
+  VerificationTreeParams params_;
+};
+
+// The tree layout used by the protocol, exposed for tests: level_ranges[i]
+// is the partition of [0, leaves) into the level-i node ranges
+// (level_ranges[0] = singletons ... level_ranges[r] = one root range).
+std::vector<std::vector<std::pair<std::size_t, std::size_t>>>
+verification_tree_layout(std::size_t leaves, int rounds_r);
+
+}  // namespace setint::core

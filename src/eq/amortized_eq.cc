@@ -1,0 +1,135 @@
+#include "eq/amortized_eq.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "eq/equality.h"
+#include "util/iterated_log.h"
+#include "util/rng.h"
+
+namespace setint::eq {
+
+namespace {
+
+using Group = std::vector<std::size_t>;
+
+// Self-delimiting concatenation of one side's contents for a group:
+// gamma(length) + payload per item, so distinct item tuples encode
+// distinctly.
+util::BitBuffer group_content(const Group& group,
+                              const std::vector<util::BitBuffer>& side) {
+  util::BitBuffer out;
+  for (std::size_t idx : group) {
+    out.append_gamma64(side[idx].size_bits());
+    out.append_buffer(side[idx]);
+  }
+  return out;
+}
+
+// One batched hash comparison over `groups` with `bits` bits per group.
+// Two rounds. Returns per-group pass flags.
+std::vector<bool> test_groups(sim::Channel& channel,
+                              const sim::SharedRandomness& shared,
+                              std::uint64_t batch_nonce,
+                              const std::vector<Group>& groups,
+                              const std::vector<util::BitBuffer>& xs,
+                              const std::vector<util::BitBuffer>& ys,
+                              std::size_t bits) {
+  std::vector<util::BitBuffer> a_contents;
+  std::vector<util::BitBuffer> b_contents;
+  a_contents.reserve(groups.size());
+  b_contents.reserve(groups.size());
+  for (const Group& g : groups) {
+    a_contents.push_back(group_content(g, xs));
+    b_contents.push_back(group_content(g, ys));
+  }
+  return batch_equality_test(channel, shared, batch_nonce, a_contents,
+                             b_contents, bits);
+}
+
+}  // namespace
+
+std::vector<bool> amortized_equality(sim::Channel& channel,
+                                     const sim::SharedRandomness& shared,
+                                     std::uint64_t nonce,
+                                     const std::vector<util::BitBuffer>& xs,
+                                     const std::vector<util::BitBuffer>& ys,
+                                     AmortizedEqStats* stats) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("amortized_equality: size mismatch");
+  }
+  const std::size_t k = xs.size();
+  std::vector<bool> equal(k, true);  // overwritten for resolved-unequal items
+  if (k == 0) return equal;
+
+  std::vector<Group> groups;
+  groups.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) groups.push_back(Group{i});
+
+  const unsigned max_level = k >= 2 ? util::ceil_log2(k) : 0;
+  AmortizedEqStats local_stats;
+
+  for (unsigned level = 0; level <= max_level + 16; ++level) {
+    const auto beta = static_cast<std::size_t>(
+        std::max(1.0, std::round(std::pow(2.0, level / 2.0))));
+    std::uint64_t batch = 0;
+    const auto batch_nonce = [&](std::uint64_t b) {
+      return util::mix64(nonce, util::mix64(level, b));
+    };
+
+    const std::vector<bool> pass = test_groups(
+        channel, shared, batch_nonce(batch++), groups, xs, ys, beta);
+
+    std::vector<Group> survivors;
+    std::vector<Group> pending;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      (pass[g] ? survivors : pending).push_back(std::move(groups[g]));
+    }
+
+    // Binary-search the failed groups down to the unequal culprits. Each
+    // BFS wave is one more batched test (two rounds); all failed groups
+    // advance together so round cost stays O(level) per level.
+    while (!pending.empty()) {
+      std::vector<Group> halves;
+      for (Group& g : pending) {
+        if (g.size() == 1) {
+          // The mismatching hash already certifies inequality (one-sided).
+          equal[g[0]] = false;
+          continue;
+        }
+        const std::size_t mid = g.size() / 2;
+        halves.emplace_back(g.begin(), g.begin() + mid);
+        halves.emplace_back(g.begin() + mid, g.end());
+      }
+      if (halves.empty()) break;
+      local_stats.split_tests += halves.size();
+      const std::vector<bool> half_pass = test_groups(
+          channel, shared, batch_nonce(batch++), halves, xs, ys, beta);
+      pending.clear();
+      for (std::size_t h = 0; h < halves.size(); ++h) {
+        (half_pass[h] ? survivors : pending).push_back(std::move(halves[h]));
+      }
+    }
+
+    groups = std::move(survivors);
+    local_stats.levels = level + 1;
+    if (groups.empty()) break;
+    if (level >= max_level && groups.size() <= 1) break;
+
+    // Merge adjacent survivors pairwise for the next level.
+    std::vector<Group> merged;
+    merged.reserve((groups.size() + 1) / 2);
+    for (std::size_t g = 0; g + 1 < groups.size(); g += 2) {
+      Group m = std::move(groups[g]);
+      m.insert(m.end(), groups[g + 1].begin(), groups[g + 1].end());
+      merged.push_back(std::move(m));
+    }
+    if (groups.size() % 2 == 1) merged.push_back(std::move(groups.back()));
+    groups = std::move(merged);
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return equal;
+}
+
+}  // namespace setint::eq

@@ -1,0 +1,78 @@
+#include "eq/equality.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hashing/mask_hash.h"
+
+namespace setint::eq {
+
+std::size_t bits_for_failure(double target_failure) {
+  if (!(target_failure > 0.0) || target_failure >= 1.0) {
+    return 1;
+  }
+  const double b = std::ceil(std::log2(1.0 / target_failure));
+  return b < 1.0 ? 1 : static_cast<std::size_t>(b);
+}
+
+bool equality_test(sim::Channel& channel, const sim::SharedRandomness& shared,
+                   std::uint64_t nonce, const util::BitBuffer& xa,
+                   const util::BitBuffer& xb, std::size_t bits) {
+  std::vector<util::BitBuffer> va(1);
+  std::vector<util::BitBuffer> vb(1);
+  va[0].append_buffer(xa);
+  vb[0].append_buffer(xb);
+  return batch_equality_test(channel, shared, nonce, va, vb, bits)[0];
+}
+
+std::vector<bool> batch_equality_test(sim::Channel& channel,
+                                      const sim::SharedRandomness& shared,
+                                      std::uint64_t nonce,
+                                      std::span<const util::BitBuffer> xa,
+                                      std::span<const util::BitBuffer> xb,
+                                      std::size_t bits) {
+  if (xa.size() != xb.size()) {
+    throw std::invalid_argument("batch_equality_test: size mismatch");
+  }
+  if (bits == 0) throw std::invalid_argument("batch_equality_test: 0 bits");
+  const std::size_t n = xa.size();
+  if (n == 0) return {};
+
+  // Alice -> Bob: concatenated hashes, one per instance.
+  util::BitBuffer alice_msg;
+  for (std::size_t i = 0; i < n; ++i) {
+    hashing::mask_hash_wide(xa[i], bits, shared.stream("eq", nonce, i),
+                            alice_msg);
+  }
+  const util::BitBuffer delivered =
+      channel.send(sim::PartyId::kAlice, std::move(alice_msg), "eq-hashes");
+
+  // Bob compares against his own hashes and replies the verdict bitmap.
+  util::BitReader reader(delivered);
+  util::BitBuffer verdicts;
+  std::vector<bool> result(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    util::BitBuffer expected;
+    hashing::mask_hash_wide(xb[i], bits, shared.stream("eq", nonce, i),
+                            expected);
+    bool match = true;
+    util::BitReader er(expected);
+    for (std::size_t b = 0; b < bits; ++b) {
+      if (reader.read_bit() != er.read_bit()) match = false;
+    }
+    result[i] = match;
+    verdicts.append_bit(match);
+  }
+  const util::BitBuffer verdicts_delivered =
+      channel.send(sim::PartyId::kBob, std::move(verdicts), "eq-verdicts");
+
+  // Alice decodes the same verdicts; both parties now agree on `result`.
+  util::BitReader vr(verdicts_delivered);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool v = vr.read_bit();
+    if (v != result[i]) throw std::logic_error("equality verdict mismatch");
+  }
+  return result;
+}
+
+}  // namespace setint::eq

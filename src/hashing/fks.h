@@ -1,0 +1,40 @@
+// FKS-style universe compression (Fredman-Komlos-Szemeredi [FKS84], as
+// used in Section 3.1 of the paper): map [n] -> [q] by x mod q for a random
+// prime q = O~(k^2 log n). For any fixed set of at most k elements the map
+// is injective with probability 1 - 1/poly(k), and the prime costs only
+// O(log k + log log n) bits to communicate — the key to the constructive
+// private-randomness protocol.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitio.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace setint::hashing {
+
+class FksCompressor {
+ public:
+  // Compressor for sets of total size <= max_elements over [universe),
+  // with per-run failure probability roughly 1/max_elements^(c-2) for the
+  // chosen strength c >= 3 (range q ~ max_elements^c-flavored; see .cc).
+  static FksCompressor sample(util::Rng& rng, std::uint64_t universe,
+                              std::uint64_t max_elements, int strength = 3);
+
+  std::uint64_t operator()(std::uint64_t x) const { return x % q_; }
+  std::uint64_t range() const { return q_; }
+
+  // True iff the map is injective on s (all images distinct).
+  bool injective_on(util::SetView s) const;
+
+  void append_seed(util::BitBuffer& out) const;
+  static FksCompressor read_seed(util::BitReader& in);
+  std::size_t seed_bits() const;
+
+ private:
+  explicit FksCompressor(std::uint64_t q) : q_(q) {}
+  std::uint64_t q_;
+};
+
+}  // namespace setint::hashing

@@ -1,0 +1,28 @@
+// GF(2) mask hashing: the hash family behind the equality test of
+// Fact 3.5. Each output bit is the inner product (mod 2) of the message
+// with a fresh pseudo-random mask derived from a shared substream. For
+// x != y each bit matches with probability exactly 1/2 independently, so a
+// b-bit hash gives one-sided error 2^-b; for x == y the hashes are always
+// identical.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitio.h"
+#include "util/rng.h"
+
+namespace setint::hashing {
+
+// b-bit mask hash of `data` using masks drawn from `stream` (the stream is
+// consumed; both parties must pass identically-seeded streams). b <= 64.
+std::uint64_t mask_hash(const util::BitBuffer& data, unsigned bits,
+                        util::Rng stream);
+
+// Arbitrary-width mask hash: appends exactly `bits` hash bits to `out`
+// (composed of independent <= 64-bit chunks). Used where the error budget
+// calls for more than 64 bits, e.g. the top levels of the amortized
+// equality tree.
+void mask_hash_wide(const util::BitBuffer& data, std::size_t bits,
+                    const util::Rng& stream, util::BitBuffer& out);
+
+}  // namespace setint::hashing

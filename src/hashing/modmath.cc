@@ -1,0 +1,34 @@
+#include "hashing/modmath.h"
+
+#include <stdexcept>
+
+namespace setint::hashing {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  if (m == 0) throw std::invalid_argument("mulmod: modulus 0");
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t addmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  if (m == 0) throw std::invalid_argument("addmod: modulus 0");
+  a %= m;
+  b %= m;
+  const std::uint64_t space = m - a;
+  return b >= space ? b - space : a + b;
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  if (m == 0) throw std::invalid_argument("powmod: modulus 0");
+  if (m == 1) return 0;
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+}  // namespace setint::hashing

@@ -1,0 +1,18 @@
+// 64-bit modular arithmetic. Correct for all moduli up to 2^63 via
+// unsigned __int128 intermediates.
+#pragma once
+
+#include <cstdint>
+
+namespace setint::hashing {
+
+// (a * b) mod m; m must be nonzero.
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+
+// (a + b) mod m without overflow; requires a, b < m.
+std::uint64_t addmod(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+
+// (base ^ exp) mod m; m must be nonzero.
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m);
+
+}  // namespace setint::hashing

@@ -1,0 +1,50 @@
+// Carter-Wegman pairwise-independent hashing h(x) = ((a*x + b) mod p) mod t.
+//
+// This is the h: [n] -> [t] the paper invokes in Fact 2.2 and throughout:
+// for any x != y, Pr[h(x) = h(y)] <= 2/t (the extra factor of <= 2 comes
+// from the final mod t; range sizing in callers accounts for it). The seed
+// is O(log p) bits, which is what makes the constructive private-coin
+// variant (Section 3.1) cheap.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitio.h"
+#include "util/rng.h"
+
+namespace setint::hashing {
+
+class PairwiseHash {
+ public:
+  // Hash from [universe) onto [range). Draws a prime p >= max(universe,
+  // range, 2) and uniform a in [1, p), b in [0, p).
+  static PairwiseHash sample(util::Rng& rng, std::uint64_t universe,
+                             std::uint64_t range);
+
+  std::uint64_t operator()(std::uint64_t x) const;
+
+  std::uint64_t range() const { return t_; }
+  std::uint64_t prime() const { return p_; }
+
+  // Seed serialization: lets one party sample the function privately and
+  // ship it to the peer (private-coin protocols). The universe/range are
+  // protocol constants and are not re-transmitted.
+  void append_seed(util::BitBuffer& out) const;
+  static PairwiseHash read_seed(util::BitReader& in, std::uint64_t range);
+  std::size_t seed_bits() const;
+
+  // Pairwise collision bound for this instance: Pr[h(x)=h(y)] for x != y.
+  double collision_probability() const;
+
+ private:
+  PairwiseHash(std::uint64_t p, std::uint64_t a, std::uint64_t b,
+               std::uint64_t t)
+      : p_(p), a_(a), b_(b), t_(t) {}
+
+  std::uint64_t p_;
+  std::uint64_t a_;
+  std::uint64_t b_;
+  std::uint64_t t_;
+};
+
+}  // namespace setint::hashing

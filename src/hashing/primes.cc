@@ -1,0 +1,71 @@
+#include "hashing/primes.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "hashing/modmath.h"
+
+namespace setint::hashing {
+
+namespace {
+
+bool miller_rabin_witness(std::uint64_t n, std::uint64_t a, std::uint64_t d,
+                          unsigned r) {
+  std::uint64_t x = powmod(a % n, d, n);
+  if (x == 1 || x == n - 1) return false;  // not a witness
+  for (unsigned i = 1; i < r; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return false;
+  }
+  return true;  // witnesses compositeness
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  std::uint64_t d = n - 1;
+  unsigned r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    if (miller_rabin_witness(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime_at_least(std::uint64_t n) {
+  if (n <= 2) return 2;
+  std::uint64_t c = n | 1;  // first odd >= n
+  while (true) {
+    if (is_prime(c)) return c;
+    if (c > std::numeric_limits<std::uint64_t>::max() - 2) {
+      throw std::overflow_error("next_prime_at_least: no 64-bit prime");
+    }
+    c += 2;
+  }
+}
+
+std::uint64_t random_prime_in(util::Rng& rng, std::uint64_t lo,
+                              std::uint64_t hi) {
+  if (lo >= hi) throw std::invalid_argument("random_prime_in: empty range");
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    const std::uint64_t candidate = lo + rng.below(hi - lo);
+    const std::uint64_t p = next_prime_at_least(candidate);
+    if (p < hi) return p;
+  }
+  // Range may still contain a prime near its start even if sampling missed.
+  const std::uint64_t p = next_prime_at_least(lo);
+  if (p < hi) return p;
+  throw std::invalid_argument("random_prime_in: no prime in range");
+}
+
+}  // namespace setint::hashing

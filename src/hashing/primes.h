@@ -1,0 +1,27 @@
+// Primality testing and random prime sampling.
+//
+// Random primes back the Carter-Wegman pairwise family and the FKS
+// universe-compression step; both need primes of a prescribed magnitude,
+// sampled from few random bits.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace setint::hashing {
+
+// Deterministic Miller-Rabin, exact for all 64-bit inputs (fixed witness
+// set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}).
+bool is_prime(std::uint64_t n);
+
+// Smallest prime >= n; throws if none fits in 64 bits.
+std::uint64_t next_prime_at_least(std::uint64_t n);
+
+// Uniform-ish random prime in [lo, hi): samples uniform candidates and
+// takes the next prime at or after the sample (standard density argument;
+// adequate for hash-seed purposes). Requires a prime to exist in range.
+std::uint64_t random_prime_in(util::Rng& rng, std::uint64_t lo,
+                              std::uint64_t hi);
+
+}  // namespace setint::hashing

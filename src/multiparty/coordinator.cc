@@ -1,0 +1,121 @@
+#include "multiparty/coordinator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/deterministic_exchange.h"
+#include "eq/equality.h"
+#include "sim/channel.h"
+#include "util/bitio.h"
+#include "util/rng.h"
+
+namespace setint::multiparty {
+
+VerifiedRunResult verified_two_party_intersection(
+    const sim::SharedRandomness& shared, std::uint64_t nonce,
+    std::uint64_t universe, util::SetView s, util::SetView t,
+    const core::VerificationTreeParams& params, std::size_t k_bound) {
+  if (k_bound == 0) k_bound = std::max<std::size_t>({s.size(), t.size(), 2});
+  sim::Channel channel;
+  constexpr std::uint64_t kMaxRepetitions = 24;
+  VerifiedRunResult result;
+  for (std::uint64_t rep = 0; rep < kMaxRepetitions; ++rep) {
+    result.repetitions = rep + 1;
+    const core::IntersectionOutput out = core::verification_tree_intersection(
+        channel, shared, util::mix64(nonce, rep), universe, s, t, params);
+    // 2k-bit certificate (Section 4): candidates are subsets of the inputs
+    // and supersets of the intersection, so equality implies exactness.
+    util::BitBuffer ca;
+    util::append_set(ca, out.alice);
+    util::BitBuffer cb;
+    util::append_set(cb, out.bob);
+    const bool certified = eq::equality_test(
+        channel, shared, util::mix64(nonce, util::mix64(0xCE27, rep)), ca, cb,
+        2 * k_bound);
+    if (certified) {
+      result.intersection = out.alice;
+      result.cost = channel.cost();
+      return result;
+    }
+  }
+  // Deterministic backstop: exact, rarely reached.
+  const core::IntersectionOutput exact =
+      core::deterministic_exchange(channel, universe, s, t);
+  result.intersection = exact.alice;
+  result.cost = channel.cost();
+  return result;
+}
+
+MultipartyResult coordinator_intersection(sim::Network& network,
+                                          const sim::SharedRandomness& shared,
+                                          std::uint64_t universe,
+                                          const std::vector<util::Set>& sets,
+                                          const MultipartyParams& params) {
+  if (sets.size() != network.players()) {
+    throw std::invalid_argument("coordinator: players/sets mismatch");
+  }
+  std::size_t k = params.k_bound;
+  for (const util::Set& s : sets) {
+    util::validate_set(s, universe);
+    if (params.k_bound == 0) k = std::max(k, s.size());
+  }
+  k = std::max<std::size_t>(k, 2);
+  const std::size_t group_size = 2 * k;
+
+  MultipartyResult result;
+  std::vector<std::size_t> active(sets.size());
+  for (std::size_t i = 0; i < active.size(); ++i) active[i] = i;
+  std::vector<util::Set> current = sets;
+
+  while (active.size() > 1) {
+    std::vector<std::size_t> coordinators;
+    network.begin_batch();
+    for (std::size_t lo = 0; lo < active.size(); lo += group_size) {
+      const std::size_t hi = std::min(lo + group_size, active.size());
+      const std::size_t coord = active[lo];
+      coordinators.push_back(coord);
+      util::Set acc = current[coord];
+      for (std::size_t j = lo + 1; j < hi; ++j) {
+        const std::size_t member = active[j];
+        const std::uint64_t nonce = util::mix64(
+            util::mix64(result.levels, coord), util::mix64(member, 0xC0));
+        VerifiedRunResult vr = verified_two_party_intersection(
+            shared, nonce, universe, current[coord], current[member],
+            params.tree, k);
+        network.bill_pairwise_in_batch(coord, member, vr.cost);
+        result.total_repetitions += vr.repetitions;
+        acc = util::set_intersection(acc, vr.intersection);
+      }
+      current[coord] = std::move(acc);
+    }
+    network.end_batch();
+    active = std::move(coordinators);
+    result.levels += 1;
+  }
+
+  result.intersection = current[active[0]];
+
+  if (params.broadcast_result && network.players() > 1) {
+    // The root coordinator ships the result to every other player in one
+    // parallel round.
+    util::BitBuffer encoded;
+    util::append_set(encoded, result.intersection);
+    const std::uint64_t bits = encoded.size_bits();
+    const std::size_t root = active[0];
+    network.begin_batch();
+    for (std::size_t i = 0; i < network.players(); ++i) {
+      if (i == root) continue;
+      sim::CostStats one_message;
+      one_message.bits_total = bits;
+      one_message.bits_from_alice = bits;
+      one_message.messages = 1;
+      one_message.rounds = 1;
+      network.bill_pairwise_in_batch(root, i, one_message);
+      result.broadcast_bits += bits;
+    }
+    network.end_batch();
+  }
+  return result;
+}
+
+}  // namespace setint::multiparty

@@ -1,0 +1,65 @@
+// Multi-party set intersection, coordinator variant (Corollary 4.1).
+//
+// Players are partitioned into groups of at most 2k; each group's first
+// player coordinates, running the (amplified) two-party protocol with
+// every other member in parallel and intersecting the verified results.
+// Coordinators then recurse among themselves. The number of active
+// players drops by a factor 2k per level, so total communication is
+// dominated by the first level: O(k log^(r) k) average bits per player,
+// rounds O(r * max(1, log(m)/log(k))), success 1 - 1/2^k via the 2k-bit
+// verification equality checks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/verification_tree.h"
+#include "sim/network.h"
+#include "sim/randomness.h"
+#include "util/set_util.h"
+
+namespace setint::multiparty {
+
+// Two-party intersection amplified to success 1 - 2^-Theta(k): runs the
+// verification-tree protocol, then a 2k-bit equality certificate on the
+// two candidates; by the Corollary 3.4 invariant, equal candidates ARE the
+// intersection, so a passing certificate certifies exactness. Failed
+// certificates trigger re-runs (expected O(1)); a deterministic exchange
+// backstop guarantees termination.
+struct VerifiedRunResult {
+  util::Set intersection;
+  sim::CostStats cost;
+  std::uint64_t repetitions = 1;
+};
+
+VerifiedRunResult verified_two_party_intersection(
+    const sim::SharedRandomness& shared, std::uint64_t nonce,
+    std::uint64_t universe, util::SetView s, util::SetView t,
+    const core::VerificationTreeParams& params, std::size_t k_bound);
+
+struct MultipartyParams {
+  core::VerificationTreeParams tree;  // two-party sub-protocol parameters
+  std::size_t k_bound = 0;            // 0 = auto: max input set size
+
+  // If true, the final coordinator broadcasts the result so EVERY player
+  // ends up holding the intersection (one extra parallel round; m-1
+  // messages of |result| * O(log(n/|result|)) bits).
+  bool broadcast_result = false;
+};
+
+struct MultipartyResult {
+  util::Set intersection;
+  std::size_t levels = 0;
+  std::uint64_t total_repetitions = 0;  // two-party re-runs across all pairs
+  std::uint64_t broadcast_bits = 0;     // 0 unless broadcast_result was set
+};
+
+// Computes the m-way intersection of `sets` (each a subset of [universe)).
+// Costs land in `network` (per-player bits + batched rounds).
+MultipartyResult coordinator_intersection(sim::Network& network,
+                                          const sim::SharedRandomness& shared,
+                                          std::uint64_t universe,
+                                          const std::vector<util::Set>& sets,
+                                          const MultipartyParams& params = {});
+
+}  // namespace setint::multiparty

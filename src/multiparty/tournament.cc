@@ -1,0 +1,111 @@
+#include "multiparty/tournament.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/channel.h"
+#include "util/rng.h"
+
+namespace setint::multiparty {
+
+namespace {
+
+// One bracket level of one group's tournament. Matches are billed into the
+// surrounding network batch (all groups advance their brackets in the same
+// batch, so rounds reflect network-wide parallelism). Returns the players
+// advancing to the next bracket level.
+std::vector<std::size_t> advance_bracket(
+    sim::Network& network, const sim::SharedRandomness& shared,
+    std::uint64_t universe, std::vector<util::Set>& current,
+    const std::vector<std::size_t>& level,
+    const core::VerificationTreeParams& tree, std::size_t k,
+    std::uint64_t level_nonce, std::uint64_t* repetitions) {
+  std::vector<std::size_t> next;
+  const bool final_level = level.size() == 2;
+  for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+    const std::size_t left = level[i];
+    const std::size_t right = level[i + 1];
+    const std::uint64_t nonce =
+        util::mix64(level_nonce, util::mix64(left, right));
+    if (final_level) {
+      // Root match: certified — exactness for the whole bracket follows
+      // from the subset/superset invariants (see header).
+      VerifiedRunResult vr = verified_two_party_intersection(
+          shared, nonce, universe, current[left], current[right], tree, k);
+      network.bill_pairwise_in_batch(left, right, vr.cost);
+      *repetitions += vr.repetitions;
+      current[left] = std::move(vr.intersection);
+    } else {
+      sim::Channel channel;
+      const core::IntersectionOutput out =
+          core::verification_tree_intersection(channel, shared, nonce,
+                                               universe, current[left],
+                                               current[right], tree);
+      network.bill_pairwise_in_batch(left, right, channel.cost());
+      current[left] = out.alice;
+      current[right] = out.bob;
+    }
+    next.push_back(left);
+  }
+  if (level.size() % 2 == 1) next.push_back(level.back());
+  return next;
+}
+
+}  // namespace
+
+MultipartyResult tournament_intersection(sim::Network& network,
+                                         const sim::SharedRandomness& shared,
+                                         std::uint64_t universe,
+                                         const std::vector<util::Set>& sets,
+                                         const MultipartyParams& params) {
+  if (sets.size() != network.players()) {
+    throw std::invalid_argument("tournament: players/sets mismatch");
+  }
+  std::size_t k = params.k_bound;
+  for (const util::Set& s : sets) {
+    util::validate_set(s, universe);
+    if (params.k_bound == 0) k = std::max(k, s.size());
+  }
+  k = std::max<std::size_t>(k, 2);
+  const std::size_t group_size = 2 * k;
+
+  MultipartyResult result;
+  std::vector<std::size_t> active(sets.size());
+  for (std::size_t i = 0; i < active.size(); ++i) active[i] = i;
+  std::vector<util::Set> current = sets;
+
+  while (active.size() > 1) {
+    // Partition active players into groups; every group runs its bracket
+    // level-synchronously so that matches across ALL groups share batches.
+    std::vector<std::vector<std::size_t>> brackets;
+    for (std::size_t lo = 0; lo < active.size(); lo += group_size) {
+      const std::size_t hi = std::min(lo + group_size, active.size());
+      brackets.emplace_back(active.begin() + static_cast<std::ptrdiff_t>(lo),
+                            active.begin() + static_cast<std::ptrdiff_t>(hi));
+    }
+    std::uint64_t depth = 0;
+    while (std::any_of(brackets.begin(), brackets.end(),
+                       [](const auto& b) { return b.size() > 1; })) {
+      network.begin_batch();
+      for (auto& bracket : brackets) {
+        if (bracket.size() <= 1) continue;
+        const std::uint64_t level_nonce = util::mix64(
+            0x7031, util::mix64(result.levels, util::mix64(depth, bracket[0])));
+        bracket = advance_bracket(network, shared, universe, current, bracket,
+                                  params.tree, k, level_nonce,
+                                  &result.total_repetitions);
+      }
+      network.end_batch();
+      ++depth;
+    }
+    std::vector<std::size_t> winners;
+    winners.reserve(brackets.size());
+    for (const auto& bracket : brackets) winners.push_back(bracket[0]);
+    active = std::move(winners);
+    result.levels += 1;
+  }
+  result.intersection = current[active[0]];
+  return result;
+}
+
+}  // namespace setint::multiparty

@@ -1,0 +1,32 @@
+// Fact 2.1 / Section 2: solving EQ^k_n through INT_k.
+//
+// Each equality instance (x_i, y_i) becomes the pair-element
+// (i, H_i(x_i)) packed into a single integer; the i-th instance is equal
+// iff its element lands in the set intersection. Running the
+// verification-tree protocol on the resulting sets answers all k equality
+// instances at the protocol's O(k log^(r) k) cost and O(r) rounds — a
+// round-complexity improvement from O(sqrt k) [FKNN95] to O(log* k) for
+// amortized equality, one of the paper's corollaries.
+//
+// One-sided: equal instances are always reported equal; an unequal
+// instance is misreported only on an H_i collision (prob 2^-hash_bits) or
+// an inner-protocol failure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/verification_tree.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/bitio.h"
+
+namespace setint::reductions {
+
+std::vector<bool> eqk_via_intersection(
+    sim::Channel& channel, const sim::SharedRandomness& shared,
+    std::uint64_t nonce, const std::vector<util::BitBuffer>& xs,
+    const std::vector<util::BitBuffer>& ys,
+    const core::VerificationTreeParams& params = {});
+
+}  // namespace setint::reductions

@@ -1,0 +1,38 @@
+#include "setint.h"
+
+#include <algorithm>
+
+#include "core/verification_tree.h"
+#include "multiparty/coordinator.h"
+#include "sim/randomness.h"
+
+namespace setint {
+
+IntersectResult intersect(util::SetView s, util::SetView t,
+                          const IntersectOptions& options) {
+  std::uint64_t universe = options.universe;
+  if (universe == 0) {
+    std::uint64_t max_element = 0;
+    if (!s.empty()) max_element = s.back();
+    if (!t.empty()) max_element = std::max(max_element, t.back());
+    universe = max_element + 1;
+  }
+  core::VerificationTreeParams params;
+  params.rounds_r = options.rounds_r;
+  const std::size_t k = std::max<std::size_t>({s.size(), t.size(), 2});
+
+  sim::SharedRandomness shared(options.seed);
+  const multiparty::VerifiedRunResult run =
+      multiparty::verified_two_party_intersection(shared, options.seed,
+                                                  universe, s, t, params, k);
+  IntersectResult result;
+  result.intersection = run.intersection;
+  result.bits = run.cost.bits_total;
+  result.rounds = run.cost.rounds;
+  result.repetitions = run.repetitions;
+  result.verified = true;  // verified_two_party always certifies or falls
+                           // back to the exact deterministic exchange
+  return result;
+}
+
+}  // namespace setint

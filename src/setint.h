@@ -1,0 +1,43 @@
+// setint.h — single-header facade over the library.
+//
+// For users who want "compute the intersection and tell me what it cost"
+// without assembling channels, randomness and parameter structs:
+//
+//   #include "setint.h"
+//   auto result = setint::intersect(S, T, {.universe = 1u << 30});
+//   // result.intersection, result.bits, result.rounds, result.verified
+//
+// The facade always runs the communication-optimal configuration
+// (verification tree at r = log* k) followed by a 2k-bit certificate, so
+// `verified == true` means the output is S cap T with certainty up to the
+// 2^-2k certificate error.
+#pragma once
+
+#include <cstdint>
+
+#include "util/set_util.h"
+
+namespace setint {
+
+struct IntersectOptions {
+  std::uint64_t universe = 0;  // 0 = infer: max element + 1
+  std::uint64_t seed = 0x5e71;
+  // 0 = auto (log* k). Larger r never helps; smaller r trades rounds for
+  // bits per Theorem 1.1.
+  int rounds_r = 0;
+};
+
+struct IntersectResult {
+  util::Set intersection;
+  std::uint64_t bits = 0;      // total communication
+  std::uint64_t rounds = 0;    // message alternations
+  bool verified = false;       // certificate passed (exact up to 2^-2k)
+  std::uint64_t repetitions = 1;
+};
+
+// Two-party exact intersection at O(k) communication. Inputs must be
+// strictly increasing; throws std::invalid_argument otherwise.
+IntersectResult intersect(util::SetView s, util::SetView t,
+                          const IntersectOptions& options = {});
+
+}  // namespace setint

@@ -1,0 +1,27 @@
+#include "sim/channel.h"
+
+namespace setint::sim {
+
+Channel::Channel(bool record_transcript) {
+  if (record_transcript) transcript_ = std::make_unique<Transcript>();
+}
+
+util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
+                              std::string label) {
+  cost_.bits_total += payload.size_bits();
+  if (from == PartyId::kAlice) {
+    cost_.bits_from_alice += payload.size_bits();
+  } else {
+    cost_.bits_from_bob += payload.size_bits();
+  }
+  cost_.messages += 1;
+  if (!has_last_direction_ || last_direction_ != from) {
+    cost_.rounds += 1;
+    has_last_direction_ = true;
+    last_direction_ = from;
+  }
+  if (transcript_) transcript_->record(from, payload, std::move(label));
+  return payload;
+}
+
+}  // namespace setint::sim

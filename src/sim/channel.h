@@ -1,0 +1,41 @@
+// The simulated two-party channel.
+//
+// Protocol implementations are written driver-style: one function sees both
+// parties' private state, but every inter-party data flow MUST pass through
+// Channel::send(), which meters bits, messages and rounds. The returned
+// buffer is what the peer decodes — reading data that was never sent is
+// structurally impossible, which keeps the accounting honest.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/transcript.h"
+#include "util/bitio.h"
+
+namespace setint::sim {
+
+class Channel {
+ public:
+  // record_transcript: keep a bit-exact copy of every message (memory-heavy
+  // for large runs; tests only).
+  explicit Channel(bool record_transcript = false);
+
+  // Delivers `payload` from `from` to the other party and returns it for
+  // decoding. Zero-bit payloads are allowed but still count as a message.
+  util::BitBuffer send(PartyId from, util::BitBuffer payload,
+                       std::string label = {});
+
+  const CostStats& cost() const { return cost_; }
+
+  // Transcript if recording was enabled, else nullptr.
+  const Transcript* transcript() const { return transcript_.get(); }
+
+ private:
+  CostStats cost_;
+  bool has_last_direction_ = false;
+  PartyId last_direction_ = PartyId::kAlice;
+  std::unique_ptr<Transcript> transcript_;
+};
+
+}  // namespace setint::sim

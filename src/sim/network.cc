@@ -1,0 +1,57 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace setint::sim {
+
+void Network::check_ids(std::size_t a, std::size_t b) const {
+  if (a >= players_ || b >= players_ || a == b) {
+    throw std::invalid_argument("Network: bad player ids");
+  }
+}
+
+void Network::bill_pairwise(std::size_t a, std::size_t b,
+                            const CostStats& cost) {
+  check_ids(a, b);
+  costs_[a].bits_sent += cost.bits_from_alice;
+  costs_[a].bits_received += cost.bits_from_bob;
+  costs_[b].bits_sent += cost.bits_from_bob;
+  costs_[b].bits_received += cost.bits_from_alice;
+  total_bits_ += cost.bits_total;
+  if (!in_batch_) {
+    rounds_ += cost.rounds;
+  } else {
+    batch_max_rounds_ = std::max(batch_max_rounds_, cost.rounds);
+  }
+}
+
+void Network::begin_batch() {
+  if (in_batch_) throw std::logic_error("Network: nested batch");
+  in_batch_ = true;
+  batch_max_rounds_ = 0;
+}
+
+void Network::bill_pairwise_in_batch(std::size_t a, std::size_t b,
+                                     const CostStats& cost) {
+  if (!in_batch_) throw std::logic_error("Network: not in batch");
+  bill_pairwise(a, b, cost);
+}
+
+void Network::end_batch() {
+  if (!in_batch_) throw std::logic_error("Network: not in batch");
+  in_batch_ = false;
+  rounds_ += batch_max_rounds_;
+}
+
+std::uint64_t Network::max_player_bits() const {
+  std::uint64_t m = 0;
+  for (const auto& c : costs_) m = std::max(m, c.bits_touched());
+  return m;
+}
+
+double Network::average_player_bits() const {
+  return static_cast<double>(total_bits_) * 2.0 /
+         static_cast<double>(players_);
+}
+
+}  // namespace setint::sim

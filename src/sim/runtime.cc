@@ -1,0 +1,28 @@
+#include "sim/runtime.h"
+
+#include <stdexcept>
+
+namespace setint::sim {
+
+void run_two_party(Channel& channel, Party& alice, Party& bob,
+                   std::size_t max_messages) {
+  std::optional<util::BitBuffer> in_flight = alice.start();
+  PartyId sender = PartyId::kAlice;
+  std::size_t messages = 0;
+  while (in_flight.has_value()) {
+    if (++messages > max_messages) {
+      throw std::runtime_error("run_two_party: message budget exceeded");
+    }
+    const util::BitBuffer delivered =
+        channel.send(sender, std::move(*in_flight));
+    Party& receiver = sender == PartyId::kAlice ? bob : alice;
+    in_flight = receiver.on_message(delivered);
+    sender = other(sender);
+  }
+  if (!alice.done() || !bob.done()) {
+    throw std::runtime_error(
+        "run_two_party: conversation stalled before both parties finished");
+  }
+}
+
+}  // namespace setint::sim

@@ -1,0 +1,30 @@
+#include "sim/transcript.h"
+
+#include "util/rng.h"
+
+namespace setint::sim {
+
+CostStats& CostStats::operator+=(const CostStats& o) {
+  bits_total += o.bits_total;
+  bits_from_alice += o.bits_from_alice;
+  bits_from_bob += o.bits_from_bob;
+  messages += o.messages;
+  rounds += o.rounds;
+  return *this;
+}
+
+void Transcript::record(PartyId from, const util::BitBuffer& payload,
+                        std::string label) {
+  entries_.push_back(TranscriptEntry{from, payload, std::move(label)});
+}
+
+std::uint64_t Transcript::digest() const {
+  std::uint64_t h = 0x5ee7ab1eu;
+  for (const auto& e : entries_) {
+    h = util::mix64(h, static_cast<std::uint64_t>(index(e.from)));
+    h = util::mix64(h, e.payload.fingerprint());
+  }
+  return h;
+}
+
+}  // namespace setint::sim

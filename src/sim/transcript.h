@@ -1,0 +1,57 @@
+// Cost accounting and transcript recording for simulated protocols.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitio.h"
+
+namespace setint::sim {
+
+enum class PartyId : int { kAlice = 0, kBob = 1 };
+
+constexpr PartyId other(PartyId p) {
+  return p == PartyId::kAlice ? PartyId::kBob : PartyId::kAlice;
+}
+
+constexpr int index(PartyId p) { return static_cast<int>(p); }
+
+// Communication cost of a (two-party) protocol execution.
+//
+// Round counting follows the paper: each message is one round, but a
+// maximal batch of consecutive messages in the SAME direction counts as a
+// single round (they could be concatenated into one message). With that
+// convention the Fact 3.5 equality test costs 2 rounds and
+// Basic-Intersection costs 4, giving 6 per stage of the main protocol.
+struct CostStats {
+  std::uint64_t bits_total = 0;
+  std::uint64_t bits_from_alice = 0;
+  std::uint64_t bits_from_bob = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t rounds = 0;
+
+  CostStats& operator+=(const CostStats& o);
+};
+
+// Optional bit-exact record of every message (for tests and debugging).
+struct TranscriptEntry {
+  PartyId from;
+  util::BitBuffer payload;
+  std::string label;
+};
+
+class Transcript {
+ public:
+  void record(PartyId from, const util::BitBuffer& payload,
+              std::string label);
+  const std::vector<TranscriptEntry>& entries() const { return entries_; }
+
+  // Order-sensitive digest of all payloads; equal transcripts hash equal.
+  std::uint64_t digest() const;
+
+ private:
+  std::vector<TranscriptEntry> entries_;
+};
+
+}  // namespace setint::sim

@@ -1,0 +1,151 @@
+#include "util/bitio.h"
+
+#include <bit>
+
+namespace setint::util {
+
+void BitBuffer::append_bit(bool b) {
+  const std::size_t word = size_bits_ / 64;
+  const unsigned offset = static_cast<unsigned>(size_bits_ % 64);
+  if (word == words_.size()) words_.push_back(0);
+  if (b) words_[word] |= (std::uint64_t{1} << offset);
+  ++size_bits_;
+}
+
+void BitBuffer::append_bits(std::uint64_t value, unsigned width) {
+  if (width > 64) throw std::invalid_argument("append_bits: width > 64");
+  if (width < 64 && (value >> width) != 0) {
+    throw std::invalid_argument("append_bits: value does not fit in width");
+  }
+  for (unsigned i = 0; i < width; ++i) {
+    append_bit((value >> i) & 1);
+  }
+}
+
+void BitBuffer::append_buffer(const BitBuffer& other) {
+  for (std::size_t i = 0; i < other.size_bits(); ++i) {
+    append_bit(other.bit(i));
+  }
+}
+
+void BitBuffer::append_elias_gamma(std::uint64_t v) {
+  if (v == 0) throw std::invalid_argument("elias gamma requires v >= 1");
+  const unsigned n = 63u - static_cast<unsigned>(std::countl_zero(v));
+  for (unsigned i = 0; i < n; ++i) append_bit(false);
+  // v MSB-first, n + 1 bits.
+  for (unsigned i = 0; i <= n; ++i) {
+    append_bit((v >> (n - i)) & 1);
+  }
+}
+
+void BitBuffer::append_rice(std::uint64_t v, unsigned b) {
+  if (b > 63) throw std::invalid_argument("rice: parameter > 63");
+  const std::uint64_t q = v >> b;
+  if (q > (std::uint64_t{1} << 20)) {
+    // A quotient this large means the parameter is badly mis-sized for
+    // the data; refuse rather than emit megabit unary runs.
+    throw std::invalid_argument("rice: quotient too large for parameter");
+  }
+  for (std::uint64_t i = 0; i < q; ++i) append_bit(true);
+  append_bit(false);
+  append_bits(v & ((std::uint64_t{1} << b) - 1), b);
+}
+
+bool BitBuffer::bit(std::size_t i) const {
+  if (i >= size_bits_) throw std::out_of_range("BitBuffer::bit");
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+std::uint64_t BitBuffer::fingerprint() const {
+  // FNV-1a over words plus the bit length.
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(size_bits_);
+  const std::size_t full = size_bits_ / 64;
+  for (std::size_t i = 0; i < full; ++i) mix(words_[i]);
+  const unsigned tail = static_cast<unsigned>(size_bits_ % 64);
+  if (tail != 0) {
+    const std::uint64_t mask =
+        tail == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << tail) - 1);
+    mix(words_[full] & mask);
+  }
+  return h;
+}
+
+bool BitBuffer::operator==(const BitBuffer& other) const {
+  if (size_bits_ != other.size_bits_) return false;
+  for (std::size_t i = 0; i < size_bits_; ++i) {
+    if (bit(i) != other.bit(i)) return false;
+  }
+  return true;
+}
+
+void BitBuffer::clear() {
+  words_.clear();
+  size_bits_ = 0;
+}
+
+std::string BitBuffer::to_string() const {
+  std::string s;
+  s.reserve(size_bits_);
+  for (std::size_t i = 0; i < size_bits_; ++i) s.push_back(bit(i) ? '1' : '0');
+  return s;
+}
+
+bool BitReader::read_bit() {
+  if (pos_ >= buffer_->size_bits()) {
+    throw std::out_of_range("BitReader: read past end of message");
+  }
+  return buffer_->bit(pos_++);
+}
+
+std::uint64_t BitReader::read_bits(unsigned width) {
+  if (width > 64) throw std::invalid_argument("read_bits: width > 64");
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    if (read_bit()) value |= (std::uint64_t{1} << i);
+  }
+  return value;
+}
+
+std::uint64_t BitReader::read_elias_gamma() {
+  unsigned n = 0;
+  while (!read_bit()) {
+    ++n;
+    if (n > 63) throw std::out_of_range("elias gamma: run of zeros too long");
+  }
+  std::uint64_t v = 1;  // the leading 1 bit just consumed
+  for (unsigned i = 0; i < n; ++i) {
+    v = (v << 1) | static_cast<std::uint64_t>(read_bit());
+  }
+  return v;
+}
+
+std::uint64_t BitReader::read_rice(unsigned b) {
+  if (b > 63) throw std::invalid_argument("rice: parameter > 63");
+  std::uint64_t q = 0;
+  while (read_bit()) {
+    ++q;
+    if (q > (std::uint64_t{1} << 20)) {
+      throw std::out_of_range("rice: unary run too long");
+    }
+  }
+  return (q << b) | read_bits(b);
+}
+
+std::size_t rice_cost_bits(std::uint64_t v, unsigned b) {
+  return static_cast<std::size_t>(v >> b) + 1 + b;
+}
+
+std::size_t gamma64_cost_bits(std::uint64_t v) {
+  const std::uint64_t g = v + 1;
+  const unsigned n = 63u - static_cast<unsigned>(std::countl_zero(g));
+  return 2 * static_cast<std::size_t>(n) + 1;
+}
+
+}  // namespace setint::util

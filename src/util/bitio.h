@@ -1,0 +1,99 @@
+// Bit-level message buffers.
+//
+// Every bit a protocol transmits is appended to a BitBuffer; the receiving
+// side decodes it with a BitReader. Channel accounting (sim/channel.h) uses
+// BitBuffer::size_bits() as the ground truth for communication cost, so all
+// encoders here are exact about the number of bits they emit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace setint::util {
+
+// Append-only sequence of bits. Bits are stored LSB-first within 64-bit
+// words; append_bits() writes `width` low-order bits of `value` so that
+// read_bits(width) on the other side returns `value` unchanged.
+class BitBuffer {
+ public:
+  BitBuffer() = default;
+
+  void append_bit(bool b);
+
+  // Appends the `width` low-order bits of `value` (LSB first). Requires
+  // width <= 64 and, when width < 64, value < 2^width.
+  void append_bits(std::uint64_t value, unsigned width);
+
+  // Appends the entire contents of `other`, bit for bit.
+  void append_buffer(const BitBuffer& other);
+
+  // Elias gamma code for v >= 1: floor(log2 v) zeros, then v MSB-first.
+  // Costs 2*floor(log2 v) + 1 bits.
+  void append_elias_gamma(std::uint64_t v);
+
+  // Gamma code shifted to cover zero: encodes v as gamma(v + 1).
+  void append_gamma64(std::uint64_t v) { append_elias_gamma(v + 1); }
+
+  // Rice (Golomb power-of-two) code with parameter b: quotient v >> b in
+  // unary, then b remainder bits. Costs (v >> b) + 1 + b bits — the
+  // near-entropy-optimal code for values around 2^b, used to ship sorted
+  // deltas at ~log2(range/count) + 1.5 bits each.
+  void append_rice(std::uint64_t v, unsigned b);
+
+  std::size_t size_bits() const { return size_bits_; }
+  bool empty() const { return size_bits_ == 0; }
+
+  bool bit(std::size_t i) const;
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  // 64-bit content fingerprint (not cryptographic); used by tests and by
+  // transcript digests. Equal buffers hash equal; differing buffers almost
+  // surely differ.
+  std::uint64_t fingerprint() const;
+
+  bool operator==(const BitBuffer& other) const;
+
+  void clear();
+
+  // Debug rendering, e.g. "1011" (first-appended bit leftmost).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_bits_ = 0;
+};
+
+// Sequential decoder over a BitBuffer. Reading past the end throws
+// std::out_of_range: a protocol that decodes more bits than its peer sent
+// is a bug we want loud.
+class BitReader {
+ public:
+  explicit BitReader(const BitBuffer& buffer) : buffer_(&buffer) {}
+
+  bool read_bit();
+  std::uint64_t read_bits(unsigned width);
+  std::uint64_t read_elias_gamma();
+  std::uint64_t read_gamma64() { return read_elias_gamma() - 1; }
+  std::uint64_t read_rice(unsigned b);
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return buffer_->size_bits() - pos_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  const BitBuffer* buffer_;
+  std::size_t pos_ = 0;
+};
+
+// Exact cost in bits of the gamma64 encoding of v. Lets callers reason
+// about message sizes without building a buffer.
+std::size_t gamma64_cost_bits(std::uint64_t v);
+
+// Exact cost in bits of the Rice encoding of v with parameter b.
+std::size_t rice_cost_bits(std::uint64_t v, unsigned b);
+
+}  // namespace setint::util

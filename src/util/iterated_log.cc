@@ -1,0 +1,50 @@
+#include "util/iterated_log.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace setint::util {
+
+double iterated_log(int times, double k) {
+  if (times < 0) throw std::invalid_argument("iterated_log: times < 0");
+  if (!(k > 0)) throw std::invalid_argument("iterated_log: k must be > 0");
+  double v = k;
+  for (int i = 0; i < times; ++i) {
+    if (v <= 1.0) return 1.0;
+    v = std::log2(v);
+  }
+  return v < 1.0 ? 1.0 : v;
+}
+
+std::uint64_t iterated_log_ceil(int times, std::uint64_t k) {
+  if (k == 0) throw std::invalid_argument("iterated_log_ceil: k == 0");
+  const double v = iterated_log(times, static_cast<double>(k));
+  const double c = std::ceil(v);
+  return c < 1.0 ? 1 : static_cast<std::uint64_t>(c);
+}
+
+int log_star(double k) {
+  if (!(k > 0)) throw std::invalid_argument("log_star: k must be > 0");
+  int r = 0;
+  double v = k;
+  while (v > 1.0) {
+    v = std::log2(v);
+    ++r;
+    if (r > 10) break;  // log*(anything representable) < 6; safety stop
+  }
+  return r;
+}
+
+unsigned floor_log2(std::uint64_t v) {
+  if (v == 0) throw std::invalid_argument("floor_log2: v == 0");
+  return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+unsigned ceil_log2(std::uint64_t v) {
+  if (v == 0) throw std::invalid_argument("ceil_log2: v == 0");
+  const unsigned f = floor_log2(v);
+  return (std::uint64_t{1} << f) == v ? f : f + 1;
+}
+
+}  // namespace setint::util

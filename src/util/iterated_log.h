@@ -1,0 +1,32 @@
+// Iterated logarithms: the paper's round/communication tradeoff is stated
+// in terms of log^(r) k (log applied r times) and log* k (the number of
+// applications needed to reach <= 1). All protocol parameter schedules in
+// core/ consult these functions.
+#pragma once
+
+#include <cstdint>
+
+namespace setint::util {
+
+// Base-2 logarithm iterated `times` times, as a real value:
+//   iterated_log(0, k) = k
+//   iterated_log(1, k) = log2 k
+//   iterated_log(2, k) = log2 log2 k, ...
+// Once the value drops to <= 1 further iterations would be undefined; the
+// result is clamped to 1.0 from there on (matching the convention that
+// log^(r) k = O(1) for r >= log* k).
+double iterated_log(int times, double k);
+
+// Integer convenience: ceil(iterated_log(times, k)) clamped to >= 1.
+std::uint64_t iterated_log_ceil(int times, std::uint64_t k);
+
+// log* k: smallest r >= 0 with iterated_log(r, k) <= 1.
+int log_star(double k);
+
+// floor(log2 v) for v >= 1.
+unsigned floor_log2(std::uint64_t v);
+
+// ceil(log2 v) for v >= 1; ceil_log2(1) == 0.
+unsigned ceil_log2(std::uint64_t v);
+
+}  // namespace setint::util

@@ -1,0 +1,238 @@
+#include "util/set_util.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace setint::util {
+
+bool is_canonical_set(SetView s) {
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (s[i - 1] >= s[i]) return false;
+  }
+  return true;
+}
+
+void validate_set(SetView s, std::uint64_t universe) {
+  if (!is_canonical_set(s)) {
+    throw std::invalid_argument("set must be strictly increasing");
+  }
+  if (!s.empty() && s.back() >= universe) {
+    throw std::invalid_argument("set element exceeds universe bound");
+  }
+}
+
+Set set_intersection(SetView a, SetView b) {
+  Set out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+Set set_union(SetView a, SetView b) {
+  Set out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+Set set_difference(SetView a, SetView b) {
+  Set out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+Set set_symmetric_difference(SetView a, SetView b) {
+  Set out;
+  std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(out));
+  return out;
+}
+
+bool set_contains(SetView s, std::uint64_t x) {
+  return std::binary_search(s.begin(), s.end(), x);
+}
+
+bool is_subset(SetView a, SetView b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+void append_set(BitBuffer& out, SetView s) {
+  out.append_gamma64(s.size());
+  if (s.empty()) return;
+  out.append_gamma64(s[0]);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    out.append_gamma64(s[i] - s[i - 1] - 1);
+  }
+}
+
+Set read_set(BitReader& in) {
+  const std::uint64_t size = in.read_gamma64();
+  Set s;
+  s.reserve(size);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < size; ++i) {
+    const std::uint64_t v =
+        i == 0 ? in.read_gamma64() : prev + in.read_gamma64() + 1;
+    s.push_back(v);
+    prev = v;
+  }
+  return s;
+}
+
+std::size_t set_encoding_cost_bits(SetView s) {
+  std::size_t bits = gamma64_cost_bits(s.size());
+  if (s.empty()) return bits;
+  bits += gamma64_cost_bits(s[0]);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    bits += gamma64_cost_bits(s[i] - s[i - 1] - 1);
+  }
+  return bits;
+}
+
+namespace {
+
+// Rice parameter shared by encoder and decoder: sized so the average gap
+// (~universe / size) has a quotient near 1.
+unsigned rice_parameter(std::uint64_t universe, std::uint64_t size) {
+  if (size == 0) return 0;
+  std::uint64_t ratio = universe / size;
+  unsigned b = 0;
+  while (ratio > 1 && b < 63) {
+    ratio >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void append_set_rice(BitBuffer& out, SetView s, std::uint64_t universe) {
+  out.append_gamma64(s.size());
+  if (s.empty()) return;
+  const unsigned b = rice_parameter(universe, s.size());
+  out.append_rice(s[0], b);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    out.append_rice(s[i] - s[i - 1] - 1, b);
+  }
+}
+
+Set read_set_rice(BitReader& in, std::uint64_t universe) {
+  const std::uint64_t size = in.read_gamma64();
+  Set s;
+  s.reserve(size);
+  const unsigned b = rice_parameter(universe, size);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < size; ++i) {
+    const std::uint64_t v = i == 0 ? in.read_rice(b) : prev + in.read_rice(b) + 1;
+    s.push_back(v);
+    prev = v;
+  }
+  return s;
+}
+
+std::size_t set_rice_cost_bits(SetView s, std::uint64_t universe) {
+  std::size_t bits = gamma64_cost_bits(s.size());
+  if (s.empty()) return bits;
+  const unsigned b = rice_parameter(universe, s.size());
+  bits += rice_cost_bits(s[0], b);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    bits += rice_cost_bits(s[i] - s[i - 1] - 1, b);
+  }
+  return bits;
+}
+
+Set random_set(Rng& rng, std::uint64_t universe, std::size_t size) {
+  if (size > universe) {
+    throw std::invalid_argument("random_set: size > universe");
+  }
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(size * 2);
+  // Floyd's algorithm: uniform without replacement, O(size) samples.
+  for (std::uint64_t j = universe - size; j < universe; ++j) {
+    const std::uint64_t t = rng.below(j + 1);
+    chosen.insert(chosen.count(t) ? j : t);
+  }
+  Set out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SetPair random_set_pair(Rng& rng, std::uint64_t universe, std::size_t k,
+                        std::size_t shared) {
+  if (shared > k) throw std::invalid_argument("random_set_pair: shared > k");
+  if (2 * k - shared > universe) {
+    throw std::invalid_argument("random_set_pair: universe too small");
+  }
+  // Draw 2k - shared distinct elements, then deal them out: the first
+  // `shared` go to both sets, the next k - shared to S only, the rest to T
+  // only. A random permutation of the pooled draw keeps the roles uniform.
+  Set pool = random_set(rng, universe, 2 * k - shared);
+  for (std::size_t i = pool.size(); i > 1; --i) {
+    std::swap(pool[i - 1], pool[rng.below(i)]);
+  }
+  SetPair out;
+  out.s.assign(pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(k));
+  out.t.assign(pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(shared));
+  out.t.insert(out.t.end(), pool.begin() + static_cast<std::ptrdiff_t>(k),
+               pool.end());
+  std::sort(out.s.begin(), out.s.end());
+  std::sort(out.t.begin(), out.t.end());
+  out.expected_intersection = set_intersection(out.s, out.t);
+  return out;
+}
+
+MultiSetInstance random_multi_sets(Rng& rng, std::uint64_t universe,
+                                   std::size_t players, std::size_t k,
+                                   std::size_t shared) {
+  if (players == 0) throw std::invalid_argument("random_multi_sets: players == 0");
+  if (shared > k) throw std::invalid_argument("random_multi_sets: shared > k");
+  if (universe < 2 * k + 1) {
+    throw std::invalid_argument("random_multi_sets: universe too small");
+  }
+  MultiSetInstance out;
+  out.expected_intersection = random_set(rng, universe, shared);
+  const Set& core = out.expected_intersection;
+  out.sets.resize(players);
+  for (std::size_t p = 0; p < players; ++p) {
+    std::unordered_set<std::uint64_t> fill;
+    while (fill.size() < k - shared) {
+      const std::uint64_t x = rng.below(universe);
+      if (!set_contains(core, x)) fill.insert(x);
+    }
+    Set s(core.begin(), core.end());
+    s.insert(s.end(), fill.begin(), fill.end());
+    std::sort(s.begin(), s.end());
+    out.sets[p] = std::move(s);
+  }
+  if (players == 1) {
+    out.expected_intersection = out.sets[0];
+  } else {
+    // Fillers may coincide across all players by chance; evict such
+    // elements from player 0 and resample so the planted core is exactly
+    // the m-way intersection.
+    for (;;) {
+      Set inter = out.sets[0];
+      for (std::size_t p = 1; p < players; ++p) {
+        inter = set_intersection(inter, out.sets[p]);
+      }
+      Set extras = set_difference(inter, core);
+      if (extras.empty()) break;
+      Set& s0 = out.sets[0];
+      for (std::uint64_t e : extras) {
+        s0.erase(std::find(s0.begin(), s0.end(), e));
+        for (;;) {
+          const std::uint64_t x = rng.below(universe);
+          if (!set_contains(core, x) && !set_contains(s0, x)) {
+            s0.insert(std::upper_bound(s0.begin(), s0.end(), x), x);
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace setint::util

@@ -1,0 +1,109 @@
+#include "util/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace setint::util {
+
+namespace {
+
+// Continuous inverse-CDF sample of a power-law rank in [1, max_rank].
+double sample_rank(Rng& rng, double max_rank, double theta) {
+  const double u = rng.unit();
+  if (theta == 1.0) {
+    return std::pow(max_rank, u);
+  }
+  const double one_minus = 1.0 - theta;
+  const double top = std::pow(max_rank, one_minus);
+  return std::pow(1.0 + u * (top - 1.0), 1.0 / one_minus);
+}
+
+// Fixed mixing of rank -> id, so popular ranks land on scattered ids
+// (deterministic across both parties' view of the workload).
+std::uint64_t rank_to_id(std::uint64_t rank, std::uint64_t universe) {
+  std::uint64_t state = rank * 0x9e3779b97f4a7c15ull + 0x243f6a8885a308d3ull;
+  return splitmix64(state) % universe;
+}
+
+}  // namespace
+
+Set zipf_set(Rng& rng, std::uint64_t universe, std::size_t size,
+             double theta) {
+  if (size > universe / 2) {
+    throw std::invalid_argument("zipf_set: size too large for universe");
+  }
+  if (theta < 0.0 || theta > 2.0) {
+    throw std::invalid_argument("zipf_set: theta out of [0, 2]");
+  }
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(size * 2);
+  const double max_rank = static_cast<double>(universe);
+  std::size_t attempts = 0;
+  while (chosen.size() < size) {
+    if (++attempts > size * 200 + 1000) {
+      throw std::runtime_error("zipf_set: sampling did not converge");
+    }
+    const auto rank =
+        static_cast<std::uint64_t>(sample_rank(rng, max_rank, theta));
+    chosen.insert(rank_to_id(rank, universe));
+  }
+  Set out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Set clustered_set(Rng& rng, std::uint64_t universe, std::size_t size,
+                  std::size_t clusters) {
+  if (clusters == 0) throw std::invalid_argument("clustered_set: 0 clusters");
+  if (size > universe / 2) {
+    throw std::invalid_argument("clustered_set: size too large");
+  }
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(size * 2);
+  const std::size_t per_cluster = (size + clusters - 1) / clusters;
+  while (chosen.size() < size) {
+    const std::uint64_t start = rng.below(universe);
+    for (std::size_t i = 0; i < per_cluster && chosen.size() < size; ++i) {
+      chosen.insert((start + i) % universe);
+    }
+  }
+  Set out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SetPair skewed_set_pair(Rng& rng, const SkewedPairOptions& options) {
+  if (options.shared > options.k) {
+    throw std::invalid_argument("skewed_set_pair: shared > k");
+  }
+  const std::size_t pool_size = 2 * options.k - options.shared;
+  Set pool;
+  if (options.zipf_theta > 0.0) {
+    pool = zipf_set(rng, options.universe, pool_size, options.zipf_theta);
+  } else if (options.clusters > 0) {
+    pool = clustered_set(rng, options.universe, pool_size, options.clusters);
+  } else {
+    pool = random_set(rng, options.universe, pool_size);
+  }
+  // Deal the pool: first `shared` to both, next k - shared to S, rest to T
+  // (after a shuffle so roles are uniform over the skewed pool).
+  for (std::size_t i = pool.size(); i > 1; --i) {
+    std::swap(pool[i - 1], pool[rng.below(i)]);
+  }
+  SetPair out;
+  out.s.assign(pool.begin(),
+               pool.begin() + static_cast<std::ptrdiff_t>(options.k));
+  out.t.assign(pool.begin(),
+               pool.begin() + static_cast<std::ptrdiff_t>(options.shared));
+  out.t.insert(out.t.end(),
+               pool.begin() + static_cast<std::ptrdiff_t>(options.k),
+               pool.end());
+  std::sort(out.s.begin(), out.s.end());
+  std::sort(out.t.begin(), out.t.end());
+  out.expected_intersection = set_intersection(out.s, out.t);
+  return out;
+}
+
+}  // namespace setint::util

@@ -1,0 +1,41 @@
+// Non-uniform workload generators for robustness experiments.
+//
+// The paper's protocols make no distributional assumption on the inputs —
+// only the SHARED bucket hash needs to behave well, and it is chosen by
+// the protocol, not the adversary. These generators produce the shapes a
+// database would actually see (Zipfian key popularity, clustered id
+// ranges, document shingles) so E14 can check that costs match the
+// uniform-workload results.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace setint::util {
+
+// A set of `size` distinct keys drawn Zipf(theta)-style from [universe):
+// key ranks are sampled with probability proportional to 1/rank^theta and
+// mapped to scattered ids. theta = 0 degenerates to uniform; theta ~ 1 is
+// the classic web/database skew.
+Set zipf_set(Rng& rng, std::uint64_t universe, std::size_t size,
+             double theta);
+
+// A set of `size` keys concentrated in `clusters` contiguous runs (e.g.
+// auto-increment id ranges from different shards).
+Set clustered_set(Rng& rng, std::uint64_t universe, std::size_t size,
+                  std::size_t clusters);
+
+// A pair of sets with the given overlap where both sides are drawn from
+// the same skewed generator; `expected_intersection` is exact.
+struct SkewedPairOptions {
+  std::uint64_t universe = 1u << 30;
+  std::size_t k = 1024;
+  std::size_t shared = 512;
+  double zipf_theta = 0.0;    // > 0 selects the Zipf generator
+  std::size_t clusters = 0;   // > 0 selects the clustered generator
+};
+SetPair skewed_set_pair(Rng& rng, const SkewedPairOptions& options);
+
+}  // namespace setint::util

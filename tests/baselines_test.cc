@@ -1,0 +1,292 @@
+// Tests for the baselines: deterministic exchange, one-round hashing, and
+// the Hastad-Wigderson disjointness protocol.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "baselines/hw_disjointness.h"
+#include "baselines/st13_disjointness.h"
+#include "core/deterministic_exchange.h"
+#include "core/one_round_hash.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace setint {
+namespace {
+
+// ---------- deterministic exchange ----------
+
+TEST(DeterministicExchange, AlwaysExact) {
+  util::Rng wrng(1);
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    const util::SetPair p = util::random_set_pair(wrng, 1u << 24, 100, 50);
+    sim::Channel ch;
+    const auto out =
+        core::deterministic_exchange(ch, 1u << 24, p.s, p.t, true);
+    EXPECT_EQ(out.alice, p.expected_intersection);
+    EXPECT_EQ(out.bob, p.expected_intersection);
+  }
+}
+
+TEST(DeterministicExchange, OneSidedModeUsesSingleMessage) {
+  util::Rng wrng(2);
+  const util::SetPair p = util::random_set_pair(wrng, 1u << 24, 100, 50);
+  sim::Channel ch;
+  const auto out = core::deterministic_exchange(ch, 1u << 24, p.s, p.t,
+                                                /*both_sides=*/false);
+  EXPECT_EQ(ch.cost().messages, 1u);
+  EXPECT_EQ(ch.cost().rounds, 1u);
+  EXPECT_EQ(out.bob, p.expected_intersection);
+}
+
+TEST(DeterministicExchange, CostTracksKLogNOverK) {
+  // Cost per element should grow with log(n/k): doubling the universe
+  // exponent roughly doubles the per-element cost.
+  util::Rng wrng(3);
+  const std::size_t k = 256;
+  const util::SetPair small =
+      util::random_set_pair(wrng, std::uint64_t{1} << 20, k, 0);
+  const util::SetPair large =
+      util::random_set_pair(wrng, std::uint64_t{1} << 40, k, 0);
+  sim::Channel ch_small;
+  core::deterministic_exchange(ch_small, std::uint64_t{1} << 20, small.s,
+                               small.t, false);
+  sim::Channel ch_large;
+  core::deterministic_exchange(ch_large, std::uint64_t{1} << 40, large.s,
+                               large.t, false);
+  const double per_small =
+      static_cast<double>(ch_small.cost().bits_total) / k;
+  const double per_large =
+      static_cast<double>(ch_large.cost().bits_total) / k;
+  EXPECT_GT(per_large, per_small * 1.5);
+}
+
+TEST(DeterministicExchange, EmptySets) {
+  sim::Channel ch;
+  const auto out =
+      core::deterministic_exchange(ch, 100, util::Set{}, util::Set{}, true);
+  EXPECT_TRUE(out.alice.empty());
+  EXPECT_TRUE(out.bob.empty());
+}
+
+// ---------- one-round hashing ----------
+
+struct HashCase {
+  std::size_t k;
+  std::size_t shared;
+};
+
+class OneRound : public ::testing::TestWithParam<HashCase> {};
+
+TEST_P(OneRound, ExactWithHighProbability) {
+  const HashCase c = GetParam();
+  util::Rng wrng(c.k * 3 + c.shared);
+  int exact = 0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    const util::SetPair p =
+        util::random_set_pair(wrng, std::uint64_t{1} << 30, c.k, c.shared);
+    sim::SharedRandomness shared(static_cast<std::uint64_t>(trial));
+    sim::Channel ch;
+    const auto out = core::one_round_hash(ch, shared, trial,
+                                          std::uint64_t{1} << 30, p.s, p.t);
+    EXPECT_EQ(ch.cost().rounds, 2u);
+    EXPECT_TRUE(util::is_subset(p.expected_intersection, out.alice));
+    EXPECT_TRUE(util::is_subset(out.alice, p.s));
+    exact += (out.alice == p.expected_intersection &&
+              out.bob == p.expected_intersection);
+  }
+  EXPECT_GE(exact, trials - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OneRound,
+                         ::testing::Values(HashCase{1, 1}, HashCase{16, 8},
+                                           HashCase{64, 0}, HashCase{256, 256},
+                                           HashCase{1024, 512}));
+
+TEST(OneRound, CostIsOrderKLogK) {
+  util::Rng wrng(4);
+  const std::size_t k = 1024;
+  const util::SetPair p =
+      util::random_set_pair(wrng, std::uint64_t{1} << 40, k, k / 2);
+  sim::SharedRandomness shared(4);
+  sim::Channel ch;
+  core::one_round_hash(ch, shared, 0, std::uint64_t{1} << 40, p.s, p.t);
+  const double per_element = static_cast<double>(ch.cost().bits_total) /
+                             static_cast<double>(2 * k);
+  // c log2 k with c = 3: 30 bits per element, plus small framing.
+  EXPECT_NEAR(per_element, 30.0, 6.0);
+}
+
+TEST(OneRound, StrengthControlsErrorAndCost) {
+  util::Rng wrng(5);
+  const util::SetPair p = util::random_set_pair(wrng, 1u << 24, 256, 0);
+  sim::SharedRandomness shared(5);
+  sim::Channel weak;
+  core::one_round_hash(weak, shared, 0, 1u << 24, p.s, p.t, 3);
+  sim::Channel strong;
+  core::one_round_hash(strong, shared, 0, 1u << 24, p.s, p.t, 5);
+  EXPECT_GT(strong.cost().bits_total, weak.cost().bits_total);
+  EXPECT_THROW(core::one_round_hash(weak, shared, 0, 1u << 24, p.s, p.t, 2),
+               std::invalid_argument);
+}
+
+// ---------- HW disjointness ----------
+
+TEST(HwDisjointness, DisjointInputsAnswerDisjoint) {
+  util::Rng wrng(6);
+  int correct = 0;
+  const int trials = 50;
+  for (int trial = 0; trial < trials; ++trial) {
+    const util::SetPair p = util::random_set_pair(wrng, 1u << 26, 128, 0);
+    sim::SharedRandomness shared(static_cast<std::uint64_t>(trial));
+    sim::Channel ch;
+    const auto res =
+        baselines::hw_disjointness(ch, shared, trial, 1u << 26, p.s, p.t);
+    correct += res.disjoint;
+  }
+  EXPECT_GE(correct, trials - 2);  // errors only via rare hash collisions
+}
+
+TEST(HwDisjointness, IntersectingInputsNeverAnswerDisjoint) {
+  // One-sided: a surviving common element is always found.
+  util::Rng wrng(7);
+  for (std::uint64_t trial = 0; trial < 50; ++trial) {
+    const util::SetPair p = util::random_set_pair(wrng, 1u << 26, 128, 1);
+    sim::SharedRandomness shared(trial);
+    sim::Channel ch;
+    const auto res =
+        baselines::hw_disjointness(ch, shared, trial, 1u << 26, p.s, p.t);
+    EXPECT_FALSE(res.disjoint) << trial;
+  }
+}
+
+TEST(HwDisjointness, CommunicationScalesLinearlyInK) {
+  util::Rng wrng(8);
+  double rate_small = 0;
+  double rate_large = 0;
+  {
+    const util::SetPair p = util::random_set_pair(wrng, 1u << 28, 128, 0);
+    sim::SharedRandomness shared(1);
+    sim::Channel ch;
+    baselines::hw_disjointness(ch, shared, 0, 1u << 28, p.s, p.t);
+    rate_small = static_cast<double>(ch.cost().bits_total) / 128;
+  }
+  {
+    const util::SetPair p = util::random_set_pair(wrng, 1u << 28, 4096, 0);
+    sim::SharedRandomness shared(2);
+    sim::Channel ch;
+    baselines::hw_disjointness(ch, shared, 0, 1u << 28, p.s, p.t);
+    rate_large = static_cast<double>(ch.cost().bits_total) / 4096;
+  }
+  EXPECT_LT(rate_large, rate_small * 2.5);
+}
+
+// ---------- ST13 sparse disjointness ----------
+
+class St13Rounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(St13Rounds, DisjointInputsAnswerDisjoint) {
+  const int r = GetParam();
+  util::Rng wrng(static_cast<std::uint64_t>(r) * 3);
+  int correct = 0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    const util::SetPair p = util::random_set_pair(wrng, 1u << 26, 256, 0);
+    sim::SharedRandomness shared(static_cast<std::uint64_t>(trial));
+    sim::Channel ch;
+    const auto res = baselines::st13_disjointness(ch, shared, trial,
+                                                  1u << 26, p.s, p.t, r);
+    correct += res.disjoint;
+  }
+  EXPECT_GE(correct, trials - 2);
+}
+
+TEST_P(St13Rounds, IntersectingInputsNeverAnswerDisjoint) {
+  const int r = GetParam();
+  util::Rng wrng(static_cast<std::uint64_t>(r) * 5);
+  for (std::uint64_t trial = 0; trial < 30; ++trial) {
+    const util::SetPair p = util::random_set_pair(wrng, 1u << 26, 256, 3);
+    sim::SharedRandomness shared(trial);
+    sim::Channel ch;
+    const auto res = baselines::st13_disjointness(ch, shared, trial,
+                                                  1u << 26, p.s, p.t, r);
+    EXPECT_FALSE(res.disjoint) << "r=" << r << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, St13Rounds, ::testing::Values(1, 2, 3, 5));
+
+TEST(St13, CommunicationDecaysWithRounds) {
+  // The r-round tradeoff: more rounds, fewer bits (k log^(r) k).
+  util::Rng wrng(9);
+  const std::size_t k = 4096;
+  const util::SetPair p = util::random_set_pair(wrng, 1u << 28, k, 0);
+  sim::SharedRandomness shared(9);
+  std::uint64_t bits_r1 = 0;
+  std::uint64_t bits_r3 = 0;
+  {
+    sim::Channel ch;
+    baselines::st13_disjointness(ch, shared, 0, 1u << 28, p.s, p.t, 1);
+    bits_r1 = ch.cost().bits_total;
+  }
+  {
+    sim::Channel ch;
+    baselines::st13_disjointness(ch, shared, 1, 1u << 28, p.s, p.t, 3);
+    bits_r3 = ch.cost().bits_total;
+  }
+  EXPECT_LT(bits_r3, bits_r1 / 2);
+}
+
+TEST(St13, RejectsBadRounds) {
+  sim::SharedRandomness shared(10);
+  sim::Channel ch;
+  EXPECT_THROW(baselines::st13_disjointness(ch, shared, 0, 100, util::Set{1},
+                                            util::Set{2}, 0),
+               std::invalid_argument);
+}
+
+TEST(St13, TinyInputs) {
+  sim::SharedRandomness shared(11);
+  {
+    sim::Channel ch;
+    const auto res = baselines::st13_disjointness(ch, shared, 0, 100,
+                                                  util::Set{}, util::Set{5},
+                                                  2);
+    EXPECT_TRUE(res.disjoint);
+  }
+  {
+    sim::Channel ch;
+    const auto res = baselines::st13_disjointness(ch, shared, 0, 100,
+                                                  util::Set{5}, util::Set{5},
+                                                  2);
+    EXPECT_FALSE(res.disjoint);
+  }
+}
+
+TEST(HwDisjointness, TinyInputs) {
+  sim::SharedRandomness shared(9);
+  {
+    sim::Channel ch;
+    const auto res = baselines::hw_disjointness(ch, shared, 0, 100,
+                                                util::Set{}, util::Set{});
+    EXPECT_TRUE(res.disjoint);
+  }
+  {
+    sim::Channel ch;
+    const auto res = baselines::hw_disjointness(ch, shared, 0, 100,
+                                                util::Set{5}, util::Set{5});
+    EXPECT_FALSE(res.disjoint);
+  }
+  {
+    sim::Channel ch;
+    const auto res = baselines::hw_disjointness(ch, shared, 0, 100,
+                                                util::Set{5}, util::Set{6});
+    EXPECT_TRUE(res.disjoint);
+  }
+}
+
+}  // namespace
+}  // namespace setint

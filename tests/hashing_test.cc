@@ -1,0 +1,322 @@
+// Tests for the hashing substrate: modular arithmetic, Miller-Rabin,
+// random primes, the Carter-Wegman pairwise family, FKS compression, and
+// GF(2) mask hashing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "hashing/fks.h"
+#include "hashing/mask_hash.h"
+#include "hashing/modmath.h"
+#include "hashing/pairwise.h"
+#include "hashing/primes.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace setint {
+namespace {
+
+// ---------- modular arithmetic ----------
+
+TEST(ModMath, MulmodSmall) {
+  EXPECT_EQ(hashing::mulmod(7, 8, 13), 56 % 13);
+  EXPECT_EQ(hashing::mulmod(0, 123, 7), 0u);
+  EXPECT_EQ(hashing::mulmod(12, 12, 13), 144 % 13);
+}
+
+TEST(ModMath, MulmodLargeOperands) {
+  const std::uint64_t p = 0xffff'ffff'ffff'ffc5ull;  // largest 64-bit prime
+  // (p-1)^2 mod p == 1.
+  EXPECT_EQ(hashing::mulmod(p - 1, p - 1, p), 1u);
+  EXPECT_EQ(hashing::mulmod(p - 1, 2, p), p - 2);
+}
+
+TEST(ModMath, AddmodWrapsWithoutOverflow) {
+  const std::uint64_t m = ~std::uint64_t{0} - 1;
+  EXPECT_EQ(hashing::addmod(m - 1, m - 1, m), m - 2);
+  EXPECT_EQ(hashing::addmod(5, 6, 7), 4u);
+}
+
+TEST(ModMath, PowmodMatchesFermat) {
+  // a^(p-1) = 1 mod p for prime p, a not divisible by p.
+  for (std::uint64_t p : {13ull, 104729ull, 2147483647ull}) {
+    for (std::uint64_t a : {2ull, 3ull, 12345ull}) {
+      EXPECT_EQ(hashing::powmod(a, p - 1, p), 1u) << a << " " << p;
+    }
+  }
+  EXPECT_EQ(hashing::powmod(2, 10, 1), 0u);
+  EXPECT_THROW(hashing::powmod(2, 2, 0), std::invalid_argument);
+}
+
+// ---------- primality ----------
+
+TEST(Primes, AgreesWithSieveUpTo100000) {
+  const int limit = 100000;
+  std::vector<bool> sieve(limit, true);
+  sieve[0] = sieve[1] = false;
+  for (int i = 2; i * i < limit; ++i) {
+    if (sieve[static_cast<std::size_t>(i)]) {
+      for (int j = i * i; j < limit; j += i) {
+        sieve[static_cast<std::size_t>(j)] = false;
+      }
+    }
+  }
+  for (int i = 0; i < limit; ++i) {
+    ASSERT_EQ(hashing::is_prime(static_cast<std::uint64_t>(i)),
+              sieve[static_cast<std::size_t>(i)])
+        << i;
+  }
+}
+
+TEST(Primes, KnownCarmichaelNumbersAreComposite) {
+  for (std::uint64_t c : {561ull, 1105ull, 1729ull, 2465ull, 6601ull,
+                          8911ull, 825265ull, 321197185ull}) {
+    EXPECT_FALSE(hashing::is_prime(c)) << c;
+  }
+}
+
+TEST(Primes, KnownLargePrimes) {
+  EXPECT_TRUE(hashing::is_prime(2147483647ull));            // 2^31 - 1
+  EXPECT_TRUE(hashing::is_prime(2305843009213693951ull));   // 2^61 - 1
+  EXPECT_TRUE(hashing::is_prime(0xffff'ffff'ffff'ffc5ull));
+  EXPECT_FALSE(hashing::is_prime(2305843009213693951ull * 3));
+}
+
+TEST(Primes, NextPrimeAtLeast) {
+  EXPECT_EQ(hashing::next_prime_at_least(0), 2u);
+  EXPECT_EQ(hashing::next_prime_at_least(2), 2u);
+  EXPECT_EQ(hashing::next_prime_at_least(3), 3u);
+  EXPECT_EQ(hashing::next_prime_at_least(4), 5u);
+  EXPECT_EQ(hashing::next_prime_at_least(90), 97u);
+}
+
+TEST(Primes, RandomPrimeInRange) {
+  util::Rng rng(77);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t p = hashing::random_prime_in(rng, 1000, 2000);
+    EXPECT_GE(p, 1000u);
+    EXPECT_LT(p, 2000u);
+    EXPECT_TRUE(hashing::is_prime(p));
+  }
+  EXPECT_THROW(hashing::random_prime_in(rng, 10, 10), std::invalid_argument);
+  EXPECT_THROW(hashing::random_prime_in(rng, 24, 29), std::invalid_argument);
+}
+
+// ---------- pairwise hashing ----------
+
+TEST(PairwiseHash, OutputsInRange) {
+  util::Rng rng(5);
+  const auto h = hashing::PairwiseHash::sample(rng, 1u << 20, 97);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(h(rng.below(1u << 20)), 97u);
+  }
+}
+
+TEST(PairwiseHash, DeterministicForFixedSeedStream) {
+  util::Rng r1(5);
+  util::Rng r2(5);
+  const auto h1 = hashing::PairwiseHash::sample(r1, 1u << 20, 1024);
+  const auto h2 = hashing::PairwiseHash::sample(r2, 1u << 20, 1024);
+  for (std::uint64_t x = 0; x < 100; ++x) EXPECT_EQ(h1(x), h2(x));
+}
+
+TEST(PairwiseHash, EmpiricalCollisionRateNearPairwiseBound) {
+  // For random distinct pairs, collisions should occur at rate about
+  // collision_probability() (<= 2/t); allow generous slack.
+  util::Rng rng(13);
+  const std::uint64_t range = 256;
+  int collisions = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    auto h = hashing::PairwiseHash::sample(rng, 1u << 30, range);
+    const std::uint64_t x = rng.below(1u << 30);
+    std::uint64_t y = rng.below(1u << 30);
+    if (y == x) y = (y + 1) % (1u << 30);
+    collisions += (h(x) == h(y));
+  }
+  const double rate = static_cast<double>(collisions) / trials;
+  EXPECT_LT(rate, 3.0 / static_cast<double>(range));
+}
+
+TEST(PairwiseHash, RoughlyUniformOverRange) {
+  util::Rng rng(19);
+  const auto h = hashing::PairwiseHash::sample(rng, 1u << 24, 16);
+  std::vector<int> counts(16, 0);
+  const int trials = 64000;
+  for (int i = 0; i < trials; ++i) {
+    counts[h(rng.below(1u << 24))]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c, trials / 16, trials / 80);
+}
+
+TEST(PairwiseHash, SeedRoundtrip) {
+  util::Rng rng(7);
+  const auto h = hashing::PairwiseHash::sample(rng, 1u << 22, 555);
+  util::BitBuffer buf;
+  h.append_seed(buf);
+  EXPECT_EQ(buf.size_bits(), h.seed_bits());
+  util::BitReader reader(buf);
+  const auto h2 = hashing::PairwiseHash::read_seed(reader, 555);
+  for (std::uint64_t x = 0; x < 2000; x += 7) EXPECT_EQ(h(x), h2(x));
+}
+
+TEST(PairwiseHash, RejectsBadParameters) {
+  util::Rng rng(7);
+  EXPECT_THROW(hashing::PairwiseHash::sample(rng, 100, 0),
+               std::invalid_argument);
+}
+
+// ---------- FKS compression ----------
+
+TEST(Fks, InjectiveOnSmallSetsWithHighProbability) {
+  util::Rng rng(3);
+  int failures = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    const util::Set s = util::random_set(rng, std::uint64_t{1} << 40, 64);
+    const auto fks =
+        hashing::FksCompressor::sample(rng, std::uint64_t{1} << 40, 64);
+    failures += !fks.injective_on(s);
+  }
+  // Strength 3 with 64 elements: failure well below 1/64 per trial.
+  EXPECT_LE(failures, 3);
+}
+
+TEST(Fks, RangeIsPolynomiallySmall) {
+  util::Rng rng(3);
+  const std::uint64_t universe = std::uint64_t{1} << 40;
+  const auto fks = hashing::FksCompressor::sample(rng, universe, 64);
+  // q ~ O(k^3 log^2 n) << n.
+  EXPECT_LT(fks.range(), universe >> 8);
+  EXPECT_GT(fks.range(), std::uint64_t{64} * 64 * 64);
+}
+
+TEST(Fks, DetectsCollisions) {
+  util::Rng rng(9);
+  const auto fks = hashing::FksCompressor::sample(rng, 1u << 20, 4);
+  const std::uint64_t q = fks.range();
+  const util::Set colliding{5, 5 + q};
+  EXPECT_FALSE(fks.injective_on(colliding));
+}
+
+TEST(Fks, SeedRoundtrip) {
+  util::Rng rng(9);
+  const auto fks = hashing::FksCompressor::sample(rng, 1u << 20, 16);
+  util::BitBuffer buf;
+  fks.append_seed(buf);
+  EXPECT_EQ(buf.size_bits(), fks.seed_bits());
+  util::BitReader reader(buf);
+  const auto fks2 = hashing::FksCompressor::read_seed(reader);
+  EXPECT_EQ(fks.range(), fks2.range());
+}
+
+TEST(Fks, SeedCostIsLogarithmic) {
+  // O(log k + log log n) bits: tiny even for a 2^60 universe.
+  util::Rng rng(9);
+  const auto fks =
+      hashing::FksCompressor::sample(rng, std::uint64_t{1} << 60, 256);
+  EXPECT_LT(fks.seed_bits(), 100u);
+}
+
+// ---------- mask hashing ----------
+
+TEST(MaskHash, EqualInputsAlwaysHashEqual) {
+  util::Rng stream(42);
+  util::BitBuffer a;
+  a.append_bits(0xdeadbeef, 32);
+  util::BitBuffer b;
+  b.append_bits(0xdeadbeef, 32);
+  for (int i = 0; i < 50; ++i) {
+    util::Rng s = stream.substream(i);
+    EXPECT_EQ(hashing::mask_hash(a, 16, s), hashing::mask_hash(b, 16, s));
+  }
+}
+
+TEST(MaskHash, UnequalInputsDisagreePerBitAboutHalfTheTime) {
+  util::Rng stream(42);
+  util::BitBuffer a;
+  a.append_bits(0x1111, 16);
+  util::BitBuffer b;
+  b.append_bits(0x1112, 16);
+  int disagreements = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    util::Rng s = stream.substream(i);
+    disagreements +=
+        (hashing::mask_hash(a, 1, s) != hashing::mask_hash(b, 1, s));
+  }
+  EXPECT_NEAR(disagreements, trials / 2, trials / 10);
+}
+
+TEST(MaskHash, MultiBitCollisionRateIsGeometric) {
+  util::Rng stream(7);
+  util::BitBuffer a;
+  a.append_bits(123456, 24);
+  util::BitBuffer b;
+  b.append_bits(654321, 24);
+  const unsigned bits = 6;  // expected collision rate 1/64
+  int collisions = 0;
+  const int trials = 64000;
+  for (int i = 0; i < trials; ++i) {
+    util::Rng s = stream.substream(i);
+    collisions +=
+        (hashing::mask_hash(a, bits, s) == hashing::mask_hash(b, bits, s));
+  }
+  EXPECT_NEAR(collisions, trials / 64, trials / 200);
+}
+
+TEST(MaskHash, PrefixInputsStillSeparate) {
+  // One message a strict bit-prefix of the other (same leading content).
+  util::Rng stream(21);
+  util::BitBuffer a;
+  a.append_bits(0xff, 8);
+  util::BitBuffer b;
+  b.append_bits(0xff, 8);
+  b.append_bit(false);
+  int collisions = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    util::Rng s = stream.substream(i);
+    collisions +=
+        (hashing::mask_hash(a, 8, s) == hashing::mask_hash(b, 8, s));
+  }
+  EXPECT_LT(collisions, trials / 50);
+}
+
+TEST(MaskHash, WideMatchesRequestedWidth) {
+  util::Rng stream(33);
+  util::BitBuffer data;
+  data.append_bits(0xabcdef, 24);
+  for (std::size_t bits : {1u, 63u, 64u, 65u, 130u, 200u}) {
+    util::BitBuffer out;
+    hashing::mask_hash_wide(data, bits, stream, out);
+    EXPECT_EQ(out.size_bits(), bits);
+  }
+}
+
+TEST(MaskHash, WideIsDeterministicAndContentSensitive) {
+  util::Rng stream(33);
+  util::BitBuffer d1;
+  d1.append_bits(111, 32);
+  util::BitBuffer d2;
+  d2.append_bits(222, 32);
+  util::BitBuffer o1;
+  util::BitBuffer o1again;
+  util::BitBuffer o2;
+  hashing::mask_hash_wide(d1, 100, stream, o1);
+  hashing::mask_hash_wide(d1, 100, stream, o1again);
+  hashing::mask_hash_wide(d2, 100, stream, o2);
+  EXPECT_TRUE(o1 == o1again);
+  EXPECT_FALSE(o1 == o2);
+}
+
+TEST(MaskHash, RejectsOverwideSingle) {
+  util::BitBuffer data;
+  util::Rng stream(1);
+  EXPECT_THROW(hashing::mask_hash(data, 65, stream), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace setint

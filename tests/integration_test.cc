@@ -1,0 +1,167 @@
+// End-to-end integration tests: large instances through the full stack,
+// determinism of whole runs, empirical error-rate checks (the 1 - 1/poly(k)
+// guarantee), and skew/adversarial workloads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "apps/similarity.h"
+#include "core/verification_tree.h"
+#include "multiparty/coordinator.h"
+#include "sim/channel.h"
+#include "sim/network.h"
+#include "sim/randomness.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace setint {
+namespace {
+
+TEST(Integration, LargeInstanceEndToEnd) {
+  const std::size_t k = 32768;
+  util::Rng wrng(1);
+  const util::SetPair p =
+      util::random_set_pair(wrng, std::uint64_t{1} << 40, k, k / 3);
+  sim::SharedRandomness shared(1);
+  sim::Channel ch;
+  const auto out = core::verification_tree_intersection(
+      ch, shared, 0, std::uint64_t{1} << 40, p.s, p.t, {});
+  EXPECT_EQ(out.alice, p.expected_intersection);
+  EXPECT_EQ(out.bob, p.expected_intersection);
+  // O(k) bits with moderate constants; generous ceiling to stay stable.
+  EXPECT_LT(ch.cost().bits_total, 64u * k);
+  EXPECT_LE(ch.cost().rounds, 6u * 5u);
+}
+
+TEST(Integration, ErrorRateDropsWithK) {
+  // 1 - 1/poly(k): failures at k = 16 may happen occasionally; at k = 1024
+  // they should be rarer. Count inexact runs over many seeds.
+  util::Rng wrng(2);
+  auto failure_count = [&wrng](std::size_t k, int trials) {
+    int failures = 0;
+    for (int t = 0; t < trials; ++t) {
+      const util::SetPair p =
+          util::random_set_pair(wrng, std::uint64_t{1} << 30, k, k / 2);
+      sim::SharedRandomness shared(static_cast<std::uint64_t>(t) * 31 + k);
+      sim::Channel ch;
+      const auto out = core::verification_tree_intersection(
+          ch, shared, static_cast<std::uint64_t>(t), std::uint64_t{1} << 30,
+          p.s, p.t, {});
+      failures += (out.alice != p.expected_intersection ||
+                   out.bob != p.expected_intersection);
+    }
+    return failures;
+  };
+  EXPECT_LE(failure_count(1024, 60), 1);
+}
+
+TEST(Integration, SkewedClusteredWorkload) {
+  // Clustered keys (runs of consecutive integers) stress the bucket
+  // hashing differently than uniform draws.
+  util::Set s;
+  util::Set t;
+  for (std::uint64_t base : {100u, 5000u, 90000u}) {
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      s.push_back(base + i);
+      if (i % 2 == 0) t.push_back(base + i);
+    }
+  }
+  for (std::uint64_t i = 0; i < 300; ++i) t.push_back(1'000'000 + i);
+  std::sort(t.begin(), t.end());
+  const util::Set expected = util::set_intersection(s, t);
+  sim::SharedRandomness shared(3);
+  sim::Channel ch;
+  const auto out = core::verification_tree_intersection(
+      ch, shared, 0, 1u << 21, s, t, {});
+  EXPECT_EQ(out.alice, expected);
+  EXPECT_EQ(out.bob, expected);
+}
+
+TEST(Integration, RepeatedRunsWithDistinctNoncesAllSucceed) {
+  util::Rng wrng(4);
+  const util::SetPair p = util::random_set_pair(wrng, 1u << 26, 2048, 1024);
+  sim::SharedRandomness shared(4);
+  for (std::uint64_t nonce = 0; nonce < 10; ++nonce) {
+    sim::Channel ch;
+    const auto out = core::verification_tree_intersection(
+        ch, shared, nonce, 1u << 26, p.s, p.t, {});
+    EXPECT_EQ(out.alice, p.expected_intersection) << nonce;
+  }
+}
+
+TEST(Integration, FullPipelineSimilarityOverMultipartyWinners) {
+  // Compose subsystems: two m-party coordinator runs produce two group
+  // intersections; a similarity report then compares them.
+  util::Rng wrng(5);
+  const auto inst_a = util::random_multi_sets(wrng, 1u << 22, 6, 64, 32);
+  const auto inst_b = util::random_multi_sets(wrng, 1u << 22, 6, 64, 32);
+  sim::SharedRandomness shared(5);
+
+  sim::Network net_a(6);
+  const auto res_a =
+      multiparty::coordinator_intersection(net_a, shared, 1u << 22,
+                                           inst_a.sets);
+  sim::Network net_b(6);
+  const auto res_b =
+      multiparty::coordinator_intersection(net_b, shared, 1u << 22,
+                                           inst_b.sets);
+  ASSERT_EQ(res_a.intersection, inst_a.expected_intersection);
+  ASSERT_EQ(res_b.intersection, inst_b.expected_intersection);
+
+  sim::Channel ch;
+  const auto rep = apps::similarity_report(ch, shared, 9, 1u << 22,
+                                           res_a.intersection,
+                                           res_b.intersection);
+  const auto truth = util::set_intersection(inst_a.expected_intersection,
+                                            inst_b.expected_intersection);
+  EXPECT_EQ(rep.intersection, truth);
+}
+
+TEST(Integration, WholeRunsAreReproducibleBitForBit) {
+  util::Rng wrng(6);
+  const util::SetPair p = util::random_set_pair(wrng, 1u << 24, 1024, 512);
+  auto digest_of_run = [&p]() {
+    sim::SharedRandomness shared(42);
+    sim::Channel ch(/*record_transcript=*/true);
+    core::verification_tree_intersection(ch, shared, 7, 1u << 24, p.s, p.t,
+                                         {});
+    return ch.transcript()->digest();
+  };
+  EXPECT_EQ(digest_of_run(), digest_of_run());
+}
+
+TEST(Integration, CommunicationFlatAcrossIntersectionSizes) {
+  // The paper's motivation: unlike disjointness-style tricks, the cost
+  // must not blow up when |S cap T| is large. Compare alpha = 0 vs 1.
+  util::Rng wrng(7);
+  const std::size_t k = 4096;
+  std::uint64_t bits_disjoint = 0;
+  std::uint64_t bits_identical = 0;
+  {
+    const util::SetPair p =
+        util::random_set_pair(wrng, std::uint64_t{1} << 30, k, 0);
+    sim::SharedRandomness shared(8);
+    sim::Channel ch;
+    core::verification_tree_intersection(ch, shared, 0,
+                                         std::uint64_t{1} << 30, p.s, p.t,
+                                         {});
+    bits_disjoint = ch.cost().bits_total;
+  }
+  {
+    const util::SetPair p =
+        util::random_set_pair(wrng, std::uint64_t{1} << 30, k, k);
+    sim::SharedRandomness shared(9);
+    sim::Channel ch;
+    core::verification_tree_intersection(ch, shared, 0,
+                                         std::uint64_t{1} << 30, p.s, p.t,
+                                         {});
+    bits_identical = ch.cost().bits_total;
+  }
+  const double ratio = static_cast<double>(bits_disjoint) /
+                       static_cast<double>(bits_identical);
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 2.5);
+}
+
+}  // namespace
+}  // namespace setint

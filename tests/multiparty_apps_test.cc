@@ -1,0 +1,270 @@
+// Tests for the multi-party applications (m-way join, replica audit,
+// similarity matrix) and incremental reconciliation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "apps/multiparty_apps.h"
+#include "apps/reconcile.h"
+#include "sim/channel.h"
+#include "sim/network.h"
+#include "sim/randomness.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace setint {
+namespace {
+
+std::vector<apps::Row> table_for(const util::Set& keys,
+                                 const std::string& prefix) {
+  std::vector<apps::Row> rows;
+  for (std::uint64_t k : keys) {
+    rows.push_back(apps::Row{k, prefix + std::to_string(k)});
+  }
+  return rows;
+}
+
+// ---------- m-way join ----------
+
+TEST(MultipartyJoin, GathersPayloadsForCommonKeys) {
+  util::Rng wrng(1);
+  const auto inst = util::random_multi_sets(wrng, 1u << 22, 5, 64, 16);
+  std::vector<std::vector<apps::Row>> tables;
+  for (std::size_t p = 0; p < 5; ++p) {
+    tables.push_back(table_for(inst.sets[p], "srv" + std::to_string(p) + "-"));
+  }
+  sim::Network net(5);
+  sim::SharedRandomness shared(1);
+  const apps::MultipartyJoinResult res =
+      apps::multiparty_join(net, shared, 1u << 22, tables);
+  ASSERT_EQ(res.rows.size(), inst.expected_intersection.size());
+  for (std::size_t i = 0; i < res.rows.size(); ++i) {
+    const std::uint64_t key = inst.expected_intersection[i];
+    EXPECT_EQ(res.rows[i].key, key);
+    ASSERT_EQ(res.rows[i].payloads.size(), 5u);
+    for (std::size_t p = 0; p < 5; ++p) {
+      EXPECT_EQ(res.rows[i].payloads[p],
+                "srv" + std::to_string(p) + "-" + std::to_string(key));
+    }
+  }
+  EXPECT_GT(res.key_bits, 0u);
+  EXPECT_GT(res.payload_bits, 0u);
+}
+
+TEST(MultipartyJoin, SinglePlayerIsLocal) {
+  std::vector<std::vector<apps::Row>> tables{
+      table_for(util::Set{1, 2, 3}, "x")};
+  sim::Network net(1);
+  sim::SharedRandomness shared(2);
+  const auto res = apps::multiparty_join(net, shared, 100, tables);
+  EXPECT_EQ(res.rows.size(), 3u);
+  EXPECT_EQ(res.payload_bits, 0u);
+}
+
+TEST(MultipartyJoin, RejectsDuplicateKeys) {
+  std::vector<std::vector<apps::Row>> tables{
+      {{1, "a"}, {1, "b"}}, {{1, "c"}}};
+  sim::Network net(2);
+  sim::SharedRandomness shared(3);
+  EXPECT_THROW(apps::multiparty_join(net, shared, 100, tables),
+               std::invalid_argument);
+}
+
+// ---------- replica audit ----------
+
+TEST(ReplicaAudit, ReportsCoreAndDivergence) {
+  util::Rng wrng(4);
+  const auto inst = util::random_multi_sets(wrng, 1u << 22, 6, 100, 40);
+  sim::Network net(6);
+  sim::SharedRandomness shared(4);
+  const apps::ReplicaAuditReport report =
+      apps::replica_audit(net, shared, 1u << 22, inst.sets);
+  EXPECT_EQ(report.fully_replicated, inst.expected_intersection);
+  ASSERT_EQ(report.extra_count.size(), 6u);
+  for (std::size_t p = 0; p < 6; ++p) {
+    EXPECT_EQ(report.extra_count[p], 100u - 40u);
+  }
+  EXPECT_DOUBLE_EQ(report.replication_factor, 0.4);
+  EXPECT_GT(report.protocol_bits, 0u);
+}
+
+TEST(ReplicaAudit, PerfectReplication) {
+  const util::Set s{1, 5, 9};
+  std::vector<util::Set> replicas(4, s);
+  sim::Network net(4);
+  sim::SharedRandomness shared(5);
+  const auto report = apps::replica_audit(net, shared, 100, replicas);
+  EXPECT_EQ(report.fully_replicated, s);
+  EXPECT_DOUBLE_EQ(report.replication_factor, 1.0);
+  for (std::size_t extra : report.extra_count) EXPECT_EQ(extra, 0u);
+}
+
+// ---------- similarity matrix ----------
+
+TEST(SimilarityMatrix, MatchesLocalJaccard) {
+  util::Rng wrng(6);
+  std::vector<util::Set> sets;
+  for (int i = 0; i < 4; ++i) {
+    sets.push_back(util::random_set(wrng, 1u << 20, 64));
+  }
+  sim::Network net(4);
+  sim::SharedRandomness shared(6);
+  const auto matrix =
+      apps::similarity_matrix(net, shared, 1u << 20, sets);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(matrix[i][i], 1.0);
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(matrix[i][j], matrix[j][i]);
+      if (i != j) {
+        const double inter = static_cast<double>(
+            util::set_intersection(sets[i], sets[j]).size());
+        const double uni =
+            static_cast<double>(util::set_union(sets[i], sets[j]).size());
+        EXPECT_DOUBLE_EQ(matrix[i][j], uni == 0 ? 1.0 : inter / uni);
+      }
+    }
+  }
+}
+
+// ---------- incremental reconciliation ----------
+
+struct ReconcileFixture {
+  util::Set s_new;
+  util::Set t_new;
+  util::Set old_intersection;
+  apps::Delta alice;
+  apps::Delta bob;
+  util::Set expected;
+};
+
+ReconcileFixture make_fixture(util::Rng& rng, std::size_t k,
+                              std::size_t delta_size) {
+  const util::SetPair base = util::random_set_pair(rng, 1u << 26, k, k / 2);
+  ReconcileFixture f;
+  f.old_intersection = base.expected_intersection;
+  // Alice: remove `delta_size` of her elements, add `delta_size` fresh.
+  f.s_new = base.s;
+  f.t_new = base.t;
+  auto apply_delta = [&rng](util::Set& set, apps::Delta& delta,
+                            std::size_t count, std::uint64_t salt) {
+    for (std::size_t i = 0; i < count && !set.empty(); ++i) {
+      const std::size_t pos = rng.below(set.size());
+      delta.removed.push_back(set[pos]);
+      set.erase(set.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+    std::sort(delta.removed.begin(), delta.removed.end());
+    for (std::size_t i = 0; i < count; ++i) {
+      for (;;) {
+        const std::uint64_t x = (rng.next() ^ salt) % (1u << 26);
+        if (!util::set_contains(set, x)) {
+          set.insert(std::upper_bound(set.begin(), set.end(), x), x);
+          delta.added.push_back(x);
+          break;
+        }
+      }
+    }
+    std::sort(delta.added.begin(), delta.added.end());
+  };
+  apply_delta(f.s_new, f.alice, delta_size, 0x11);
+  apply_delta(f.t_new, f.bob, delta_size, 0x22);
+  f.expected = util::set_intersection(f.s_new, f.t_new);
+  return f;
+}
+
+TEST(Reconcile, ExactAcrossRandomDeltas) {
+  util::Rng rng(7);
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    const ReconcileFixture f = make_fixture(rng, 256, 16);
+    sim::SharedRandomness shared(trial);
+    sim::Channel ch;
+    const apps::ReconcileResult res = apps::reconcile_intersection(
+        ch, shared, trial, 1u << 26, f.s_new, f.t_new, f.old_intersection,
+        f.alice, f.bob);
+    EXPECT_EQ(res.intersection, f.expected) << trial;
+  }
+}
+
+TEST(Reconcile, CostScalesWithDeltaNotK) {
+  util::Rng rng(8);
+  const std::size_t k = 8192;
+  const ReconcileFixture f = make_fixture(rng, k, 32);
+  sim::SharedRandomness shared(8);
+  sim::Channel delta_ch;
+  const auto res = apps::reconcile_intersection(
+      delta_ch, shared, 0, 1u << 26, f.s_new, f.t_new, f.old_intersection,
+      f.alice, f.bob);
+  ASSERT_EQ(res.intersection, f.expected);
+  ASSERT_FALSE(res.used_fallback);
+
+  sim::Channel full_ch;
+  core::verification_tree_intersection(full_ch, shared, 1, 1u << 26, f.s_new,
+                                       f.t_new, {});
+  // Delta reconciliation should be at least 10x cheaper than a full run
+  // at this delta/k ratio (32 of 8192).
+  EXPECT_LT(delta_ch.cost().bits_total * 10, full_ch.cost().bits_total);
+}
+
+TEST(Reconcile, EmptyDeltasCostAlmostNothing) {
+  util::Rng rng(9);
+  const util::SetPair base = util::random_set_pair(rng, 1u << 24, 512, 256);
+  sim::SharedRandomness shared(9);
+  sim::Channel ch;
+  const auto res = apps::reconcile_intersection(
+      ch, shared, 0, 1u << 24, base.s, base.t, base.expected_intersection,
+      {}, {});
+  EXPECT_EQ(res.intersection, base.expected_intersection);
+  EXPECT_LT(ch.cost().bits_total, 100u);
+}
+
+TEST(Reconcile, PureRemovals) {
+  util::Rng rng(10);
+  ReconcileFixture f;
+  const util::SetPair base = util::random_set_pair(rng, 1u << 24, 128, 64);
+  f.s_new = base.s;
+  f.t_new = base.t;
+  f.old_intersection = base.expected_intersection;
+  // Alice removes the first three common elements.
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t victim = f.old_intersection[static_cast<std::size_t>(i)];
+    f.alice.removed.push_back(victim);
+    f.s_new.erase(std::find(f.s_new.begin(), f.s_new.end(), victim));
+  }
+  f.expected = util::set_intersection(f.s_new, f.t_new);
+  sim::SharedRandomness shared(10);
+  sim::Channel ch;
+  const auto res = apps::reconcile_intersection(
+      ch, shared, 0, 1u << 24, f.s_new, f.t_new, f.old_intersection, f.alice,
+      f.bob);
+  EXPECT_EQ(res.intersection, f.expected);
+  EXPECT_EQ(res.intersection.size(), f.old_intersection.size() - 3);
+}
+
+TEST(Reconcile, OverlappingAdds) {
+  // Both sides insert the same new element: it must join the intersection.
+  util::Rng rng(11);
+  const util::SetPair base = util::random_set_pair(rng, 1u << 24, 64, 32);
+  ReconcileFixture f;
+  f.s_new = base.s;
+  f.t_new = base.t;
+  f.old_intersection = base.expected_intersection;
+  const std::uint64_t fresh = (1u << 24) - 7;
+  ASSERT_FALSE(util::set_contains(f.s_new, fresh));
+  f.s_new.insert(std::upper_bound(f.s_new.begin(), f.s_new.end(), fresh),
+                 fresh);
+  f.t_new.insert(std::upper_bound(f.t_new.begin(), f.t_new.end(), fresh),
+                 fresh);
+  f.alice.added.push_back(fresh);
+  f.bob.added.push_back(fresh);
+  f.expected = util::set_intersection(f.s_new, f.t_new);
+  sim::SharedRandomness shared(11);
+  sim::Channel ch;
+  const auto res = apps::reconcile_intersection(
+      ch, shared, 0, 1u << 24, f.s_new, f.t_new, f.old_intersection, f.alice,
+      f.bob);
+  EXPECT_EQ(res.intersection, f.expected);
+  EXPECT_TRUE(util::set_contains(res.intersection, fresh));
+}
+
+}  // namespace
+}  // namespace setint

@@ -1,0 +1,164 @@
+// Tests for the EQ^k -> INT_k reduction (Fact 2.1).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "reductions/eqk_to_int.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/bitio.h"
+#include "util/rng.h"
+
+namespace setint {
+namespace {
+
+util::BitBuffer str(std::uint64_t v, unsigned bits = 64) {
+  util::BitBuffer b;
+  b.append_bits(v, bits);
+  return b;
+}
+
+TEST(EqkReduction, AllEqualAllUnequal) {
+  sim::SharedRandomness shared(1);
+  {
+    sim::Channel ch;
+    std::vector<util::BitBuffer> xs;
+    std::vector<util::BitBuffer> ys;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      xs.push_back(str(i));
+      ys.push_back(str(i));
+    }
+    const auto got = reductions::eqk_via_intersection(ch, shared, 0, xs, ys);
+    for (bool g : got) EXPECT_TRUE(g);
+  }
+  {
+    sim::Channel ch;
+    std::vector<util::BitBuffer> xs;
+    std::vector<util::BitBuffer> ys;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      xs.push_back(str(i));
+      ys.push_back(str(i + 1000));
+    }
+    const auto got = reductions::eqk_via_intersection(ch, shared, 1, xs, ys);
+    for (bool g : got) EXPECT_FALSE(g);
+  }
+}
+
+class EqkPattern : public ::testing::TestWithParam<int> {};
+
+TEST_P(EqkPattern, MixedPatterns) {
+  const int mod = GetParam();
+  sim::SharedRandomness shared(static_cast<std::uint64_t>(mod) + 5);
+  sim::Channel ch;
+  std::vector<util::BitBuffer> xs;
+  std::vector<util::BitBuffer> ys;
+  std::vector<bool> truth;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const bool eq = (i % static_cast<std::uint64_t>(mod)) == 0;
+    xs.push_back(str(i * 3 + 1));
+    ys.push_back(str(eq ? i * 3 + 1 : i * 3 + 2));
+    truth.push_back(eq);
+  }
+  const auto got = reductions::eqk_via_intersection(ch, shared, 9, xs, ys);
+  ASSERT_EQ(got.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i]) {
+      EXPECT_TRUE(got[i]) << i;  // one-sided: equal never missed
+    } else {
+      EXPECT_FALSE(got[i]) << i;  // false accepts ~2^-hash_bits: negligible
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mods, EqkPattern, ::testing::Values(2, 3, 7, 50));
+
+TEST(EqkReduction, EqualInstancesAlwaysReportedEqual) {
+  // One-sidedness across seeds.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    sim::SharedRandomness shared(seed);
+    sim::Channel ch;
+    std::vector<util::BitBuffer> xs;
+    std::vector<util::BitBuffer> ys;
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      xs.push_back(str(i ^ seed));
+      ys.push_back(str(i % 2 == 0 ? (i ^ seed) : ~(i ^ seed)));
+    }
+    const auto got = reductions::eqk_via_intersection(ch, shared, seed, xs, ys);
+    for (std::uint64_t i = 0; i < 32; i += 2) EXPECT_TRUE(got[i]) << seed;
+  }
+}
+
+TEST(EqkReduction, CommunicationIsOrderK) {
+  // The reduction's point: k equality instances cost O(k log^(r) k) bits
+  // total — a handful of bits per instance, not per input bit.
+  sim::SharedRandomness shared(3);
+  sim::Channel ch;
+  std::vector<util::BitBuffer> xs;
+  std::vector<util::BitBuffer> ys;
+  const std::size_t k = 2048;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    xs.push_back(str(i));
+    ys.push_back(str(i % 2 == 0 ? i : i + 5000));
+  }
+  const auto got = reductions::eqk_via_intersection(ch, shared, 0, xs, ys);
+  (void)got;
+  const double per_instance =
+      static_cast<double>(ch.cost().bits_total) / static_cast<double>(k);
+  EXPECT_LT(per_instance, 64.0);  // far below the 64 bits of input each
+}
+
+TEST(EqkReduction, LongStringsCostNoMore) {
+  // Cost must not scale with the string length n (here: 64 vs 4096 bits).
+  sim::SharedRandomness shared(4);
+  const std::size_t k = 256;
+  auto run = [&](unsigned nbits) {
+    sim::Channel ch;
+    std::vector<util::BitBuffer> xs;
+    std::vector<util::BitBuffer> ys;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      util::BitBuffer x;
+      util::BitBuffer y;
+      for (unsigned w = 0; w < nbits; w += 64) {
+        x.append_bits(i * 31 + w, 64);
+        y.append_bits(i % 3 == 0 ? i * 31 + w : i * 31 + w + 1, 64);
+      }
+      xs.push_back(std::move(x));
+      ys.push_back(std::move(y));
+    }
+    reductions::eqk_via_intersection(ch, shared, nbits, xs, ys);
+    return ch.cost().bits_total;
+  };
+  const std::uint64_t short_cost = run(64);
+  const std::uint64_t long_cost = run(4096);
+  EXPECT_LT(long_cost, short_cost * 2);
+}
+
+TEST(EqkReduction, EmptyAndMismatched) {
+  sim::SharedRandomness shared(5);
+  sim::Channel ch;
+  EXPECT_TRUE(reductions::eqk_via_intersection(ch, shared, 0, {}, {}).empty());
+  std::vector<util::BitBuffer> one(1, str(1));
+  std::vector<util::BitBuffer> two(2, str(1));
+  EXPECT_THROW(reductions::eqk_via_intersection(ch, shared, 0, one, two),
+               std::invalid_argument);
+}
+
+TEST(EqkReduction, SingleInstance) {
+  sim::SharedRandomness shared(6);
+  {
+    sim::Channel ch;
+    std::vector<util::BitBuffer> xs{str(99)};
+    std::vector<util::BitBuffer> ys{str(99)};
+    EXPECT_TRUE(reductions::eqk_via_intersection(ch, shared, 0, xs, ys)[0]);
+  }
+  {
+    sim::Channel ch;
+    std::vector<util::BitBuffer> xs{str(99)};
+    std::vector<util::BitBuffer> ys{str(100)};
+    EXPECT_FALSE(reductions::eqk_via_intersection(ch, shared, 1, xs, ys)[0]);
+  }
+}
+
+}  // namespace
+}  // namespace setint

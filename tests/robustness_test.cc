@@ -1,0 +1,150 @@
+// Robustness of the decode paths: protocols assume a reliable channel,
+// so a corrupted or truncated message must fail LOUDLY (std::exception)
+// or decode to values whose downstream invariants catch the damage —
+// never read out of bounds or loop forever. These tests flip bits in
+// real protocol messages and hammer the decoders with adversarial bytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/bitio.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace setint {
+namespace {
+
+util::BitBuffer flip_bit(const util::BitBuffer& original, std::size_t index) {
+  util::BitBuffer out;
+  for (std::size_t i = 0; i < original.size_bits(); ++i) {
+    out.append_bit(i == index ? !original.bit(i) : original.bit(i));
+  }
+  return out;
+}
+
+util::BitBuffer truncate(const util::BitBuffer& original, std::size_t bits) {
+  util::BitBuffer out;
+  for (std::size_t i = 0; i < bits && i < original.size_bits(); ++i) {
+    out.append_bit(original.bit(i));
+  }
+  return out;
+}
+
+// Decoding a set after any single-bit flip either throws or yields SOME
+// set; it must never crash or hang. When it yields a set, re-encoding
+// must not reproduce the corrupted buffer unless the decode round-trips.
+TEST(Robustness, SetDecodingSurvivesSingleBitFlips) {
+  util::Rng rng(1);
+  const util::Set s = util::random_set(rng, 1u << 20, 40);
+  util::BitBuffer encoded;
+  util::append_set(encoded, s);
+  int throws = 0;
+  int decodes = 0;
+  for (std::size_t i = 0; i < encoded.size_bits(); ++i) {
+    const util::BitBuffer corrupted = flip_bit(encoded, i);
+    util::BitReader reader(corrupted);
+    try {
+      const util::Set got = util::read_set(reader);
+      ++decodes;
+      // If it decoded cleanly it must at least be canonical (the format
+      // guarantees strictly increasing output by construction).
+      EXPECT_TRUE(util::is_canonical_set(got)) << i;
+    } catch (const std::exception&) {
+      ++throws;
+    }
+  }
+  EXPECT_GT(throws + decodes, 0);
+  EXPECT_GT(throws, 0);  // length-field corruption must be detected
+}
+
+TEST(Robustness, RiceSetDecodingSurvivesSingleBitFlips) {
+  util::Rng rng(2);
+  const std::uint64_t universe = 1u << 24;
+  const util::Set s = util::random_set(rng, universe, 40);
+  util::BitBuffer encoded;
+  util::append_set_rice(encoded, s, universe);
+  for (std::size_t i = 0; i < encoded.size_bits(); ++i) {
+    const util::BitBuffer corrupted = flip_bit(encoded, i);
+    util::BitReader reader(corrupted);
+    try {
+      const util::Set got = util::read_set_rice(reader, universe);
+      EXPECT_TRUE(util::is_canonical_set(got)) << i;
+    } catch (const std::exception&) {
+      // loud failure is the desired outcome
+    }
+  }
+}
+
+TEST(Robustness, TruncatedMessagesThrow) {
+  util::Rng rng(3);
+  const util::Set s = util::random_set(rng, 1u << 20, 64);
+  util::BitBuffer encoded;
+  util::append_set(encoded, s);
+  // Every strict prefix must throw (the decoder knows the count and runs
+  // out of bits) — checked at several cut points.
+  for (std::size_t cut : {std::size_t{1}, encoded.size_bits() / 4,
+                          encoded.size_bits() / 2,
+                          encoded.size_bits() - 1}) {
+    const util::BitBuffer chopped = truncate(encoded, cut);
+    util::BitReader reader(chopped);
+    EXPECT_THROW(
+        {
+          const util::Set got = util::read_set(reader);
+          // A prefix that happens to decode must at least be shorter.
+          if (got.size() >= s.size()) throw std::runtime_error("impossible");
+        },
+        std::exception)
+        << cut;
+  }
+}
+
+TEST(Robustness, RandomGarbageNeverHangsDecoders) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    util::BitBuffer garbage;
+    const std::size_t len = rng.below(512);
+    for (std::size_t i = 0; i < len; ++i) garbage.append_bit(rng.coin());
+    {
+      util::BitReader reader(garbage);
+      try {
+        (void)util::read_set(reader);
+      } catch (const std::exception&) {
+      }
+    }
+    {
+      util::BitReader reader(garbage);
+      try {
+        (void)util::read_set_rice(reader, 1u << 20);
+      } catch (const std::exception&) {
+      }
+    }
+    {
+      util::BitReader reader(garbage);
+      try {
+        while (!reader.exhausted()) (void)reader.read_gamma64();
+      } catch (const std::exception&) {
+      }
+    }
+  }
+  SUCCEED();  // reaching here means no hang, no crash
+}
+
+TEST(Robustness, GammaRejectsAllZeroRun) {
+  // 64+ zero bits cannot start a valid gamma codeword.
+  util::BitBuffer b;
+  for (int i = 0; i < 70; ++i) b.append_bit(false);
+  util::BitReader reader(b);
+  EXPECT_THROW((void)reader.read_elias_gamma(), std::exception);
+}
+
+TEST(Robustness, RiceRejectsEndlessUnary) {
+  util::BitBuffer b;
+  for (int i = 0; i < 100; ++i) b.append_bit(true);
+  util::BitReader reader(b);
+  EXPECT_THROW((void)reader.read_rice(2), std::exception);
+}
+
+}  // namespace
+}  // namespace setint

@@ -1,0 +1,206 @@
+// Tests for the strictly-separated execution mode: scheduler behaviour,
+// party correctness, and BIT-FOR-BIT transcript equivalence with the
+// driver-style implementations — the strongest evidence that the driver
+// versions use no out-of-band knowledge.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/basic_intersection.h"
+#include "core/one_round_hash.h"
+#include "core/parties.h"
+#include "eq/equality.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "sim/runtime.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace setint {
+namespace {
+
+util::BitBuffer content(std::uint64_t v) {
+  util::BitBuffer b;
+  b.append_bits(v, 40);
+  return b;
+}
+
+// ---------- scheduler ----------
+
+class StallingParty final : public sim::Party {
+ public:
+  std::optional<util::BitBuffer> start() override { return util::BitBuffer{}; }
+  std::optional<util::BitBuffer> on_message(const util::BitBuffer&) override {
+    return std::nullopt;  // never finishes, never replies
+  }
+  bool done() const override { return false; }
+};
+
+TEST(Runtime, DetectsStalledConversations) {
+  sim::Channel ch;
+  StallingParty a;
+  StallingParty b;
+  EXPECT_THROW(sim::run_two_party(ch, a, b), std::runtime_error);
+}
+
+class ChattyParty final : public sim::Party {
+ public:
+  std::optional<util::BitBuffer> start() override { return util::BitBuffer{}; }
+  std::optional<util::BitBuffer> on_message(const util::BitBuffer&) override {
+    return util::BitBuffer{};  // ping-pong forever
+  }
+  bool done() const override { return false; }
+};
+
+TEST(Runtime, EnforcesMessageBudget) {
+  sim::Channel ch;
+  ChattyParty a;
+  ChattyParty b;
+  EXPECT_THROW(sim::run_two_party(ch, a, b, /*max_messages=*/100),
+               std::runtime_error);
+}
+
+// ---------- equality parties ----------
+
+TEST(RuntimeEquality, CorrectVerdicts) {
+  sim::SharedRandomness shared(1);
+  {
+    sim::Channel ch;
+    core::EqualitySender alice(shared, 0, content(7), 24);
+    core::EqualityResponder bob(shared, 0, content(7), 24);
+    sim::run_two_party(ch, alice, bob);
+    EXPECT_TRUE(alice.declared_equal());
+    EXPECT_TRUE(bob.declared_equal());
+    EXPECT_EQ(ch.cost().bits_total, 25u);
+    EXPECT_EQ(ch.cost().rounds, 2u);
+  }
+  {
+    sim::Channel ch;
+    core::EqualitySender alice(shared, 1, content(7), 24);
+    core::EqualityResponder bob(shared, 1, content(8), 24);
+    sim::run_two_party(ch, alice, bob);
+    EXPECT_FALSE(alice.declared_equal());
+    EXPECT_FALSE(bob.declared_equal());
+  }
+}
+
+TEST(RuntimeEquality, TranscriptMatchesDriverBitForBit) {
+  for (std::uint64_t nonce = 0; nonce < 20; ++nonce) {
+    sim::SharedRandomness shared(42);
+    const util::BitBuffer xa = content(nonce * 3);
+    const util::BitBuffer xb = content(nonce % 2 ? nonce * 3 : nonce * 3 + 1);
+
+    sim::Channel driver_ch(/*record_transcript=*/true);
+    const bool driver_verdict =
+        eq::equality_test(driver_ch, shared, nonce, xa, xb, 16);
+
+    sim::Channel fsm_ch(/*record_transcript=*/true);
+    core::EqualitySender alice(shared, nonce, xa, 16);
+    core::EqualityResponder bob(shared, nonce, xb, 16);
+    sim::run_two_party(fsm_ch, alice, bob);
+
+    EXPECT_EQ(driver_ch.transcript()->digest(), fsm_ch.transcript()->digest())
+        << nonce;
+    EXPECT_EQ(driver_verdict, alice.declared_equal()) << nonce;
+    EXPECT_EQ(driver_ch.cost().bits_total, fsm_ch.cost().bits_total);
+  }
+}
+
+// ---------- one-round hashing parties ----------
+
+TEST(RuntimeOneRound, ComputesIntersection) {
+  util::Rng wrng(2);
+  const util::SetPair p = util::random_set_pair(wrng, 1u << 24, 256, 128);
+  sim::SharedRandomness shared(2);
+  sim::Channel ch;
+  const std::uint64_t k_bound = 256;
+  core::OneRoundHashAlice alice(shared, 0, 1u << 24, p.s, k_bound);
+  core::OneRoundHashBob bob(shared, 0, 1u << 24, p.t, k_bound);
+  sim::run_two_party(ch, alice, bob);
+  EXPECT_EQ(alice.candidates(), p.expected_intersection);
+  EXPECT_EQ(bob.candidates(), p.expected_intersection);
+  EXPECT_EQ(ch.cost().rounds, 2u);
+}
+
+TEST(RuntimeOneRound, TranscriptMatchesDriverBitForBit) {
+  util::Rng wrng(3);
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    const std::size_t k = 16 + wrng.below(200);
+    const util::SetPair p =
+        util::random_set_pair(wrng, 1u << 26, k, wrng.below(k + 1));
+    sim::SharedRandomness shared(trial);
+
+    sim::Channel driver_ch(/*record_transcript=*/true);
+    const core::IntersectionOutput driver_out =
+        core::one_round_hash(driver_ch, shared, trial, 1u << 26, p.s, p.t);
+
+    sim::Channel fsm_ch(/*record_transcript=*/true);
+    // The driver derives the bound from both inputs; pass the same value.
+    const std::uint64_t k_bound = std::max(p.s.size(), p.t.size());
+    core::OneRoundHashAlice alice(shared, trial, 1u << 26, p.s, k_bound);
+    core::OneRoundHashBob bob(shared, trial, 1u << 26, p.t, k_bound);
+    sim::run_two_party(fsm_ch, alice, bob);
+
+    EXPECT_EQ(driver_ch.transcript()->digest(), fsm_ch.transcript()->digest())
+        << trial;
+    EXPECT_EQ(driver_out.alice, alice.candidates()) << trial;
+    EXPECT_EQ(driver_out.bob, bob.candidates()) << trial;
+  }
+}
+
+// ---------- Basic-Intersection parties ----------
+
+TEST(RuntimeBasicIntersection, LemmaProperties) {
+  util::Rng wrng(4);
+  for (std::uint64_t trial = 0; trial < 15; ++trial) {
+    const util::SetPair p = util::random_set_pair(wrng, 1u << 24, 64, 32);
+    sim::SharedRandomness shared(trial);
+    sim::Channel ch;
+    core::BasicIntersectionAlice alice(shared, trial, 1u << 24, p.s, 0.01);
+    core::BasicIntersectionBob bob(shared, trial, 1u << 24, p.t, 0.01);
+    sim::run_two_party(ch, alice, bob);
+    EXPECT_TRUE(util::is_subset(alice.candidates(), p.s));
+    EXPECT_TRUE(util::is_subset(bob.candidates(), p.t));
+    EXPECT_TRUE(util::is_subset(p.expected_intersection, alice.candidates()));
+    EXPECT_TRUE(util::is_subset(p.expected_intersection, bob.candidates()));
+    EXPECT_EQ(ch.cost().rounds, 4u);
+  }
+}
+
+TEST(RuntimeBasicIntersection, TranscriptMatchesDriverBitForBit) {
+  util::Rng wrng(5);
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    const std::size_t k = 4 + wrng.below(100);
+    const util::SetPair p =
+        util::random_set_pair(wrng, 1u << 22, k, wrng.below(k + 1));
+    sim::SharedRandomness shared(trial * 7);
+
+    sim::Channel driver_ch(/*record_transcript=*/true);
+    const core::CandidatePair driver_out = core::basic_intersection(
+        driver_ch, shared, trial, 1u << 22, p.s, p.t, 0.05);
+
+    sim::Channel fsm_ch(/*record_transcript=*/true);
+    core::BasicIntersectionAlice alice(shared, trial, 1u << 22, p.s, 0.05);
+    core::BasicIntersectionBob bob(shared, trial, 1u << 22, p.t, 0.05);
+    sim::run_two_party(fsm_ch, alice, bob);
+
+    EXPECT_EQ(driver_ch.transcript()->digest(), fsm_ch.transcript()->digest())
+        << trial;
+    EXPECT_EQ(driver_out.s_candidate, alice.candidates()) << trial;
+    EXPECT_EQ(driver_out.t_candidate, bob.candidates()) << trial;
+  }
+}
+
+TEST(RuntimeBasicIntersection, EmptySideShortCircuits) {
+  sim::SharedRandomness shared(6);
+  sim::Channel ch;
+  core::BasicIntersectionAlice alice(shared, 0, 1000, util::Set{}, 0.01);
+  core::BasicIntersectionBob bob(shared, 0, 1000, util::Set{1, 2}, 0.01);
+  sim::run_two_party(ch, alice, bob);
+  EXPECT_TRUE(alice.candidates().empty());
+  EXPECT_TRUE(bob.candidates().empty());
+  EXPECT_LT(ch.cost().bits_total, 10u);
+}
+
+}  // namespace
+}  // namespace setint

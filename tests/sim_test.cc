@@ -1,0 +1,165 @@
+// Tests for the communication simulator: bit/message/round accounting on
+// the two-party channel, transcript recording, shared randomness
+// synchronization, and the m-party network's per-player billing.
+#include <gtest/gtest.h>
+
+#include "sim/channel.h"
+#include "sim/network.h"
+#include "sim/randomness.h"
+#include "util/bitio.h"
+
+namespace setint {
+namespace {
+
+util::BitBuffer bits_of(std::uint64_t v, unsigned w) {
+  util::BitBuffer b;
+  b.append_bits(v, w);
+  return b;
+}
+
+TEST(Channel, CountsBitsByDirection) {
+  sim::Channel ch;
+  ch.send(sim::PartyId::kAlice, bits_of(0, 10));
+  ch.send(sim::PartyId::kBob, bits_of(0, 3));
+  ch.send(sim::PartyId::kAlice, bits_of(0, 7));
+  EXPECT_EQ(ch.cost().bits_total, 20u);
+  EXPECT_EQ(ch.cost().bits_from_alice, 17u);
+  EXPECT_EQ(ch.cost().bits_from_bob, 3u);
+  EXPECT_EQ(ch.cost().messages, 3u);
+}
+
+TEST(Channel, RoundsCountMaximalSameDirectionRuns) {
+  sim::Channel ch;
+  // A A B B B A -> 3 rounds.
+  ch.send(sim::PartyId::kAlice, bits_of(0, 1));
+  ch.send(sim::PartyId::kAlice, bits_of(0, 1));
+  ch.send(sim::PartyId::kBob, bits_of(0, 1));
+  ch.send(sim::PartyId::kBob, bits_of(0, 1));
+  ch.send(sim::PartyId::kBob, bits_of(0, 1));
+  ch.send(sim::PartyId::kAlice, bits_of(0, 1));
+  EXPECT_EQ(ch.cost().rounds, 3u);
+  EXPECT_EQ(ch.cost().messages, 6u);
+}
+
+TEST(Channel, DeliveredPayloadIsExactlyWhatWasSent) {
+  sim::Channel ch;
+  util::BitBuffer payload;
+  payload.append_bits(0x2bad, 16);
+  const util::BitBuffer got = ch.send(sim::PartyId::kAlice, payload);
+  EXPECT_TRUE(got == payload);
+}
+
+TEST(Channel, ZeroBitMessageStillCountsMessageAndRound) {
+  sim::Channel ch;
+  ch.send(sim::PartyId::kAlice, util::BitBuffer{});
+  EXPECT_EQ(ch.cost().bits_total, 0u);
+  EXPECT_EQ(ch.cost().messages, 1u);
+  EXPECT_EQ(ch.cost().rounds, 1u);
+}
+
+TEST(Channel, TranscriptRecordsWhenEnabled) {
+  sim::Channel plain;
+  EXPECT_EQ(plain.transcript(), nullptr);
+
+  sim::Channel recording(/*record_transcript=*/true);
+  recording.send(sim::PartyId::kAlice, bits_of(5, 4), "first");
+  recording.send(sim::PartyId::kBob, bits_of(9, 8), "second");
+  ASSERT_NE(recording.transcript(), nullptr);
+  const auto& entries = recording.transcript()->entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].from, sim::PartyId::kAlice);
+  EXPECT_EQ(entries[0].label, "first");
+  EXPECT_EQ(entries[0].payload.size_bits(), 4u);
+  EXPECT_EQ(entries[1].from, sim::PartyId::kBob);
+}
+
+TEST(Transcript, DigestIsOrderSensitive) {
+  sim::Transcript t1;
+  sim::Transcript t2;
+  util::BitBuffer a = bits_of(1, 4);
+  util::BitBuffer b = bits_of(2, 4);
+  t1.record(sim::PartyId::kAlice, a, "");
+  t1.record(sim::PartyId::kAlice, b, "");
+  t2.record(sim::PartyId::kAlice, b, "");
+  t2.record(sim::PartyId::kAlice, a, "");
+  EXPECT_NE(t1.digest(), t2.digest());
+}
+
+TEST(CostStats, Accumulates) {
+  sim::CostStats a{10, 6, 4, 2, 2};
+  const sim::CostStats b{5, 5, 0, 1, 1};
+  a += b;
+  EXPECT_EQ(a.bits_total, 15u);
+  EXPECT_EQ(a.bits_from_alice, 11u);
+  EXPECT_EQ(a.bits_from_bob, 4u);
+  EXPECT_EQ(a.messages, 3u);
+  EXPECT_EQ(a.rounds, 3u);
+}
+
+TEST(SharedRandomness, BothPartiesDeriveIdenticalStreams) {
+  sim::SharedRandomness alice_view(1234);
+  sim::SharedRandomness bob_view(1234);
+  util::Rng a = alice_view.stream("hash", 3, 7);
+  util::Rng b = bob_view.stream("hash", 3, 7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SharedRandomness, StreamsAreLabelSeparated) {
+  sim::SharedRandomness sr(1234);
+  util::Rng a = sr.stream("x", 0, 0);
+  util::Rng b = sr.stream("x", 1, 0);
+  util::Rng c = sr.stream("y", 0, 0);
+  EXPECT_NE(a.next(), b.next());
+  EXPECT_NE(sr.stream("x", 0, 0).next(), c.next());
+}
+
+// ---------- Network ----------
+
+TEST(Network, BillsBothEndpoints) {
+  sim::Network net(4);
+  sim::CostStats cost{100, 60, 40, 4, 4};
+  net.bill_pairwise(0, 2, cost);
+  EXPECT_EQ(net.player(0).bits_sent, 60u);
+  EXPECT_EQ(net.player(0).bits_received, 40u);
+  EXPECT_EQ(net.player(2).bits_sent, 40u);
+  EXPECT_EQ(net.player(2).bits_received, 60u);
+  EXPECT_EQ(net.player(1).bits_touched(), 0u);
+  EXPECT_EQ(net.total_bits(), 100u);
+  EXPECT_EQ(net.rounds(), 4u);
+}
+
+TEST(Network, BatchTakesMaxRounds) {
+  sim::Network net(4);
+  net.begin_batch();
+  net.bill_pairwise_in_batch(0, 1, sim::CostStats{10, 10, 0, 2, 2});
+  net.bill_pairwise_in_batch(2, 3, sim::CostStats{10, 10, 0, 7, 7});
+  net.end_batch();
+  EXPECT_EQ(net.rounds(), 7u);  // parallel conversations: max, not sum
+  EXPECT_EQ(net.total_bits(), 20u);
+}
+
+TEST(Network, MaxAndAveragePlayerBits) {
+  sim::Network net(2);
+  net.bill_pairwise(0, 1, sim::CostStats{30, 20, 10, 2, 2});
+  EXPECT_EQ(net.max_player_bits(), 30u);  // each touches all 30 bits
+  EXPECT_DOUBLE_EQ(net.average_player_bits(), 30.0);
+}
+
+TEST(Network, RejectsBadIds) {
+  sim::Network net(2);
+  EXPECT_THROW(net.bill_pairwise(0, 0, {}), std::invalid_argument);
+  EXPECT_THROW(net.bill_pairwise(0, 5, {}), std::invalid_argument);
+  EXPECT_THROW(sim::Network(0), std::invalid_argument);
+}
+
+TEST(Network, BatchProtocolErrors) {
+  sim::Network net(2);
+  EXPECT_THROW(net.end_batch(), std::logic_error);
+  EXPECT_THROW(net.bill_pairwise_in_batch(0, 1, {}), std::logic_error);
+  net.begin_batch();
+  EXPECT_THROW(net.begin_batch(), std::logic_error);
+  net.end_batch();
+}
+
+}  // namespace
+}  // namespace setint

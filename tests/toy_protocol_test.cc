@@ -1,0 +1,141 @@
+// Tests for the warm-up O(k log log k) protocol ("Our Technique" section):
+// correctness, cost position between R^(1) and the tree, and the
+// verify/re-run loop behaviour.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/one_round_hash.h"
+#include "core/toy_protocol.h"
+#include "core/verification_tree.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace setint {
+namespace {
+
+struct Case {
+  std::size_t k;
+  std::size_t shared;
+};
+
+class ToyProtocol : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ToyProtocol, ComputesExactIntersection) {
+  const Case c = GetParam();
+  util::Rng wrng(c.k * 11 + c.shared);
+  const util::SetPair p =
+      util::random_set_pair(wrng, std::uint64_t{1} << 30, c.k, c.shared);
+  for (std::uint64_t trial = 0; trial < 5; ++trial) {
+    sim::SharedRandomness shared(c.k + trial);
+    sim::Channel ch;
+    const core::IntersectionOutput out = core::toy_bucket_intersection(
+        ch, shared, trial, std::uint64_t{1} << 30, p.s, p.t);
+    EXPECT_EQ(out.alice, p.expected_intersection) << trial;
+    EXPECT_EQ(out.bob, p.expected_intersection) << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ToyProtocol,
+                         ::testing::Values(Case{1, 0}, Case{1, 1},
+                                           Case{16, 8}, Case{64, 0},
+                                           Case{64, 64}, Case{256, 128},
+                                           Case{1024, 512},
+                                           Case{4096, 1024}));
+
+TEST(ToyProtocolCost, SitsBetweenOneRoundAndTree) {
+  // O(k log log k): cheaper than R^(1) = O(k log k) at large k, costlier
+  // than (or comparable to) the log*-round tree.
+  util::Rng wrng(1);
+  const std::size_t k = 16384;
+  const util::SetPair p =
+      util::random_set_pair(wrng, std::uint64_t{1} << 30, k, k / 2);
+  const core::RunResult toy =
+      core::ToyBucketProtocol{}.run(1, std::uint64_t{1} << 30, p.s, p.t);
+  const core::RunResult one_round =
+      core::OneRoundHashProtocol{}.run(1, std::uint64_t{1} << 30, p.s, p.t);
+  EXPECT_LT(toy.cost.bits_total, one_round.cost.bits_total);
+}
+
+TEST(ToyProtocolCost, GrowsSlowlyWithK) {
+  // bits/k should track log log k: nearly flat across a 64x range of k.
+  util::Rng wrng(2);
+  double rate_small = 0;
+  double rate_large = 0;
+  {
+    const util::SetPair p =
+        util::random_set_pair(wrng, std::uint64_t{1} << 30, 512, 256);
+    const auto r = core::ToyBucketProtocol{}.run(2, std::uint64_t{1} << 30,
+                                                 p.s, p.t);
+    rate_small = static_cast<double>(r.cost.bits_total) / 512;
+  }
+  {
+    const util::SetPair p =
+        util::random_set_pair(wrng, std::uint64_t{1} << 30, 32768, 16384);
+    const auto r = core::ToyBucketProtocol{}.run(3, std::uint64_t{1} << 30,
+                                                 p.s, p.t);
+    rate_large = static_cast<double>(r.cost.bits_total) / 32768;
+  }
+  EXPECT_LT(rate_large, rate_small * 1.6);
+}
+
+TEST(ToyProtocol, DiagnosticsShowConvergence) {
+  util::Rng wrng(3);
+  const util::SetPair p = util::random_set_pair(wrng, 1u << 26, 4096, 2048);
+  sim::SharedRandomness shared(3);
+  sim::Channel ch;
+  core::ToyProtocolDiag diag;
+  core::toy_bucket_intersection(ch, shared, 0, 1u << 26, p.s, p.t, &diag);
+  EXPECT_GT(diag.buckets, 0u);
+  EXPECT_LT(diag.buckets, 4096u);  // k / log k buckets
+  EXPECT_GE(diag.iterations, 1u);
+  EXPECT_LE(diag.iterations, 6u);  // expected O(1) sweeps
+  EXPECT_EQ(diag.fallback_buckets, 0u);
+  // Expected re-runs per bucket < 1.
+  EXPECT_LT(static_cast<double>(diag.total_reruns),
+            static_cast<double>(diag.buckets));
+}
+
+TEST(ToyProtocol, EdgeCases) {
+  sim::SharedRandomness shared(4);
+  {
+    sim::Channel ch;
+    const auto out = core::toy_bucket_intersection(ch, shared, 0, 100,
+                                                   util::Set{}, util::Set{});
+    EXPECT_TRUE(out.alice.empty());
+  }
+  {
+    sim::Channel ch;
+    const util::Set s{1, 2, 3};
+    const auto out = core::toy_bucket_intersection(ch, shared, 0, 100, s, s);
+    EXPECT_EQ(out.alice, s);
+    EXPECT_EQ(out.bob, s);
+  }
+  {
+    sim::Channel ch;
+    const auto out = core::toy_bucket_intersection(
+        ch, shared, 0, 100, util::Set{1, 3}, util::Set{2, 4});
+    EXPECT_TRUE(out.alice.empty());
+    EXPECT_TRUE(out.bob.empty());
+  }
+}
+
+TEST(ToyProtocol, SupersetInvariantAcrossSeeds) {
+  util::Rng wrng(5);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const util::SetPair p = util::random_set_pair(wrng, 1u << 24, 256, 128);
+    sim::SharedRandomness shared(seed);
+    sim::Channel ch;
+    const auto out = core::toy_bucket_intersection(ch, shared, seed, 1u << 24,
+                                                   p.s, p.t);
+    EXPECT_TRUE(util::is_subset(p.expected_intersection, out.alice));
+    EXPECT_TRUE(util::is_subset(out.alice, p.s));
+    EXPECT_TRUE(util::is_subset(p.expected_intersection, out.bob));
+    EXPECT_TRUE(util::is_subset(out.bob, p.t));
+  }
+}
+
+}  // namespace
+}  // namespace setint

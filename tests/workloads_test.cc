@@ -1,0 +1,167 @@
+// Tests for the skewed workload generators and protocol robustness on
+// non-uniform inputs (the protocols' guarantees are distribution-free;
+// these tests check the implementation honours that).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/verification_tree.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+#include "util/workloads.h"
+
+namespace setint {
+namespace {
+
+TEST(ZipfSet, BasicProperties) {
+  util::Rng rng(1);
+  const util::Set s = util::zipf_set(rng, 1u << 24, 500, 1.0);
+  EXPECT_EQ(s.size(), 500u);
+  EXPECT_TRUE(util::is_canonical_set(s));
+  EXPECT_LT(s.back(), 1u << 24);
+}
+
+TEST(ZipfSet, ThetaZeroIsRoughlyUniform) {
+  // At theta = 0 the rank distribution is uniform; the id mixing keeps it
+  // uniform, so the mean element should be near universe/2.
+  util::Rng rng(2);
+  const std::uint64_t universe = 1u << 20;
+  const util::Set s = util::zipf_set(rng, universe, 2000, 0.0);
+  double mean = 0;
+  for (std::uint64_t x : s) mean += static_cast<double>(x);
+  mean /= static_cast<double>(s.size());
+  EXPECT_NEAR(mean, static_cast<double>(universe) / 2,
+              static_cast<double>(universe) / 12);
+}
+
+TEST(ZipfSet, HighThetaConcentratesOnFewRanks) {
+  // With strong skew, repeatedly sampled sets share many elements (the
+  // popular ranks map to the same mixed ids).
+  util::Rng rng(3);
+  const util::Set a = util::zipf_set(rng, 1u << 24, 200, 1.4);
+  const util::Set b = util::zipf_set(rng, 1u << 24, 200, 1.4);
+  EXPECT_GT(util::set_intersection(a, b).size(), 50u);
+}
+
+TEST(ZipfSet, ThetaExactlyOneUsesLogarithmicBranch) {
+  // theta == 1 takes a dedicated inverse-CDF branch; it must produce a
+  // valid skewed set like its neighbours.
+  util::Rng rng(21);
+  const util::Set s = util::zipf_set(rng, 1u << 22, 300, 1.0);
+  EXPECT_EQ(s.size(), 300u);
+  EXPECT_TRUE(util::is_canonical_set(s));
+  // Skew sanity: two theta=1 draws share noticeably more than uniform
+  // draws would (300^2 / 2^22 ~ 0.02 expected collisions for uniform).
+  const util::Set s2 = util::zipf_set(rng, 1u << 22, 300, 1.0);
+  EXPECT_GT(util::set_intersection(s, s2).size(), 20u);
+}
+
+TEST(ClusteredSet, WrapsAroundUniverseEnd) {
+  // Force a cluster near the top so the (start + i) % universe wrap path
+  // runs; the set must remain canonical and inside the universe.
+  util::Rng rng(22);
+  for (int trial = 0; trial < 50; ++trial) {
+    const util::Set s = util::clustered_set(rng, 1000, 400, 1);
+    EXPECT_EQ(s.size(), 400u);
+    EXPECT_TRUE(util::is_canonical_set(s));
+    EXPECT_LT(s.back(), 1000u);
+  }
+}
+
+TEST(ZipfSet, RejectsBadParameters) {
+  util::Rng rng(4);
+  EXPECT_THROW(util::zipf_set(rng, 100, 60, 1.0), std::invalid_argument);
+  EXPECT_THROW(util::zipf_set(rng, 100, 10, -0.5), std::invalid_argument);
+}
+
+TEST(ClusteredSet, BasicProperties) {
+  util::Rng rng(5);
+  const util::Set s = util::clustered_set(rng, 1u << 24, 400, 4);
+  EXPECT_EQ(s.size(), 400u);
+  EXPECT_TRUE(util::is_canonical_set(s));
+  // Clustered: most adjacent gaps are exactly 1.
+  std::size_t unit_gaps = 0;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    unit_gaps += (s[i] - s[i - 1] == 1);
+  }
+  EXPECT_GT(unit_gaps, s.size() * 8 / 10);
+}
+
+TEST(ClusteredSet, RejectsBadParameters) {
+  util::Rng rng(6);
+  EXPECT_THROW(util::clustered_set(rng, 100, 10, 0), std::invalid_argument);
+}
+
+struct SkewCase {
+  double theta;
+  std::size_t clusters;
+};
+
+class SkewedPair : public ::testing::TestWithParam<SkewCase> {};
+
+TEST_P(SkewedPair, ExactOverlapAndProtocolCorrectness) {
+  util::Rng rng(7 + static_cast<std::uint64_t>(GetParam().theta * 10) +
+                GetParam().clusters);
+  util::SkewedPairOptions options;
+  options.universe = 1u << 26;
+  options.k = 1024;
+  options.shared = 512;
+  options.zipf_theta = GetParam().theta;
+  options.clusters = GetParam().clusters;
+  const util::SetPair p = util::skewed_set_pair(rng, options);
+  EXPECT_EQ(p.s.size(), options.k);
+  EXPECT_EQ(p.t.size(), options.k);
+  EXPECT_EQ(p.expected_intersection.size(), options.shared);
+
+  // The protocol must be exactly as reliable on skewed inputs: the bucket
+  // hash is the protocol's own randomness, not the adversary's.
+  sim::SharedRandomness shared(99);
+  sim::Channel ch;
+  const auto out = core::verification_tree_intersection(
+      ch, shared, 0, options.universe, p.s, p.t, {});
+  EXPECT_EQ(out.alice, p.expected_intersection);
+  EXPECT_EQ(out.bob, p.expected_intersection);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SkewedPair,
+                         ::testing::Values(SkewCase{0.0, 0},
+                                           SkewCase{0.8, 0},
+                                           SkewCase{1.2, 0},
+                                           SkewCase{0.0, 2},
+                                           SkewCase{0.0, 16}));
+
+TEST(SkewRobustness, CostsMatchUniformWithinTolerance) {
+  // Communication on skewed inputs should be within a small factor of the
+  // uniform-workload cost at the same (k, overlap).
+  const std::size_t k = 4096;
+  auto cost_of = [&](const util::SetPair& p) {
+    sim::SharedRandomness shared(5);
+    sim::Channel ch;
+    core::verification_tree_intersection(ch, shared, 0, 1u << 26, p.s, p.t,
+                                         {});
+    return static_cast<double>(ch.cost().bits_total);
+  };
+  util::Rng rng(8);
+  const util::SetPair uniform = util::random_set_pair(rng, 1u << 26, k, k / 2);
+  util::SkewedPairOptions zipf_options;
+  zipf_options.universe = 1u << 26;
+  zipf_options.k = k;
+  zipf_options.shared = k / 2;
+  zipf_options.zipf_theta = 1.1;
+  const util::SetPair zipf = util::skewed_set_pair(rng, zipf_options);
+  util::SkewedPairOptions cluster_options;
+  cluster_options.universe = 1u << 26;
+  cluster_options.k = k;
+  cluster_options.shared = k / 2;
+  cluster_options.clusters = 8;
+  const util::SetPair clustered = util::skewed_set_pair(rng, cluster_options);
+
+  const double base = cost_of(uniform);
+  EXPECT_NEAR(cost_of(zipf), base, base * 0.25);
+  EXPECT_NEAR(cost_of(clustered), base, base * 0.25);
+}
+
+}  // namespace
+}  // namespace setint
