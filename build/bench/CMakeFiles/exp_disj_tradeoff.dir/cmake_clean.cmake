@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_disj_tradeoff.dir/exp_disj_tradeoff.cc.o"
+  "CMakeFiles/exp_disj_tradeoff.dir/exp_disj_tradeoff.cc.o.d"
+  "exp_disj_tradeoff"
+  "exp_disj_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_disj_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_eqk.dir/exp_eqk.cc.o"
+  "CMakeFiles/exp_eqk.dir/exp_eqk.cc.o.d"
+  "exp_eqk"
+  "exp_eqk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_eqk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_error.dir/exp_error.cc.o"
+  "CMakeFiles/exp_error.dir/exp_error.cc.o.d"
+  "exp_error"
+  "exp_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

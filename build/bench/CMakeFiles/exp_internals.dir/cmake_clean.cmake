@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_internals.dir/exp_internals.cc.o"
+  "CMakeFiles/exp_internals.dir/exp_internals.cc.o.d"
+  "exp_internals"
+  "exp_internals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_intersection_size.dir/exp_intersection_size.cc.o"
+  "CMakeFiles/exp_intersection_size.dir/exp_intersection_size.cc.o.d"
+  "exp_intersection_size"
+  "exp_intersection_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_intersection_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_multiparty_avg.dir/exp_multiparty_avg.cc.o"
+  "CMakeFiles/exp_multiparty_avg.dir/exp_multiparty_avg.cc.o.d"
+  "exp_multiparty_avg"
+  "exp_multiparty_avg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_multiparty_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

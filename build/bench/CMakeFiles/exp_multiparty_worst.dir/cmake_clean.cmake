@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_multiparty_worst.dir/exp_multiparty_worst.cc.o"
+  "CMakeFiles/exp_multiparty_worst.dir/exp_multiparty_worst.cc.o.d"
+  "exp_multiparty_worst"
+  "exp_multiparty_worst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_multiparty_worst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

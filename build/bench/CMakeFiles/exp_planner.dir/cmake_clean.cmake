@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_planner.dir/exp_planner.cc.o"
+  "CMakeFiles/exp_planner.dir/exp_planner.cc.o.d"
+  "exp_planner"
+  "exp_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_private_coin.dir/exp_private_coin.cc.o"
+  "CMakeFiles/exp_private_coin.dir/exp_private_coin.cc.o.d"
+  "exp_private_coin"
+  "exp_private_coin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_private_coin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_rounds.dir/exp_rounds.cc.o"
+  "CMakeFiles/exp_rounds.dir/exp_rounds.cc.o.d"
+  "exp_rounds"
+  "exp_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_skew.dir/exp_skew.cc.o"
+  "CMakeFiles/exp_skew.dir/exp_skew.cc.o.d"
+  "exp_skew"
+  "exp_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_zoo.dir/exp_zoo.cc.o"
+  "CMakeFiles/exp_zoo.dir/exp_zoo.cc.o.d"
+  "exp_zoo"
+  "exp_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_join.dir/distributed_join.cpp.o"
+  "CMakeFiles/example_distributed_join.dir/distributed_join.cpp.o.d"
+  "example_distributed_join"
+  "example_distributed_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_jaccard_similarity.dir/jaccard_similarity.cpp.o"
+  "CMakeFiles/example_jaccard_similarity.dir/jaccard_similarity.cpp.o.d"
+  "example_jaccard_similarity"
+  "example_jaccard_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_jaccard_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multiparty_dedup.dir/multiparty_dedup.cpp.o"
+  "CMakeFiles/example_multiparty_dedup.dir/multiparty_dedup.cpp.o.d"
+  "example_multiparty_dedup"
+  "example_multiparty_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multiparty_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

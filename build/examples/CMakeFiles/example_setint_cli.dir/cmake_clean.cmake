@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_setint_cli.dir/setint_cli.cpp.o"
+  "CMakeFiles/example_setint_cli.dir/setint_cli.cpp.o.d"
+  "example_setint_cli"
+  "example_setint_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_setint_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

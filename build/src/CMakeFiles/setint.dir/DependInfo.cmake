@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/join.cc" "src/CMakeFiles/setint.dir/apps/join.cc.o" "gcc" "src/CMakeFiles/setint.dir/apps/join.cc.o.d"
+  "/root/repo/src/apps/multiparty_apps.cc" "src/CMakeFiles/setint.dir/apps/multiparty_apps.cc.o" "gcc" "src/CMakeFiles/setint.dir/apps/multiparty_apps.cc.o.d"
+  "/root/repo/src/apps/reconcile.cc" "src/CMakeFiles/setint.dir/apps/reconcile.cc.o" "gcc" "src/CMakeFiles/setint.dir/apps/reconcile.cc.o.d"
+  "/root/repo/src/apps/similarity.cc" "src/CMakeFiles/setint.dir/apps/similarity.cc.o" "gcc" "src/CMakeFiles/setint.dir/apps/similarity.cc.o.d"
+  "/root/repo/src/baselines/hw_disjointness.cc" "src/CMakeFiles/setint.dir/baselines/hw_disjointness.cc.o" "gcc" "src/CMakeFiles/setint.dir/baselines/hw_disjointness.cc.o.d"
+  "/root/repo/src/baselines/st13_disjointness.cc" "src/CMakeFiles/setint.dir/baselines/st13_disjointness.cc.o" "gcc" "src/CMakeFiles/setint.dir/baselines/st13_disjointness.cc.o.d"
+  "/root/repo/src/core/basic_intersection.cc" "src/CMakeFiles/setint.dir/core/basic_intersection.cc.o" "gcc" "src/CMakeFiles/setint.dir/core/basic_intersection.cc.o.d"
+  "/root/repo/src/core/bucket_eq.cc" "src/CMakeFiles/setint.dir/core/bucket_eq.cc.o" "gcc" "src/CMakeFiles/setint.dir/core/bucket_eq.cc.o.d"
+  "/root/repo/src/core/deterministic_exchange.cc" "src/CMakeFiles/setint.dir/core/deterministic_exchange.cc.o" "gcc" "src/CMakeFiles/setint.dir/core/deterministic_exchange.cc.o.d"
+  "/root/repo/src/core/one_round_hash.cc" "src/CMakeFiles/setint.dir/core/one_round_hash.cc.o" "gcc" "src/CMakeFiles/setint.dir/core/one_round_hash.cc.o.d"
+  "/root/repo/src/core/parties.cc" "src/CMakeFiles/setint.dir/core/parties.cc.o" "gcc" "src/CMakeFiles/setint.dir/core/parties.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/CMakeFiles/setint.dir/core/planner.cc.o" "gcc" "src/CMakeFiles/setint.dir/core/planner.cc.o.d"
+  "/root/repo/src/core/private_coin.cc" "src/CMakeFiles/setint.dir/core/private_coin.cc.o" "gcc" "src/CMakeFiles/setint.dir/core/private_coin.cc.o.d"
+  "/root/repo/src/core/protocol.cc" "src/CMakeFiles/setint.dir/core/protocol.cc.o" "gcc" "src/CMakeFiles/setint.dir/core/protocol.cc.o.d"
+  "/root/repo/src/core/toy_protocol.cc" "src/CMakeFiles/setint.dir/core/toy_protocol.cc.o" "gcc" "src/CMakeFiles/setint.dir/core/toy_protocol.cc.o.d"
+  "/root/repo/src/core/tree_parties.cc" "src/CMakeFiles/setint.dir/core/tree_parties.cc.o" "gcc" "src/CMakeFiles/setint.dir/core/tree_parties.cc.o.d"
+  "/root/repo/src/core/verification_tree.cc" "src/CMakeFiles/setint.dir/core/verification_tree.cc.o" "gcc" "src/CMakeFiles/setint.dir/core/verification_tree.cc.o.d"
+  "/root/repo/src/eq/amortized_eq.cc" "src/CMakeFiles/setint.dir/eq/amortized_eq.cc.o" "gcc" "src/CMakeFiles/setint.dir/eq/amortized_eq.cc.o.d"
+  "/root/repo/src/eq/equality.cc" "src/CMakeFiles/setint.dir/eq/equality.cc.o" "gcc" "src/CMakeFiles/setint.dir/eq/equality.cc.o.d"
+  "/root/repo/src/hashing/fks.cc" "src/CMakeFiles/setint.dir/hashing/fks.cc.o" "gcc" "src/CMakeFiles/setint.dir/hashing/fks.cc.o.d"
+  "/root/repo/src/hashing/mask_hash.cc" "src/CMakeFiles/setint.dir/hashing/mask_hash.cc.o" "gcc" "src/CMakeFiles/setint.dir/hashing/mask_hash.cc.o.d"
+  "/root/repo/src/hashing/modmath.cc" "src/CMakeFiles/setint.dir/hashing/modmath.cc.o" "gcc" "src/CMakeFiles/setint.dir/hashing/modmath.cc.o.d"
+  "/root/repo/src/hashing/pairwise.cc" "src/CMakeFiles/setint.dir/hashing/pairwise.cc.o" "gcc" "src/CMakeFiles/setint.dir/hashing/pairwise.cc.o.d"
+  "/root/repo/src/hashing/primes.cc" "src/CMakeFiles/setint.dir/hashing/primes.cc.o" "gcc" "src/CMakeFiles/setint.dir/hashing/primes.cc.o.d"
+  "/root/repo/src/multiparty/coordinator.cc" "src/CMakeFiles/setint.dir/multiparty/coordinator.cc.o" "gcc" "src/CMakeFiles/setint.dir/multiparty/coordinator.cc.o.d"
+  "/root/repo/src/multiparty/tournament.cc" "src/CMakeFiles/setint.dir/multiparty/tournament.cc.o" "gcc" "src/CMakeFiles/setint.dir/multiparty/tournament.cc.o.d"
+  "/root/repo/src/reductions/eqk_to_int.cc" "src/CMakeFiles/setint.dir/reductions/eqk_to_int.cc.o" "gcc" "src/CMakeFiles/setint.dir/reductions/eqk_to_int.cc.o.d"
+  "/root/repo/src/setint.cc" "src/CMakeFiles/setint.dir/setint.cc.o" "gcc" "src/CMakeFiles/setint.dir/setint.cc.o.d"
+  "/root/repo/src/sim/channel.cc" "src/CMakeFiles/setint.dir/sim/channel.cc.o" "gcc" "src/CMakeFiles/setint.dir/sim/channel.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/setint.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/setint.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/runtime.cc" "src/CMakeFiles/setint.dir/sim/runtime.cc.o" "gcc" "src/CMakeFiles/setint.dir/sim/runtime.cc.o.d"
+  "/root/repo/src/sim/transcript.cc" "src/CMakeFiles/setint.dir/sim/transcript.cc.o" "gcc" "src/CMakeFiles/setint.dir/sim/transcript.cc.o.d"
+  "/root/repo/src/util/bitio.cc" "src/CMakeFiles/setint.dir/util/bitio.cc.o" "gcc" "src/CMakeFiles/setint.dir/util/bitio.cc.o.d"
+  "/root/repo/src/util/iterated_log.cc" "src/CMakeFiles/setint.dir/util/iterated_log.cc.o" "gcc" "src/CMakeFiles/setint.dir/util/iterated_log.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/setint.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/setint.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/set_util.cc" "src/CMakeFiles/setint.dir/util/set_util.cc.o" "gcc" "src/CMakeFiles/setint.dir/util/set_util.cc.o.d"
+  "/root/repo/src/util/workloads.cc" "src/CMakeFiles/setint.dir/util/workloads.cc.o" "gcc" "src/CMakeFiles/setint.dir/util/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amortized_eq_test.dir/amortized_eq_test.cc.o"
+  "CMakeFiles/amortized_eq_test.dir/amortized_eq_test.cc.o.d"
+  "amortized_eq_test"
+  "amortized_eq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amortized_eq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basic_intersection_test.dir/basic_intersection_test.cc.o"
+  "CMakeFiles/basic_intersection_test.dir/basic_intersection_test.cc.o.d"
+  "basic_intersection_test"
+  "basic_intersection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basic_intersection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bucket_eq_test.dir/bucket_eq_test.cc.o"
+  "CMakeFiles/bucket_eq_test.dir/bucket_eq_test.cc.o.d"
+  "bucket_eq_test"
+  "bucket_eq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bucket_eq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

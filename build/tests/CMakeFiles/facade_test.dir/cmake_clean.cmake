@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facade_test.dir/facade_test.cc.o"
+  "CMakeFiles/facade_test.dir/facade_test.cc.o.d"
+  "facade_test"
+  "facade_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

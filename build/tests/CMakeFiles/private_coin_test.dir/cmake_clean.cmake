@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_coin_test.dir/private_coin_test.cc.o"
+  "CMakeFiles/private_coin_test.dir/private_coin_test.cc.o.d"
+  "private_coin_test"
+  "private_coin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_coin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toy_protocol_test.dir/toy_protocol_test.cc.o"
+  "CMakeFiles/toy_protocol_test.dir/toy_protocol_test.cc.o.d"
+  "toy_protocol_test"
+  "toy_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toy_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_parties_test.dir/tree_parties_test.cc.o"
+  "CMakeFiles/tree_parties_test.dir/tree_parties_test.cc.o.d"
+  "tree_parties_test"
+  "tree_parties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_parties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
