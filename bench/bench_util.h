@@ -1,28 +1,96 @@
-// Shared helpers for the experiment binaries: aligned table printing and
-// repeated-trial measurement of protocol costs.
+// Shared infrastructure for the experiment binaries.
+//
+// Every exp_* binary follows the same contract (docs/OBSERVABILITY.md §
+// "bench pipeline"):
+//
+//   exp_foo [--seed=<u64>] [--json=<path>] [--smoke]
+//
+// * --seed seeds all workload generation and protocol randomness; two runs
+//   with the same seed produce byte-identical JSON except the wall_ms
+//   field (pinned by tools/check_bench_determinism.sh).
+// * --json writes a schema-versioned machine-readable record of every
+//   table the binary printed (plus experiment-specific notes such as phase
+//   breakdowns) — the BENCH_<exp>.json perf-trajectory files at the repo
+//   root are produced this way by tools/run_benches.sh.
+// * --smoke shrinks workloads to seconds-scale so ctest can keep every
+//   bench binary from bit-rotting.
+//
+// Usage inside a binary:
+//
+//   auto rep = bench::Reporter::FromArgs("tradeoff", argc, argv);
+//   auto& t = rep.table("E1a: ...", {"k", "bits"});
+//   t.add_row({bench::fmt_u64(k), bench::fmt_u64(bits)});
+//   t.print();
+//   return rep.finish();
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
+#include "obs/json.h"
 #include "sim/channel.h"
 #include "util/rng.h"
 #include "util/set_util.h"
 
 namespace setint::bench {
 
+// Version of the BENCH_*.json schema. Bump when renaming top-level keys or
+// changing row encoding; consumers gate on it.
+inline constexpr int kBenchSchemaVersion = 1;
+
+struct Options {
+  std::uint64_t seed = 0x5e71;
+  bool smoke = false;
+  std::string json_path;  // empty = human tables only
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--seed=", 0) == 0) {
+        o.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      } else if (arg.rfind("--json=", 0) == 0) {
+        o.json_path = arg.substr(7);
+      } else if (arg == "--smoke") {
+        o.smoke = true;
+      } else {
+        throw std::runtime_error(
+            "unknown flag: " + arg +
+            " (expected --seed=<u64> --json=<path> --smoke)");
+      }
+    }
+    return o;
+  }
+};
+
+// Picks the full or the smoke-sized variant of a workload parameter list.
+template <typename T>
+std::vector<T> sizes(const Options& opts, std::vector<T> full,
+                     std::vector<T> smoke) {
+  return opts.smoke ? std::move(smoke) : std::move(full);
+}
+
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
-// Prints rows of pre-formatted cells with column alignment.
+// Prints rows of pre-formatted cells with column alignment and remembers
+// them for the JSON record (cells that parse fully as numbers are emitted
+// typed).
 class Table {
  public:
-  explicit Table(std::vector<std::string> columns)
-      : widths_(columns.size()) {
-    add_row(std::move(columns));
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(columns), widths_(columns.size()) {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      widths_[i] = columns[i].size();
+    }
   }
 
   void add_row(std::vector<std::string> cells) {
@@ -33,23 +101,114 @@ class Table {
   }
 
   void print() const {
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
-        std::printf("%-*s  ", static_cast<int>(widths_[c]),
-                    rows_[r][c].c_str());
+    print_header(title_);
+    print_cells(columns_);
+    std::size_t total = 0;
+    for (std::size_t w : widths_) total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_cells(row);
+  }
+
+  obs::Json ToJson() const {
+    obs::Json section = obs::Json::object();
+    section["title"] = title_;
+    obs::Json& columns = section["columns"] = obs::Json::array();
+    for (const auto& c : columns_) columns.push_back(c);
+    obs::Json& rows = section["rows"] = obs::Json::array();
+    for (const auto& row : rows_) {
+      obs::Json record = obs::Json::object();
+      for (std::size_t c = 0; c < row.size() && c < columns_.size(); ++c) {
+        record[columns_[c]] = obs::Json::from_cell(row[c]);
       }
-      std::printf("\n");
-      if (r == 0) {
-        std::size_t total = 0;
-        for (std::size_t w : widths_) total += w + 2;
-        std::printf("%s\n", std::string(total, '-').c_str());
-      }
+      rows.push_back(std::move(record));
     }
+    return section;
   }
 
  private:
+  void print_cells(const std::vector<std::string>& cells) const {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths_[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::string title_;
+  std::vector<std::string> columns_;
   std::vector<std::size_t> widths_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+// Collects every table (and free-form notes) of one experiment run and
+// writes the BENCH_<exp>.json record on finish().
+class Reporter {
+ public:
+  Reporter(std::string experiment, Options opts)
+      : experiment_(std::move(experiment)),
+        opts_(std::move(opts)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  // Parses flags and reports usage errors with exit code 2.
+  static Reporter FromArgs(std::string experiment, int argc, char** argv) {
+    try {
+      return Reporter(std::move(experiment), Options::parse(argc, argv));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      std::exit(2);
+    }
+  }
+
+  const Options& options() const { return opts_; }
+  std::uint64_t seed() const { return opts_.seed; }
+  bool smoke() const { return opts_.smoke; }
+
+  // Workload seed for a named sweep point, decorrelated across (label,
+  // a, b) but stable under --seed.
+  std::uint64_t seed_for(std::uint64_t a, std::uint64_t b = 0) const {
+    return util::mix64(opts_.seed, util::mix64(a, b));
+  }
+
+  Table& table(std::string title, std::vector<std::string> columns) {
+    tables_.emplace_back(std::move(title), std::move(columns));
+    return tables_.back();
+  }
+
+  // Attach an experiment-specific JSON payload (phase breakdowns, shape
+  // verdicts, ...) under notes.<key>.
+  void note(std::string_view key, obs::Json value) {
+    notes_[key] = std::move(value);
+  }
+
+  // Writes the JSON record if --json was given. Returns `exit_code` so
+  // main() can end with `return rep.finish(ok ? 0 : 1);`.
+  int finish(int exit_code = 0) {
+    if (opts_.json_path.empty()) return exit_code;
+    obs::Json doc = obs::Json::object();
+    doc["schema_version"] = kBenchSchemaVersion;
+    doc["experiment"] = experiment_;
+    doc["seed"] = opts_.seed;
+    doc["smoke"] = opts_.smoke;
+    doc["exit_code"] = exit_code;
+    obs::Json& sections = doc["sections"] = obs::Json::array();
+    for (const auto& t : tables_) sections.push_back(t.ToJson());
+    if (!notes_.is_null()) doc["notes"] = std::move(notes_);
+    // Wall clock goes last, alone on its line (pretty-printed), so the
+    // determinism check can strip it with a line filter.
+    doc["wall_ms"] =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    obs::write_file(opts_.json_path, doc.dump(2));
+    std::printf("\n[bench] wrote %s\n", opts_.json_path.c_str());
+    return exit_code;
+  }
+
+ private:
+  std::string experiment_;
+  Options opts_;
+  std::deque<Table> tables_;  // deque: stable references from table()
+  obs::Json notes_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }

@@ -1,0 +1,34 @@
+# Runs BENCH_BIN twice with the same seed and asserts the JSON records are
+# identical after stripping the wall_ms line (the only volatile field —
+# bench_util.h keeps it alone on its own line for exactly this filter).
+#
+# Invoked by ctest as:
+#   cmake -DBENCH_BIN=<exe> -DOUT_DIR=<dir> -P check_determinism.cmake
+
+foreach(run a b)
+  execute_process(
+    COMMAND ${BENCH_BIN} --smoke --seed=42
+            --json=${OUT_DIR}/determinism_${run}.json
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench run ${run} failed with exit code ${rc}")
+  endif()
+endforeach()
+
+foreach(run a b)
+  file(STRINGS ${OUT_DIR}/determinism_${run}.json lines_${run})
+  set(filtered_${run} "")
+  foreach(line IN LISTS lines_${run})
+    if(NOT line MATCHES "\"wall_ms\"")
+      string(APPEND filtered_${run} "${line}\n")
+    endif()
+  endforeach()
+endforeach()
+
+if(NOT filtered_a STREQUAL filtered_b)
+  message(FATAL_ERROR
+          "same-seed bench runs produced different JSON records "
+          "(${OUT_DIR}/determinism_a.json vs determinism_b.json)")
+endif()
+message(STATUS "bench determinism check passed")

@@ -56,21 +56,23 @@ Outcome sweep(std::size_t k, const core::VerificationTreeParams& params,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setint;
-  const std::size_t k = 4096;
-  const int trials = 10;
+  auto rep = bench::Reporter::FromArgs("ablation", argc, argv);
+  const std::size_t k = rep.smoke() ? 1024 : 4096;
+  const int trials = rep.smoke() ? 3 : 10;
+  const std::string per_trials = "inexact/" + std::to_string(trials);
 
-  bench::print_header(
-      "E12a: bucket-count ablation  (paper: exactly k buckets; k = 4096, "
-      "r = 3)");
   {
-    bench::Table table({"buckets", "bits/elem", "BI runs", "inexact/10"});
+    auto& table = rep.table(
+        "E12a: bucket-count ablation  (paper: exactly k buckets; k = " +
+            std::to_string(k) + ", r = 3)",
+        {"buckets", "bits/elem", "BI runs", per_trials});
     for (std::size_t buckets : {k / 8, k / 2, k, 2 * k, 8 * k}) {
       core::VerificationTreeParams params;
       params.rounds_r = 3;
       params.bucket_count = buckets;
-      const Outcome o = sweep(k, params, trials, buckets);
+      const Outcome o = sweep(k, params, trials, rep.seed_for(buckets));
       table.add_row({bench::fmt_u64(buckets),
                      bench::fmt_double(o.bits_per_element),
                      bench::fmt_u64(o.reruns), bench::fmt_u64(o.inexact)});
@@ -84,17 +86,18 @@ int main() {
         "choice of k buckets sits safely on the flat part.\n");
   }
 
-  bench::print_header(
-      "E12b: equality-bit schedule ablation  (paper constant: 4 log^(r-i) "
-      "k bits)");
   {
-    bench::Table table({"eq_bits_scale", "bits/elem", "inexact/10"});
+    auto& table = rep.table(
+        "E12b: equality-bit schedule ablation  (paper constant: 4 log^(r-i) "
+        "k bits)",
+        {"eq_bits_scale", "bits/elem", per_trials});
     for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
       core::VerificationTreeParams params;
       params.rounds_r = 3;
       params.eq_bits_scale = scale;
-      const Outcome o = sweep(k, params, trials,
-                              static_cast<std::uint64_t>(scale * 100));
+      const Outcome o = sweep(
+          k, params, trials,
+          rep.seed_for(static_cast<std::uint64_t>(scale * 100)));
       table.add_row({bench::fmt_double(scale),
                      bench::fmt_double(o.bits_per_element),
                      bench::fmt_u64(o.inexact)});
@@ -109,17 +112,18 @@ int main() {
         "tree, where repairs are pricier.\n");
   }
 
-  bench::print_header(
-      "E12c: Basic-Intersection range ablation  (paper: t = Theta(m^(i+2)))");
   {
-    bench::Table table({"bi_range_scale", "bits/elem", "BI runs",
-                        "inexact/10"});
+    auto& table = rep.table(
+        "E12c: Basic-Intersection range ablation  (paper: t = "
+        "Theta(m^(i+2)))",
+        {"bi_range_scale", "bits/elem", "BI runs", per_trials});
     for (double scale : {0.01, 0.1, 1.0, 10.0}) {
       core::VerificationTreeParams params;
       params.rounds_r = 3;
       params.bi_range_scale = scale;
-      const Outcome o = sweep(k, params, trials,
-                              static_cast<std::uint64_t>(scale * 1000) + 7);
+      const Outcome o = sweep(
+          k, params, trials,
+          rep.seed_for(static_cast<std::uint64_t>(scale * 1000) + 7));
       table.add_row({bench::fmt_double(scale, 2),
                      bench::fmt_double(o.bits_per_element),
                      bench::fmt_u64(o.reruns), bench::fmt_u64(o.inexact)});
@@ -133,14 +137,16 @@ int main() {
         "the stress tests) degrades accuracy.\n");
   }
 
-  bench::print_header(
-      "E12d: warm-up protocol vs the tree  (O(k loglog k) vs O(k "
-      "log^(r) k))");
   {
-    bench::Table table({"k", "toy bits/elem", "tree r=2 bits/elem",
-                        "tree r=log*k bits/elem"});
-    for (std::size_t kk : {1024u, 4096u, 16384u, 65536u}) {
-      util::Rng wrng(kk);
+    auto& table = rep.table(
+        "E12d: warm-up protocol vs the tree  (O(k loglog k) vs O(k "
+        "log^(r) k))",
+        {"k", "toy bits/elem", "tree r=2 bits/elem",
+         "tree r=log*k bits/elem"});
+    const std::vector<std::size_t> kks = bench::sizes<std::size_t>(
+        rep.options(), {1024, 4096, 16384, 65536}, {1024, 4096});
+    for (std::size_t kk : kks) {
+      util::Rng wrng(rep.seed_for(kk));
       const util::SetPair p =
           util::random_set_pair(wrng, std::uint64_t{1} << 30, kk, kk / 2);
       const auto toy =
@@ -170,5 +176,5 @@ int main() {
         "k ~ 2^40, a nice reminder that the paper's contribution is an\n"
         "asymptotic one.\n");
   }
-  return 0;
+  return rep.finish();
 }

@@ -12,27 +12,30 @@
 #include "util/rng.h"
 #include "util/set_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setint;
+  auto reporter = bench::Reporter::FromArgs("applications", argc, argv);
   const std::uint64_t universe = std::uint64_t{1} << 32;
 
-  bench::print_header(
-      "E7a: exact similarity statistics at O(k) communication");
   {
-    bench::Table table({"k", "overlap", "jaccard", "hamming", "distinct",
-                        "rarity1", "rarity2", "bits/elem", "rounds",
-                        "exact"});
-    for (std::size_t k : {1024u, 8192u}) {
+    auto& table = reporter.table(
+        "E7a: exact similarity statistics at O(k) communication",
+        {"k", "overlap", "jaccard", "hamming", "distinct", "rarity1",
+         "rarity2", "bits/elem", "rounds", "exact"});
+    const std::vector<std::size_t> ks = bench::sizes<std::size_t>(
+        reporter.options(), {1024, 8192}, {1024});
+    for (std::size_t k : ks) {
       for (double alpha : {0.1, 0.5, 0.9}) {
-        util::Rng wrng(k + static_cast<std::uint64_t>(alpha * 100));
+        util::Rng wrng(
+            reporter.seed_for(k, static_cast<std::uint64_t>(alpha * 100)));
         const auto shared_count =
             static_cast<std::size_t>(alpha * static_cast<double>(k));
         const util::SetPair p =
             util::random_set_pair(wrng, universe, k, shared_count);
-        sim::SharedRandomness shared(k);
+        sim::SharedRandomness shared(reporter.seed_for(k));
         sim::Channel ch;
-        const apps::SimilarityReport rep =
-            apps::similarity_report(ch, shared, 0, universe, p.s, p.t);
+        const apps::SimilarityReport rep = apps::similarity_report(
+            ch, shared, reporter.seed(), universe, p.s, p.t);
         const util::Set uni = util::set_union(p.s, p.t);
         const bool exact =
             rep.intersection == p.expected_intersection &&
@@ -52,14 +55,16 @@ int main() {
     table.print();
   }
 
-  bench::print_header(
-      "E7b: distributed join — protocol plan vs naive ship-the-table");
   {
-    bench::Table table({"table k", "join size", "protocol+payload bits",
-                        "naive bits", "saving", "rows correct"});
-    for (std::size_t k : {512u, 4096u}) {
+    auto& table = reporter.table(
+        "E7b: distributed join — protocol plan vs naive ship-the-table",
+        {"table k", "join size", "protocol+payload bits", "naive bits",
+         "saving", "rows correct"});
+    const std::vector<std::size_t> ks = bench::sizes<std::size_t>(
+        reporter.options(), {512, 4096}, {512});
+    for (std::size_t k : ks) {
       for (std::size_t join_size : {std::size_t{8}, k / 8, k / 2}) {
-        util::Rng wrng(k + join_size);
+        util::Rng wrng(reporter.seed_for(k + join_size));
         const util::SetPair p =
             util::random_set_pair(wrng, universe, k, join_size);
         std::vector<apps::Row> left;
@@ -70,10 +75,10 @@ int main() {
         for (std::uint64_t key : p.t) {
           right.push_back(apps::Row{key, "invoice#" + std::to_string(key)});
         }
-        sim::SharedRandomness shared(k * 3 + join_size);
+        sim::SharedRandomness shared(reporter.seed_for(k * 3 + join_size));
         sim::Channel ch;
         const apps::JoinResult res = apps::distributed_join(
-            ch, shared, 0, universe, left, right);
+            ch, shared, reporter.seed(), universe, left, right);
         const std::uint64_t plan_bits =
             res.key_protocol_bits + res.payload_bits;
         table.add_row(
@@ -91,5 +96,5 @@ int main() {
         "\nShape check: savings are largest for selective joins (small\n"
         "join size), where shipping whole tables is most wasteful.\n");
   }
-  return 0;
+  return reporter.finish();
 }

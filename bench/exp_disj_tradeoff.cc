@@ -20,25 +20,26 @@
 #include "util/rng.h"
 #include "util/set_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setint;
+  auto rep = bench::Reporter::FromArgs("disj_tradeoff", argc, argv);
   const std::uint64_t universe = std::uint64_t{1} << 32;
-  const std::size_t k = 8192;
+  const std::size_t k = rep.smoke() ? 1024 : 8192;
 
-  bench::print_header(
+  auto& table = rep.table(
       "E13: r-round tradeoff, DISJ (ST13-style) vs INT (Theorem 1.1), "
-      "k = 8192");
-  bench::Table table({"r", "DISJ bits/elem (disjoint)",
-                      "DISJ bits/elem (intersecting)", "DISJ correct",
-                      "INT bits/elem", "INT exact", "log^(r) k"});
+      "k = " + std::to_string(k),
+      {"r", "DISJ bits/elem (disjoint)", "DISJ bits/elem (intersecting)",
+       "DISJ correct", "INT bits/elem", "INT exact", "log^(r) k"});
   for (int r = 1; r <= 5; ++r) {
-    util::Rng wrng(static_cast<std::uint64_t>(r));
+    util::Rng wrng(rep.seed_for(static_cast<std::uint64_t>(r)));
     const util::SetPair disjoint_pair =
         util::random_set_pair(wrng, universe, k, 0);
     const util::SetPair overlapping_pair =
         util::random_set_pair(wrng, universe, k, k / 2);
 
-    sim::SharedRandomness shared(static_cast<std::uint64_t>(r) * 11);
+    sim::SharedRandomness shared(
+        rep.seed_for(static_cast<std::uint64_t>(r) * 11));
     sim::Channel disj_ch;
     const auto disj_answer = baselines::st13_disjointness(
         disj_ch, shared, 0, universe, disjoint_pair.s, disjoint_pair.t, r);
@@ -81,5 +82,5 @@ int main() {
       "~k/2 survivors at Theta(log k) bits each, erasing the tradeoff\n"
       "exactly when the intersection is large. The verification tree\n"
       "handles that case at the same flat cost (see E8).\n");
-  return 0;
+  return rep.finish();
 }

@@ -58,17 +58,19 @@ EqkRun run_eqk(std::size_t k, unsigned nbits, double equal_fraction,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setint;
+  auto rep = bench::Reporter::FromArgs("eqk", argc, argv);
 
-  bench::print_header(
-      "E10a: EQ^k via INT_k — bits per instance vs k  (n = 256 bits, half "
-      "equal)");
   {
-    bench::Table table({"k", "bits/instance", "rounds",
-                        "6*log*(k) budget", "all correct"});
-    for (std::size_t k : {64u, 256u, 1024u, 4096u, 16384u}) {
-      const EqkRun r = run_eqk(k, 256, 0.5, k);
+    auto& table = rep.table(
+        "E10a: EQ^k via INT_k — bits per instance vs k  (n = 256 bits, half "
+        "equal)",
+        {"k", "bits/instance", "rounds", "6*log*(k) budget", "all correct"});
+    const std::vector<std::size_t> ks = bench::sizes<std::size_t>(
+        rep.options(), {64, 256, 1024, 4096, 16384}, {64, 256});
+    for (std::size_t k : ks) {
+      const EqkRun r = run_eqk(k, 256, 0.5, rep.seed_for(k));
       table.add_row(
           {bench::fmt_u64(k), bench::fmt_double(r.bits_per_instance),
            bench::fmt_u64(r.rounds),
@@ -79,14 +81,16 @@ int main() {
     table.print();
   }
 
-  bench::print_header(
-      "E10b: independence of string length n  (k = 1024, half equal)");
   {
-    bench::Table table({"n (bits)", "bits/instance", "naive exchange "
-                                                     "bits/instance",
-                        "all correct"});
-    for (unsigned nbits : {64u, 256u, 1024u, 8192u}) {
-      const EqkRun r = run_eqk(1024, nbits, 0.5, nbits);
+    auto& table = rep.table(
+        "E10b: independence of string length n  (k = 1024, half equal)",
+        {"n (bits)", "bits/instance", "naive exchange bits/instance",
+         "all correct"});
+    const std::size_t k = rep.smoke() ? 128 : 1024;
+    const std::vector<unsigned> ns = bench::sizes<unsigned>(
+        rep.options(), {64, 256, 1024, 8192}, {64, 1024});
+    for (unsigned nbits : ns) {
+      const EqkRun r = run_eqk(k, nbits, 0.5, rep.seed_for(nbits));
       table.add_row({bench::fmt_u64(nbits),
                      bench::fmt_double(r.bits_per_instance),
                      bench::fmt_u64(nbits),  // shipping x_i costs n bits
@@ -98,5 +102,5 @@ int main() {
         "8192-bit strings costs the same as on 64-bit strings, versus the\n"
         "linear-in-n naive exchange.\n");
   }
-  return 0;
+  return rep.finish();
 }

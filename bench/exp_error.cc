@@ -51,18 +51,20 @@ ErrorCounts measure(std::size_t k, int trials,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setint;
+  auto rep = bench::Reporter::FromArgs("error", argc, argv);
 
-  bench::print_header(
-      "E4a: empirical failure rate vs k  (claim: 1 - 1/poly(k) success)");
+  int total_violations = 0;
   {
-    bench::Table table({"k", "trials", "inexact runs",
-                        "superset violations (must be 0)"});
-    int total_violations = 0;
-    for (std::size_t k : {16u, 64u, 256u, 1024u, 4096u}) {
-      const int trials = k <= 256 ? 400 : 100;
-      const ErrorCounts c = measure(k, trials, {}, 1);
+    auto& table = rep.table(
+        "E4a: empirical failure rate vs k  (claim: 1 - 1/poly(k) success)",
+        {"k", "trials", "inexact runs", "superset violations (must be 0)"});
+    const std::vector<std::size_t> ks = bench::sizes<std::size_t>(
+        rep.options(), {16, 64, 256, 1024, 4096}, {16, 64, 256});
+    for (std::size_t k : ks) {
+      const int trials = rep.smoke() ? 25 : (k <= 256 ? 400 : 100);
+      const ErrorCounts c = measure(k, trials, {}, rep.seed_for(k, 1));
       total_violations += c.invariant_violations;
       table.add_row({bench::fmt_u64(k), bench::fmt_u64(trials),
                      bench::fmt_u64(c.inexact),
@@ -73,17 +75,21 @@ int main() {
                 total_violations == 0 ? "YES" : "NO");
   }
 
-  bench::print_header(
-      "E4b: sabotage ablation — 1-bit equality hashes (eq_bits_scale -> 0)");
   {
-    bench::Table table({"k", "trials", "inexact runs",
-                        "superset violations (must be 0)"});
+    auto& table = rep.table(
+        "E4b: sabotage ablation — 1-bit equality hashes (eq_bits_scale -> 0)",
+        {"k", "trials", "inexact runs", "superset violations (must be 0)"});
     core::VerificationTreeParams hostile;
     hostile.rounds_r = 3;
     hostile.eq_bits_scale = 1e-9;
-    for (std::size_t k : {64u, 256u, 1024u}) {
-      const ErrorCounts c = measure(k, 100, hostile, 2);
-      table.add_row({bench::fmt_u64(k), "100", bench::fmt_u64(c.inexact),
+    const int trials = rep.smoke() ? 25 : 100;
+    const std::vector<std::size_t> ks = bench::sizes<std::size_t>(
+        rep.options(), {64, 256, 1024}, {64, 256});
+    for (std::size_t k : ks) {
+      const ErrorCounts c = measure(k, trials, hostile, rep.seed_for(k, 2));
+      total_violations += c.invariant_violations;
+      table.add_row({bench::fmt_u64(k), bench::fmt_u64(trials),
+                     bench::fmt_u64(c.inexact),
                      bench::fmt_u64(c.invariant_violations)});
     }
     table.print();
@@ -91,5 +97,6 @@ int main() {
         "\nShape check: sabotaged verification raises the inexact count,\n"
         "but outputs remain supersets of the truth (errors one-sided).\n");
   }
-  return 0;
+  rep.note("superset_violations", total_violations);
+  return rep.finish(total_violations == 0 ? 0 : 1);
 }

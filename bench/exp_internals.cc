@@ -14,25 +14,27 @@
 #include "util/rng.h"
 #include "util/set_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setint;
+  auto rep = bench::Reporter::FromArgs("internals", argc, argv);
   const std::uint64_t universe = std::uint64_t{1} << 32;
 
-  bench::print_header(
-      "E11a: verification-tree internals per stage  (k = 16384, r = 4)");
   {
-    const std::size_t k = 16384;
-    util::Rng wrng(1);
+    const std::size_t k = rep.smoke() ? 2048 : 16384;
+    auto& table = rep.table(
+        "E11a: verification-tree internals per stage  (k = " +
+            std::to_string(k) + ", r = 4)",
+        {"stage", "failed nodes", "equality bits", "basic-intersection bits",
+         "eq bits/k"});
+    util::Rng wrng(rep.seed_for(1));
     const util::SetPair p = util::random_set_pair(wrng, universe, k, k / 2);
     core::VerificationTreeParams params;
     params.rounds_r = 4;
     core::VerificationTreeDiag diag;
-    sim::SharedRandomness shared(1);
+    sim::SharedRandomness shared(rep.seed_for(1, 1));
     sim::Channel ch;
-    core::verification_tree_intersection(ch, shared, 0, universe, p.s, p.t,
-                                         params, &diag);
-    bench::Table table({"stage", "failed nodes", "equality bits",
-                        "basic-intersection bits", "eq bits/k"});
+    core::verification_tree_intersection(ch, shared, rep.seed(), universe,
+                                         p.s, p.t, params, &diag);
     for (std::size_t i = 0; i < diag.stage_failures.size(); ++i) {
       table.add_row(
           {bench::fmt_u64(i), bench::fmt_u64(diag.stage_failures[i]),
@@ -49,17 +51,20 @@ int main() {
         "stage 0.\n");
   }
 
-  bench::print_header("E11b: Lemma 3.10 — Basic-Intersection runs per leaf");
   {
-    bench::Table table({"k", "total BI runs", "runs per leaf (expect O(1))"});
-    for (std::size_t k : {1024u, 4096u, 16384u, 65536u}) {
-      util::Rng wrng(k);
+    auto& table =
+        rep.table("E11b: Lemma 3.10 — Basic-Intersection runs per leaf",
+                  {"k", "total BI runs", "runs per leaf (expect O(1))"});
+    const std::vector<std::size_t> ks = bench::sizes<std::size_t>(
+        rep.options(), {1024, 4096, 16384, 65536}, {1024, 4096});
+    for (std::size_t k : ks) {
+      util::Rng wrng(rep.seed_for(k));
       const util::SetPair p = util::random_set_pair(wrng, universe, k, k / 2);
       core::VerificationTreeDiag diag;
-      sim::SharedRandomness shared(k);
+      sim::SharedRandomness shared(rep.seed_for(k, 2));
       sim::Channel ch;
-      core::verification_tree_intersection(ch, shared, 0, universe, p.s, p.t,
-                                           {}, &diag);
+      core::verification_tree_intersection(ch, shared, rep.seed(), universe,
+                                           p.s, p.t, {}, &diag);
       table.add_row({bench::fmt_u64(k), bench::fmt_u64(diag.total_bi_runs),
                      bench::fmt_double(static_cast<double>(diag.total_bi_runs) /
                                        static_cast<double>(k))});
@@ -67,28 +72,33 @@ int main() {
     table.print();
   }
 
-  bench::print_header(
-      "E11c: Theorem 3.1 equation (1) — instance count E[|E|] <= 6k");
   {
-    bench::Table table({"k", "avg |E| over 5 runs", "|E|/k (expect < 6)"});
-    for (std::size_t k : {256u, 1024u, 4096u, 16384u}) {
+    const int runs = rep.smoke() ? 2 : 5;
+    auto& table = rep.table(
+        "E11c: Theorem 3.1 equation (1) — instance count E[|E|] <= 6k",
+        {"k", "avg |E| over " + std::to_string(runs) + " runs",
+         "|E|/k (expect < 6)"});
+    const std::vector<std::size_t> ks = bench::sizes<std::size_t>(
+        rep.options(), {256, 1024, 4096, 16384}, {256, 1024});
+    for (std::size_t k : ks) {
       double total = 0;
-      for (int t = 0; t < 5; ++t) {
-        util::Rng wrng(k + static_cast<std::uint64_t>(t));
+      for (int t = 0; t < runs; ++t) {
+        util::Rng wrng(rep.seed_for(k + static_cast<std::uint64_t>(t)));
         const util::SetPair p =
             util::random_set_pair(wrng, universe, k, k / 2);
-        sim::SharedRandomness shared(static_cast<std::uint64_t>(t));
+        sim::SharedRandomness shared(
+            rep.seed_for(static_cast<std::uint64_t>(t), k));
         sim::Channel ch;
         core::BucketEqStats stats;
-        core::bucket_eq_intersection(ch, shared, 0, universe, p.s, p.t, 3,
-                                     &stats);
+        core::bucket_eq_intersection(ch, shared, rep.seed(), universe, p.s,
+                                     p.t, 3, &stats);
         total += static_cast<double>(stats.instances);
       }
-      const double avg = total / 5.0;
+      const double avg = total / static_cast<double>(runs);
       table.add_row({bench::fmt_u64(k), bench::fmt_double(avg),
                      bench::fmt_double(avg / static_cast<double>(k))});
     }
     table.print();
   }
-  return 0;
+  return rep.finish();
 }

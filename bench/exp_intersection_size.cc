@@ -15,32 +15,36 @@
 #include "util/rng.h"
 #include "util/set_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setint;
+  auto rep = bench::Reporter::FromArgs("intersection_size", argc, argv);
   const std::uint64_t universe = std::uint64_t{1} << 32;
 
-  bench::print_header(
+  auto& table = rep.table(
       "E8: bits/element vs intersection fraction alpha  (tree: full "
-      "intersection; HW: disjointness decision only)");
-  bench::Table table({"k", "alpha", "tree bits/elem", "tree exact",
-                      "HW bits/elem", "HW phases", "HW answer"});
-  for (std::size_t k : {1024u, 4096u, 16384u}) {
+      "intersection; HW: disjointness decision only)",
+      {"k", "alpha", "tree bits/elem", "tree exact", "HW bits/elem",
+       "HW phases", "HW answer"});
+  const std::vector<std::size_t> ks = bench::sizes<std::size_t>(
+      rep.options(), {1024, 4096, 16384}, {1024});
+  for (std::size_t k : ks) {
     for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-      util::Rng wrng(k + static_cast<std::uint64_t>(alpha * 100));
+      util::Rng wrng(rep.seed_for(k, static_cast<std::uint64_t>(alpha * 100)));
       const auto shared_count =
           static_cast<std::size_t>(alpha * static_cast<double>(k));
       const util::SetPair p =
           util::random_set_pair(wrng, universe, k, shared_count);
 
-      sim::SharedRandomness shared(k * 31);
+      sim::SharedRandomness shared(rep.seed_for(k * 31));
       sim::Channel tree_ch;
       const auto out = core::verification_tree_intersection(
-          tree_ch, shared, 0, universe, p.s, p.t, {});
+          tree_ch, shared, rep.seed(), universe, p.s, p.t, {});
       const bool exact = out.alice == p.expected_intersection;
 
       sim::Channel hw_ch;
-      const auto hw =
-          baselines::hw_disjointness(hw_ch, shared, 1, universe, p.s, p.t);
+      const auto hw = baselines::hw_disjointness(hw_ch, shared,
+                                                 rep.seed() + 1, universe,
+                                                 p.s, p.t);
 
       table.add_row(
           {bench::fmt_u64(k), bench::fmt_double(alpha, 2),
@@ -60,5 +64,5 @@ int main() {
       "precisely what separates INT_k techniques from disjointness\n"
       "techniques (HW stalls: common elements never halve away, so its\n"
       "phase loop runs to its cap once alpha > 0).\n");
-  return 0;
+  return rep.finish();
 }

@@ -12,20 +12,24 @@
 #include "util/rng.h"
 #include "util/set_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setint;
+  auto rep = bench::Reporter::FromArgs("multiparty_avg", argc, argv);
+  const std::vector<std::size_t> ms = bench::sizes<std::size_t>(
+      rep.options(), {4, 16, 64, 256, 1024}, {4, 16, 64});
 
   for (std::size_t k : {16u, 64u}) {
-    bench::print_header("E5: coordinator protocol, k = " + std::to_string(k) +
-                        "  (Corollary 4.1)");
-    bench::Table table({"m", "avg bits/player", "avg/(k) per elem",
-                        "max bits/player", "levels", "rounds", "exact"});
-    for (std::size_t m : {4u, 16u, 64u, 256u, 1024u}) {
-      util::Rng wrng(m * 7 + k);
+    auto& table =
+        rep.table("E5: coordinator protocol, k = " + std::to_string(k) +
+                      "  (Corollary 4.1)",
+                  {"m", "avg bits/player", "avg/(k) per elem",
+                   "max bits/player", "levels", "rounds", "exact"});
+    for (std::size_t m : ms) {
+      util::Rng wrng(rep.seed_for(m * 7 + k));
       const util::MultiSetInstance inst = util::random_multi_sets(
           wrng, std::uint64_t{1} << 26, m, k, k / 2);
       sim::Network net(m);
-      sim::SharedRandomness shared(m + k);
+      sim::SharedRandomness shared(rep.seed_for(m + k, 1));
       const auto result = multiparty::coordinator_intersection(
           net, shared, std::uint64_t{1} << 26, inst.sets);
       const bool exact = result.intersection == inst.expected_intersection;
@@ -43,5 +47,5 @@ int main() {
       "\nShape check: avg bits/player is ~flat in m (the Corollary 4.1\n"
       "guarantee); max bits/player is ~2k times larger — the coordinator\n"
       "bottleneck that Corollary 4.2 (E6) removes.\n");
-  return 0;
+  return rep.finish();
 }

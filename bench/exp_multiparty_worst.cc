@@ -14,20 +14,23 @@
 #include "util/rng.h"
 #include "util/set_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setint;
+  auto rep = bench::Reporter::FromArgs("multiparty_worst", argc, argv);
   const std::size_t k = 32;
+  const std::vector<std::size_t> ms = bench::sizes<std::size_t>(
+      rep.options(), {4, 16, 64, 256}, {4, 16});
 
-  bench::print_header(
+  auto& table = rep.table(
       "E6: worst-case player load, coordinator (Cor 4.1) vs tournament "
-      "(Cor 4.2), k = 32");
-  bench::Table table({"m", "coord max bits", "tour max bits", "ratio",
-                      "coord rounds", "tour rounds", "both exact"});
-  for (std::size_t m : {4u, 16u, 64u, 256u}) {
-    util::Rng wrng(m * 13);
+      "(Cor 4.2), k = 32",
+      {"m", "coord max bits", "tour max bits", "ratio", "coord rounds",
+       "tour rounds", "both exact"});
+  for (std::size_t m : ms) {
+    util::Rng wrng(rep.seed_for(m * 13));
     const util::MultiSetInstance inst =
         util::random_multi_sets(wrng, std::uint64_t{1} << 26, m, k, k / 2);
-    sim::SharedRandomness shared(m);
+    sim::SharedRandomness shared(rep.seed_for(m));
 
     sim::Network coord_net(m);
     const auto coord = multiparty::coordinator_intersection(
@@ -55,5 +58,5 @@ int main() {
       "\nShape check: for m >= 2k the ratio column shows the tournament\n"
       "spreading the coordinator's load; tournament rounds grow by the\n"
       "bracket depth (~log2 of the group size) — the Corollary 4.2 trade.\n");
-  return 0;
+  return rep.finish();
 }

@@ -7,14 +7,17 @@
 #include "util/rng.h"
 #include "util/set_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setint;
+  auto rep = bench::Reporter::FromArgs("planner", argc, argv);
 
-  bench::print_header(
-      "E15a: planner choice per (k, log2 n) cell (round budget unlimited)");
   {
-    bench::Table table({"k \\ log2(n)", "16", "24", "32", "48", "62"});
-    for (std::size_t k : {64u, 1024u, 16384u, 262144u}) {
+    auto& table = rep.table(
+        "E15a: planner choice per (k, log2 n) cell (round budget unlimited)",
+        {"k \\ log2(n)", "16", "24", "32", "48", "62"});
+    const std::vector<std::size_t> ks = bench::sizes<std::size_t>(
+        rep.options(), {64, 1024, 16384, 262144}, {64, 1024});
+    for (std::size_t k : ks) {
       std::vector<std::string> row{bench::fmt_u64(k)};
       for (unsigned log_n : {16u, 24u, 32u, 48u, 62u}) {
         if ((std::uint64_t{1} << log_n) < 2 * k) {
@@ -35,20 +38,22 @@ int main() {
         "grows — the paper's tradeoff map as a planner decision surface.\n");
   }
 
-  bench::print_header("E15b: model accuracy (estimate vs measured, k = 4096, "
-                      "n = 2^32)");
   {
+    const std::size_t k = rep.smoke() ? 1024 : 4096;
+    auto& table = rep.table("E15b: model accuracy (estimate vs measured, k = " +
+                                std::to_string(k) + ", n = 2^32)",
+                            {"plan", "estimated bits", "measured bits",
+                             "ratio", "est rounds"});
     core::PlannerQuery query;
     query.universe = std::uint64_t{1} << 32;
-    query.k = 4096;
-    util::Rng wrng(1);
+    query.k = k;
+    util::Rng wrng(rep.seed_for(1));
     const util::SetPair p =
         util::random_set_pair(wrng, query.universe, query.k, query.k / 2);
-    bench::Table table(
-        {"plan", "estimated bits", "measured bits", "ratio", "est rounds"});
     for (const core::Plan& plan : core::enumerate_plans(query)) {
       const auto proto = core::instantiate(plan);
-      const core::RunResult r = proto->run(9, query.universe, p.s, p.t);
+      const core::RunResult r =
+          proto->run(rep.seed_for(9), query.universe, p.s, p.t);
       table.add_row(
           {plan.description, bench::fmt_double(plan.estimated_bits, 0),
            bench::fmt_u64(r.cost.bits_total),
@@ -59,9 +64,11 @@ int main() {
     table.print();
   }
 
-  bench::print_header("E15c: round-budget sensitivity (k = 4096, n = 2^48)");
   {
-    bench::Table table({"round budget", "chosen plan", "estimated bits/k"});
+    auto& table = rep.table("E15c: round-budget sensitivity (k = 4096, "
+                            "n = 2^48)",
+                            {"round budget", "chosen plan",
+                             "estimated bits/k"});
     for (std::uint64_t budget : {2u, 6u, 12u, 18u, 24u, 0u}) {
       core::PlannerQuery query;
       query.universe = std::uint64_t{1} << 48;
@@ -78,5 +85,5 @@ int main() {
         "the communication/round tradeoff of Theorem 1.1 surfaced as an\n"
         "operational knob.\n");
   }
-  return 0;
+  return rep.finish();
 }

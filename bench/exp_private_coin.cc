@@ -15,29 +15,33 @@
 #include "util/rng.h"
 #include "util/set_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setint;
-  const std::size_t k = 1024;
+  auto rep = bench::Reporter::FromArgs("private_coin", argc, argv);
+  const std::size_t k = rep.smoke() ? 256 : 1024;
 
-  bench::print_header(
-      "E9: private-coin overhead vs universe size  (k = 1024)");
-  bench::Table table({"log2(n)", "seed bits", "prime attempts",
-                      "private total", "shared total", "overhead", "exact"});
-  for (unsigned log_n : {16u, 24u, 32u, 40u, 48u, 56u}) {
+  auto& table = rep.table("E9: private-coin overhead vs universe size  (k = " +
+                              std::to_string(k) + ")",
+                          {"log2(n)", "seed bits", "prime attempts",
+                           "private total", "shared total", "overhead",
+                           "exact"});
+  const std::vector<unsigned> log_ns = bench::sizes<unsigned>(
+      rep.options(), {16, 24, 32, 40, 48, 56}, {16, 32});
+  for (unsigned log_n : log_ns) {
     const std::uint64_t universe = std::uint64_t{1} << log_n;
-    util::Rng wrng(log_n);
+    util::Rng wrng(rep.seed_for(log_n));
     const util::SetPair p = util::random_set_pair(wrng, universe, k, k / 2);
 
-    util::Rng prng(log_n + 99);
+    util::Rng prng(rep.seed_for(log_n, 99));
     sim::Channel private_ch;
     core::PrivateCoinStats stats;
     const auto out = core::private_coin_intersection(
         private_ch, prng, universe, p.s, p.t, {}, &stats);
 
-    sim::SharedRandomness shared(log_n);
+    sim::SharedRandomness shared(rep.seed_for(log_n, 7));
     sim::Channel shared_ch;
-    core::verification_tree_intersection(shared_ch, shared, 0, universe, p.s,
-                                         p.t, {});
+    core::verification_tree_intersection(shared_ch, shared, rep.seed(),
+                                         universe, p.s, p.t, {});
 
     const auto overhead =
         static_cast<std::int64_t>(private_ch.cost().bits_total) -
@@ -54,5 +58,5 @@ int main() {
       "\nShape check: seed bits grow ~O(1) per doubling of log2(n) — the\n"
       "O(log k + log log n) of Section 3.1 — and the net overhead can even\n"
       "be negative because FKS compression shrinks the working universe.\n");
-  return 0;
+  return rep.finish();
 }

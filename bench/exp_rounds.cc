@@ -10,28 +10,34 @@
 #include "util/rng.h"
 #include "util/set_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setint;
+  auto rep = bench::Reporter::FromArgs("rounds", argc, argv);
   const std::uint64_t universe = std::uint64_t{1} << 40;
+  const int trials = rep.smoke() ? 2 : 5;
+  const std::vector<std::size_t> ks = bench::sizes<std::size_t>(
+      rep.options(), {256, 4096, 65536}, {256, 4096});
 
-  bench::print_header("E2: measured rounds vs the 6r bound (Theorem 1.1)");
-  bench::Table table(
-      {"k", "r", "rounds (worst of 5)", "6r bound", "messages"});
+  auto& table =
+      rep.table("E2: measured rounds vs the 6r bound (Theorem 1.1)",
+                {"k", "r", "rounds (worst of 5)", "6r bound", "messages"});
   bool all_within = true;
-  for (std::size_t k : {256u, 4096u, 65536u}) {
-    util::Rng wrng(k);
+  for (std::size_t k : ks) {
+    util::Rng wrng(rep.seed_for(k));
     const util::SetPair p = util::random_set_pair(wrng, universe, k, k / 2);
     for (int r = 1; r <= 6; ++r) {
       std::uint64_t worst_rounds = 0;
       std::uint64_t worst_messages = 0;
-      for (int t = 0; t < 5; ++t) {
+      for (int t = 0; t < trials; ++t) {
         core::VerificationTreeParams params;
         params.rounds_r = r;
-        sim::SharedRandomness shared(k + static_cast<std::uint64_t>(t));
+        const std::uint64_t seed =
+            rep.seed_for(k + static_cast<std::uint64_t>(t),
+                         static_cast<std::uint64_t>(r));
+        sim::SharedRandomness shared(seed);
         sim::Channel ch;
-        core::verification_tree_intersection(
-            ch, shared, static_cast<std::uint64_t>(t), universe, p.s, p.t,
-            params);
+        core::verification_tree_intersection(ch, shared, seed, universe, p.s,
+                                             p.t, params);
         worst_rounds = std::max(worst_rounds, ch.cost().rounds);
         worst_messages = std::max(worst_messages, ch.cost().messages);
       }
@@ -45,5 +51,6 @@ int main() {
   table.print();
   std::printf("\nAll runs within the 6r budget: %s\n",
               all_within ? "YES" : "NO");
-  return all_within ? 0 : 1;
+  rep.note("all_within_budget", all_within);
+  return rep.finish(all_within ? 0 : 1);
 }

@@ -35,24 +35,27 @@ util::SetPair make_pair(util::Rng& rng, const std::string& family,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setint;
+  auto rep = bench::Reporter::FromArgs("skew", argc, argv);
   const std::uint64_t universe = std::uint64_t{1} << 30;
-  const std::size_t k = 8192;
+  const std::size_t k = rep.smoke() ? 1024 : 8192;
 
-  bench::print_header(
-      "E14: workload-skew robustness, k = 8192, 50% overlap");
-  bench::Table table({"workload", "tree bits/elem", "tree rounds",
-                      "tree exact", "naive bits/elem"});
+  auto& table = rep.table(
+      "E14: workload-skew robustness, k = " + std::to_string(k) +
+          ", 50% overlap",
+      {"workload", "tree bits/elem", "tree rounds", "tree exact",
+       "naive bits/elem"});
   for (const std::string family :
        {"uniform", "zipf-0.8", "zipf-1.2", "clustered-4", "clustered-64"}) {
-    util::Rng rng(static_cast<std::uint64_t>(family.size()) * 1000 + 17);
+    util::Rng rng(
+        rep.seed_for(static_cast<std::uint64_t>(family.size()) * 1000 + 17));
     const util::SetPair p = make_pair(rng, family, universe, k);
 
-    sim::SharedRandomness shared(7);
+    sim::SharedRandomness shared(rep.seed_for(7));
     sim::Channel tree_ch;
     const auto out = core::verification_tree_intersection(
-        tree_ch, shared, 0, universe, p.s, p.t, {});
+        tree_ch, shared, rep.seed(), universe, p.s, p.t, {});
     const bool exact = out.alice == p.expected_intersection &&
                        out.bob == p.expected_intersection;
 
@@ -75,5 +78,5 @@ int main() {
       "not adversary-visible structure. For the naive baseline it shows\n"
       "the Rice parameterization is already near the uniform-set entropy,\n"
       "which no key-distribution skew can reduce below log2 C(n, k)/k.\n");
-  return 0;
+  return rep.finish();
 }

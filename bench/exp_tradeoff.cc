@@ -6,10 +6,16 @@
 // the predicted log^(r) k growth factor. Expected shape: at fixed r,
 // bits/k tracks log^(r) k within a constant; the r = log* k column is flat
 // in k.
+//
+// With --json the record also carries a traced phase breakdown (E1d): one
+// run per r with an obs::Tracer installed, whose per-level bit totals sum
+// exactly to CostStats::bits_total — the accounting identity behind
+// Theorem 3.6's per-stage cost telescoping.
 #include <cstdio>
 
 #include "bench_util.h"
 #include "core/verification_tree.h"
+#include "obs/tracer.h"
 #include "sim/channel.h"
 #include "sim/randomness.h"
 #include "util/iterated_log.h"
@@ -21,11 +27,13 @@ namespace {
 using namespace setint;
 
 sim::CostStats run_tree(std::uint64_t seed, std::uint64_t universe,
-                        const util::SetPair& p, int r) {
+                        const util::SetPair& p, int r,
+                        obs::Tracer* tracer = nullptr) {
   core::VerificationTreeParams params;
   params.rounds_r = r;
   sim::SharedRandomness shared(seed);
   sim::Channel ch;
+  ch.set_tracer(tracer);
   core::verification_tree_intersection(ch, shared, seed, universe, p.s, p.t,
                                        params);
   return ch.cost();
@@ -33,32 +41,36 @@ sim::CostStats run_tree(std::uint64_t seed, std::uint64_t universe,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setint;
+  auto rep = bench::Reporter::FromArgs("tradeoff", argc, argv);
   const std::uint64_t universe = std::uint64_t{1} << 40;
-  const int trials = 3;
+  const int trials = rep.smoke() ? 1 : 3;
+  const std::vector<std::size_t> ks = bench::sizes<std::size_t>(
+      rep.options(), {256, 1024, 4096, 16384, 65536}, {256, 1024});
 
-  bench::print_header(
-      "E1a: bits per element vs r  (Theorem 1.1: O(k log^(r) k))");
   {
-    bench::Table table({"k", "r=1", "r=2", "r=3", "r=4", "r=5", "r=6",
-                        "r=log*k"});
-    for (std::size_t k : {256u, 1024u, 4096u, 16384u, 65536u}) {
-      util::Rng wrng(k);
+    auto& table = rep.table(
+        "E1a: bits per element vs r  (Theorem 1.1: O(k log^(r) k))",
+        {"k", "r=1", "r=2", "r=3", "r=4", "r=5", "r=6", "r=log*k"});
+    for (std::size_t k : ks) {
+      util::Rng wrng(rep.seed_for(k));
       const util::SetPair p = util::random_set_pair(wrng, universe, k, k / 2);
       std::vector<std::string> row{bench::fmt_u64(k)};
       for (int r = 1; r <= 6; ++r) {
         const sim::CostStats cost = bench::average_cost(trials, [&](int t) {
-          return run_tree(static_cast<std::uint64_t>(t) * 77 + k + r,
-                          universe, p, r);
+          return run_tree(
+              rep.seed_for(static_cast<std::uint64_t>(t) * 77 + k,
+                           static_cast<std::uint64_t>(r)),
+              universe, p, r);
         });
         row.push_back(bench::fmt_double(
             static_cast<double>(cost.bits_total) / static_cast<double>(k)));
       }
       const int rstar = util::log_star(static_cast<double>(k));
       const sim::CostStats cost = bench::average_cost(trials, [&](int t) {
-        return run_tree(static_cast<std::uint64_t>(t) * 13 + k, universe, p,
-                        rstar);
+        return run_tree(rep.seed_for(static_cast<std::uint64_t>(t) * 13 + k),
+                        universe, p, rstar);
       });
       row.push_back(bench::fmt_double(static_cast<double>(cost.bits_total) /
                                       static_cast<double>(k)) +
@@ -68,12 +80,12 @@ int main() {
     table.print();
   }
 
-  bench::print_header(
-      "E1b: predicted growth factor log^(r) k  (for comparison)");
   {
-    bench::Table table({"k", "log^(1)k", "log^(2)k", "log^(3)k", "log^(4)k",
-                        "log^(5)k", "log^(6)k"});
-    for (std::size_t k : {256u, 1024u, 4096u, 16384u, 65536u}) {
+    auto& table = rep.table(
+        "E1b: predicted growth factor log^(r) k  (for comparison)",
+        {"k", "log^(1)k", "log^(2)k", "log^(3)k", "log^(4)k", "log^(5)k",
+         "log^(6)k"});
+    for (std::size_t k : ks) {
       std::vector<std::string> row{bench::fmt_u64(k)};
       for (int r = 1; r <= 6; ++r) {
         row.push_back(bench::fmt_double(
@@ -84,16 +96,18 @@ int main() {
     table.print();
   }
 
-  bench::print_header(
-      "E1c: flatness at r = log* k  (the O(k)-bits headline)");
   {
-    bench::Table table({"k", "bits total", "bits/k", "rounds"});
-    for (std::size_t k : {256u, 1024u, 4096u, 16384u, 65536u, 262144u}) {
-      util::Rng wrng(k * 3);
+    auto& table = rep.table("E1c: flatness at r = log* k  (the O(k)-bits headline)",
+                            {"k", "bits total", "bits/k", "rounds"});
+    const std::vector<std::size_t> flat_ks = bench::sizes<std::size_t>(
+        rep.options(), {256, 1024, 4096, 16384, 65536, 262144}, {256, 1024});
+    for (std::size_t k : flat_ks) {
+      util::Rng wrng(rep.seed_for(k * 3));
       const util::SetPair p = util::random_set_pair(wrng, universe, k, k / 2);
       const int rstar = util::log_star(static_cast<double>(k));
       const sim::CostStats cost = bench::average_cost(trials, [&](int t) {
-        return run_tree(static_cast<std::uint64_t>(t) + k, universe, p, rstar);
+        return run_tree(rep.seed_for(static_cast<std::uint64_t>(t) + k),
+                        universe, p, rstar);
       });
       table.add_row({bench::fmt_u64(k), bench::fmt_u64(cost.bits_total),
                      bench::fmt_double(static_cast<double>(cost.bits_total) /
@@ -105,5 +119,60 @@ int main() {
         "\nShape check: the bits/k column should stay ~flat while k grows\n"
         "1024x, reproducing the O(k) total of Theorem 1.1 at r = log* k.\n");
   }
-  return 0;
+
+  // E1d: traced phase breakdown — one run per r with a tracer installed.
+  // The per-phase bit attribution must cover the run exactly:
+  // sum(level totals) + untraced remainder == bits_total, and the tracer's
+  // root total equals the channel's meter bit for bit.
+  bool attribution_exact = true;
+  {
+    auto& table = rep.table(
+        "E1d: phase-attributed bits at k=4096 (tracer, per level)",
+        {"r", "bits total", "levels bits", "phases covered", "exact"});
+    obs::Json breakdowns = obs::Json::array();
+    const std::size_t k = rep.smoke() ? 512 : 4096;
+    util::Rng wrng(rep.seed_for(k));
+    const util::SetPair p = util::random_set_pair(wrng, universe, k, k / 2);
+    for (int r = 2; r <= 4; ++r) {
+      obs::Tracer tracer;
+      const sim::CostStats cost =
+          run_tree(rep.seed_for(k, static_cast<std::uint64_t>(r)), universe, p,
+                   r, &tracer);
+      const obs::PhaseNode* tree = tracer.root().child("verification_tree");
+      std::uint64_t level_bits = 0;
+      std::size_t levels = 0;
+      if (tree != nullptr) {
+        for (int stage = 0; stage < r; ++stage) {
+          const obs::PhaseNode* level =
+              tree->child("level=" + std::to_string(stage));
+          if (level == nullptr) continue;
+          level_bits += level->total_bits();
+          levels += 1;
+        }
+      }
+      const bool exact = tracer.total_bits() == cost.bits_total &&
+                         tree != nullptr &&
+                         tree->total_bits() == cost.bits_total &&
+                         level_bits == cost.bits_total;
+      attribution_exact &= exact;
+      table.add_row({bench::fmt_u64(static_cast<std::uint64_t>(r)),
+                     bench::fmt_u64(cost.bits_total),
+                     bench::fmt_u64(level_bits), bench::fmt_u64(levels),
+                     exact ? "YES" : "NO"});
+
+      obs::Json entry = obs::Json::object();
+      entry["r"] = r;
+      entry["k"] = k;
+      entry["bits_total"] = cost.bits_total;
+      entry["phases"] = tracer.BreakdownJson();
+      breakdowns.push_back(std::move(entry));
+    }
+    table.print();
+    rep.note("phase_breakdowns", std::move(breakdowns));
+    std::printf(
+        "\nAttribution identity (sum of per-level bits == bits_total): %s\n",
+        attribution_exact ? "EXACT" : "VIOLATED");
+  }
+
+  return rep.finish(attribution_exact ? 0 : 1);
 }

@@ -39,25 +39,30 @@ std::vector<std::unique_ptr<core::IntersectionProtocol>> make_zoo() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace setint;
+  auto rep = bench::Reporter::FromArgs("zoo", argc, argv);
   const auto zoo = make_zoo();
 
-  bench::print_header(
-      "E3a: bits per element vs universe size n  (k = 4096, overlap 50%)");
   {
+    const std::size_t k = rep.smoke() ? 1024 : 4096;
     std::vector<std::string> cols{"log2(n)"};
     for (const auto& p : zoo) cols.push_back(p->name());
-    bench::Table table(cols);
-    for (unsigned log_n : {16u, 24u, 32u, 40u, 48u, 56u, 62u}) {
+    auto& table = rep.table(
+        "E3a: bits per element vs universe size n  (k = " + std::to_string(k) +
+            ", overlap 50%)",
+        std::move(cols));
+    const std::vector<unsigned> log_ns = bench::sizes<unsigned>(
+        rep.options(), {16, 24, 32, 40, 48, 56, 62}, {16, 32, 48});
+    for (unsigned log_n : log_ns) {
       const std::uint64_t universe = std::uint64_t{1} << log_n;
-      const std::size_t k = 4096;
-      util::Rng wrng(log_n);
+      util::Rng wrng(rep.seed_for(log_n));
       const util::SetPair pair = util::random_set_pair(wrng, universe, k,
                                                        k / 2);
       std::vector<std::string> row{bench::fmt_u64(log_n)};
       for (const auto& proto : zoo) {
-        const core::RunResult r = proto->run(log_n, universe, pair.s, pair.t);
+        const core::RunResult r =
+            proto->run(rep.seed_for(log_n, 1), universe, pair.s, pair.t);
         row.push_back(bench::fmt_double(
             static_cast<double>(r.cost.bits_total) / static_cast<double>(k)));
       }
@@ -70,20 +75,23 @@ int main() {
         "randomized columns are flat, so each crosses it as n grows.\n");
   }
 
-  bench::print_header(
-      "E3b: bits per element vs k  (n = 2^30, overlap 50%)");
   {
     std::vector<std::string> cols{"k"};
     for (const auto& p : zoo) cols.push_back(p->name());
-    bench::Table table(cols);
-    for (std::size_t k : {64u, 256u, 1024u, 4096u, 16384u, 65536u}) {
+    auto& table = rep.table("E3b: bits per element vs k  (n = 2^30, overlap "
+                            "50%)",
+                            std::move(cols));
+    const std::vector<std::size_t> ks = bench::sizes<std::size_t>(
+        rep.options(), {64, 256, 1024, 4096, 16384, 65536}, {64, 1024});
+    for (std::size_t k : ks) {
       const std::uint64_t universe = std::uint64_t{1} << 30;
-      util::Rng wrng(k);
+      util::Rng wrng(rep.seed_for(k));
       const util::SetPair pair = util::random_set_pair(wrng, universe, k,
                                                        k / 2);
       std::vector<std::string> row{bench::fmt_u64(k)};
       for (const auto& proto : zoo) {
-        const core::RunResult r = proto->run(k, universe, pair.s, pair.t);
+        const core::RunResult r =
+            proto->run(rep.seed_for(k, 1), universe, pair.s, pair.t);
         row.push_back(bench::fmt_double(
             static_cast<double>(r.cost.bits_total) / static_cast<double>(k)));
       }
@@ -95,17 +103,16 @@ int main() {
         "(Theta(k log k)); tree and bucket-EQ stay ~flat (Theta(k)).\n");
   }
 
-  bench::print_header("E3c: rounds used by each protocol  (k = 4096)");
   {
-    std::vector<std::string> cols{"protocol", "rounds", "messages",
-                                  "bits/elem"};
-    bench::Table table(cols);
+    auto& table = rep.table("E3c: rounds used by each protocol  (k = 4096)",
+                            {"protocol", "rounds", "messages", "bits/elem"});
     const std::uint64_t universe = std::uint64_t{1} << 30;
-    const std::size_t k = 4096;
-    util::Rng wrng(7);
+    const std::size_t k = rep.smoke() ? 1024 : 4096;
+    util::Rng wrng(rep.seed_for(7));
     const util::SetPair pair = util::random_set_pair(wrng, universe, k, k / 2);
     for (const auto& proto : zoo) {
-      const core::RunResult r = proto->run(99, universe, pair.s, pair.t);
+      const core::RunResult r =
+          proto->run(rep.seed_for(99), universe, pair.s, pair.t);
       table.add_row({proto->name(), bench::fmt_u64(r.cost.rounds),
                      bench::fmt_u64(r.cost.messages),
                      bench::fmt_double(static_cast<double>(r.cost.bits_total) /
@@ -113,5 +120,5 @@ int main() {
     }
     table.print();
   }
-  return 0;
+  return rep.finish();
 }

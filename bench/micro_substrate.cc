@@ -8,6 +8,7 @@
 #include "hashing/mask_hash.h"
 #include "hashing/pairwise.h"
 #include "hashing/primes.h"
+#include "obs/tracer.h"
 #include "sim/channel.h"
 #include "sim/randomness.h"
 #include "util/bitio.h"
@@ -119,6 +120,30 @@ void BM_VerificationTreeEndToEnd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(k));
 }
 BENCHMARK(BM_VerificationTreeEndToEnd)->Arg(1024)->Arg(4096)->Arg(16384);
+
+// Same protocol with a live tracer: the delta against the benchmark above
+// is the observability overhead (acceptance target: the *untraced* run is
+// within 3% of the pre-obs baseline; the traced run may pay for its span
+// bookkeeping).
+void BM_VerificationTreeEndToEndTraced(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  util::Rng wrng(7);
+  const util::SetPair p =
+      util::random_set_pair(wrng, std::uint64_t{1} << 32, k, k / 2);
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    obs::Tracer tracer;
+    sim::SharedRandomness shared(nonce);
+    sim::Channel ch;
+    ch.set_tracer(&tracer);
+    const auto out = core::verification_tree_intersection(
+        ch, shared, nonce++, std::uint64_t{1} << 32, p.s, p.t, {});
+    benchmark::DoNotOptimize(out.alice.size());
+    benchmark::DoNotOptimize(tracer.total_bits());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_VerificationTreeEndToEndTraced)->Arg(1024)->Arg(4096)->Arg(16384);
 
 }  // namespace
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "hashing/pairwise.h"
+#include "obs/tracer.h"
 #include "util/bitio.h"
 #include "util/iterated_log.h"
 
@@ -60,21 +61,30 @@ std::vector<CandidatePair> basic_intersection_batch(
   std::vector<CandidatePair> result(n);
   if (n == 0) return result;
 
+  obs::Tracer* tracer = channel.tracer();
+  obs::count(tracer, "bi.batches");
+  obs::count(tracer, "bi.instances", n);
+
   // Rounds 1 and 2: sizes in both directions.
   util::BitBuffer alice_sizes;
   for (const auto& [s, t] : pairs) {
     (void)t;
     alice_sizes.append_gamma64(s.size());
   }
-  const util::BitBuffer a_sz =
-      channel.send(sim::PartyId::kAlice, std::move(alice_sizes), "bi-sizes-a");
-  util::BitBuffer bob_sizes;
-  for (const auto& [s, t] : pairs) {
-    (void)s;
-    bob_sizes.append_gamma64(t.size());
+  util::BitBuffer a_sz;
+  util::BitBuffer b_sz;
+  {
+    obs::Span size_span(tracer, "size_exchange");
+    a_sz = channel.send(sim::PartyId::kAlice, std::move(alice_sizes),
+                        "bi-sizes-a");
+    util::BitBuffer bob_sizes;
+    for (const auto& [s, t] : pairs) {
+      (void)s;
+      bob_sizes.append_gamma64(t.size());
+    }
+    b_sz = channel.send(sim::PartyId::kBob, std::move(bob_sizes),
+                        "bi-sizes-b");
   }
-  const util::BitBuffer b_sz =
-      channel.send(sim::PartyId::kBob, std::move(bob_sizes), "bi-sizes-b");
 
   // Both parties now know every m_j and can derive identical hash
   // functions from shared randomness.
@@ -115,23 +125,28 @@ std::vector<CandidatePair> basic_intersection_batch(
     return image;
   };
 
-  util::BitBuffer alice_hashes;
-  for (std::size_t j = 0; j < n; ++j) {
-    if (skip(j)) continue;
-    append_image(alice_hashes, hashed_image(pairs[j].first, hashes[j]),
-                 hashes[j].range());
-  }
-  const util::BitBuffer a_msg = channel.send(
-      sim::PartyId::kAlice, std::move(alice_hashes), "bi-hashes-a");
+  util::BitBuffer a_msg;
+  util::BitBuffer b_msg;
+  {
+    obs::Span hash_span(tracer, "hash_exchange");
+    util::BitBuffer alice_hashes;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (skip(j)) continue;
+      append_image(alice_hashes, hashed_image(pairs[j].first, hashes[j]),
+                   hashes[j].range());
+    }
+    a_msg = channel.send(sim::PartyId::kAlice, std::move(alice_hashes),
+                         "bi-hashes-a");
 
-  util::BitBuffer bob_hashes;
-  for (std::size_t j = 0; j < n; ++j) {
-    if (skip(j)) continue;
-    append_image(bob_hashes, hashed_image(pairs[j].second, hashes[j]),
-                 hashes[j].range());
+    util::BitBuffer bob_hashes;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (skip(j)) continue;
+      append_image(bob_hashes, hashed_image(pairs[j].second, hashes[j]),
+                   hashes[j].range());
+    }
+    b_msg = channel.send(sim::PartyId::kBob, std::move(bob_hashes),
+                         "bi-hashes-b");
   }
-  const util::BitBuffer b_msg =
-      channel.send(sim::PartyId::kBob, std::move(bob_hashes), "bi-hashes-b");
 
   // Decode the peer's images and filter own elements.
   util::BitReader a_reader(a_msg);

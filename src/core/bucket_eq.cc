@@ -6,6 +6,7 @@
 
 #include "eq/amortized_eq.h"
 #include "hashing/pairwise.h"
+#include "obs/tracer.h"
 #include "util/bitio.h"
 #include "util/iterated_log.h"
 #include "util/rng.h"
@@ -41,15 +42,29 @@ IntersectionOutput bucket_eq_intersection(sim::Channel& channel,
   for (std::uint64_t x : s) s_buckets[h(big_h(x))].push_back(x);
   for (std::uint64_t y : t) t_buckets[h(big_h(y))].push_back(y);
 
+  obs::Tracer* tracer = channel.tracer();
+  obs::Span protocol_span(tracer, "bucket_eq");
+  if (tracer != nullptr) {
+    for (std::size_t i = 0; i < k; ++i) {
+      obs::observe(tracer, "bucket_eq.bucket_size",
+                   s_buckets[i].size() + t_buckets[i].size());
+    }
+  }
+
   // Rounds 1-2: bucket-size vectors (sum <= k, so gamma coding is O(k)).
-  util::BitBuffer a_sizes;
-  for (const auto& b : s_buckets) a_sizes.append_gamma64(b.size());
-  const util::BitBuffer a_sz =
-      channel.send(sim::PartyId::kAlice, std::move(a_sizes), "bucket-sizes-a");
-  util::BitBuffer b_sizes;
-  for (const auto& b : t_buckets) b_sizes.append_gamma64(b.size());
-  const util::BitBuffer b_sz =
-      channel.send(sim::PartyId::kBob, std::move(b_sizes), "bucket-sizes-b");
+  util::BitBuffer a_sz;
+  util::BitBuffer b_sz;
+  {
+    obs::Span size_span(tracer, "size_exchange");
+    util::BitBuffer a_sizes;
+    for (const auto& b : s_buckets) a_sizes.append_gamma64(b.size());
+    a_sz = channel.send(sim::PartyId::kAlice, std::move(a_sizes),
+                        "bucket-sizes-a");
+    util::BitBuffer b_sizes;
+    for (const auto& b : t_buckets) b_sizes.append_gamma64(b.size());
+    b_sz = channel.send(sim::PartyId::kBob, std::move(b_sizes),
+                        "bucket-sizes-b");
+  }
 
   util::BitReader ra(a_sz);
   util::BitReader rb(b_sz);
@@ -85,6 +100,7 @@ IntersectionOutput bucket_eq_intersection(sim::Channel& channel,
     }
   }
 
+  obs::count(tracer, "bucket_eq.instances", refs.size());
   eq::AmortizedEqStats eq_stats;
   const std::vector<bool> equal = eq::amortized_equality(
       channel, shared, util::mix64(nonce, 0xBEEF), xs, ys, &eq_stats);

@@ -1,5 +1,6 @@
 #include "core/deterministic_exchange.h"
 
+#include "obs/tracer.h"
 #include "util/bitio.h"
 
 namespace setint::core {
@@ -9,6 +10,7 @@ IntersectionOutput deterministic_exchange(sim::Channel& channel,
                                           util::SetView s, util::SetView t,
                                           bool both_sides) {
   validate_instance(universe, s, t);
+  obs::Span protocol_span(channel.tracer(), "deterministic_exchange");
   // Rice coding keeps this baseline within ~1.5 bits/element of the
   // information-theoretic log2 C(n, k) — the strongest honest yardstick.
   util::BitBuffer msg;

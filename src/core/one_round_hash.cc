@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "hashing/pairwise.h"
+#include "obs/tracer.h"
 #include "util/bitio.h"
 #include "util/iterated_log.h"
 
@@ -50,6 +51,9 @@ IntersectionOutput one_round_hash(sim::Channel& channel,
     for (auto& v : image) v = in.read_bits(width);
     return image;
   };
+
+  obs::Span protocol_span(channel.tracer(), "one_round_hash");
+  obs::Span exchange_span(channel.tracer(), "hash_exchange");
 
   const util::Set a_image = image_of(s);
   util::BitBuffer a_msg;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "hashing/fks.h"
+#include "obs/tracer.h"
 #include "sim/randomness.h"
 #include "util/bitio.h"
 
@@ -17,9 +18,11 @@ IntersectionOutput private_coin_intersection(
   validate_instance(universe, s, t);
   const std::uint64_t k = std::max<std::uint64_t>({s.size(), t.size(), 2});
 
+  obs::Span protocol_span(channel.tracer(), "private_coin");
   PrivateCoinStats local;
   std::uint64_t master_seed = 0;
   std::uint64_t q = 0;
+  obs::Span seed_span(channel.tracer(), "seed_exchange");
   for (int attempt = 0; attempt < 64; ++attempt) {
     // Alice samples the FKS prime (retrying locally until injective on S)
     // and a master seed for all derived hash functions.
@@ -54,6 +57,7 @@ IntersectionOutput private_coin_intersection(
     (void)bob_seed;  // == master_seed by construction
     break;
   }
+  seed_span.end();
   if (q == 0) {
     throw std::runtime_error("private_coin: could not agree on FKS prime");
   }

@@ -10,6 +10,7 @@
 #include "core/one_round_hash.h"
 #include "eq/equality.h"
 #include "hashing/pairwise.h"
+#include "obs/tracer.h"
 #include "util/bitio.h"
 #include "util/iterated_log.h"
 #include "util/rng.h"
@@ -73,6 +74,9 @@ IntersectionOutput verification_tree_intersection(
                                      : std::max(1, util::log_star(kd));
   if (r < 1) throw std::invalid_argument("verification_tree: r < 1");
 
+  obs::Tracer* tracer = channel.tracer();
+  obs::Span protocol_span(tracer, "verification_tree");
+
   // Theorem 3.6, r = 1 base case: plain hash exchange with range k^c —
   // exactly the one-round protocol, c k log k bits in two messages.
   if (r == 1) {
@@ -89,6 +93,11 @@ IntersectionOutput verification_tree_intersection(
   for (std::uint64_t y : t) tb[h(y)].push_back(y);
   for (auto& b : sa) std::sort(b.begin(), b.end());
   for (auto& b : tb) std::sort(b.begin(), b.end());
+  if (tracer != nullptr) {
+    for (std::size_t u = 0; u < k; ++u) {
+      obs::observe(tracer, "vt.bucket_size", sa[u].size() + tb[u].size());
+    }
+  }
 
   const auto layout = verification_tree_layout(k, r);
 
@@ -106,6 +115,7 @@ IntersectionOutput verification_tree_intersection(
           : std::numeric_limits<double>::infinity();
 
   for (int stage = 0; stage < r; ++stage) {
+    obs::Span stage_span(tracer, "level=" + std::to_string(stage));
     // Failure target 1/(log^(r-i-1) k)^4 for this stage's equality tests
     // and Basic-Intersection re-runs (Algorithm 1).
     const double tower =
@@ -115,6 +125,7 @@ IntersectionOutput verification_tree_intersection(
         1.0, std::ceil(params.eq_bits_scale * 4.0 * std::log2(tower))));
     const double bi_failure =
         std::min(0.25, stage_failure / std::max(1e-6, params.bi_range_scale));
+    obs::observe(tracer, "vt.eq_hash_bits", eq_bits);
 
     // Step 1: batched equality tests at every level-`stage` node.
     const auto& ranges = layout[static_cast<std::size_t>(stage)];
@@ -127,9 +138,13 @@ IntersectionOutput verification_tree_intersection(
       }
     }
     const std::uint64_t eq_before = channel.cost().bits_total;
-    const std::vector<bool> pass = eq::batch_equality_test(
-        channel, shared, util::mix64(nonce, util::mix64(0xE9, stage)), ca, cb,
-        eq_bits);
+    std::vector<bool> pass;
+    {
+      obs::Span eq_span(tracer, "equality");
+      pass = eq::batch_equality_test(
+          channel, shared, util::mix64(nonce, util::mix64(0xE9, stage)), ca,
+          cb, eq_bits);
+    }
     local.stage_eq_bits[static_cast<std::size_t>(stage)] =
         channel.cost().bits_total - eq_before;
 
@@ -149,6 +164,7 @@ IntersectionOutput verification_tree_intersection(
         pairs.emplace_back(sa[u], tb[u]);
       }
       const std::uint64_t bi_before = channel.cost().bits_total;
+      obs::Span bi_span(tracer, "basic_intersection");
       const std::vector<CandidatePair> cands = basic_intersection_batch(
           channel, shared, util::mix64(nonce, util::mix64(0xB1, stage)),
           universe, pairs, bi_failure);
@@ -163,13 +179,24 @@ IntersectionOutput verification_tree_intersection(
       local.total_bi_runs += failed_leaves.size();
     }
 
+    obs::count(tracer, "vt.stage_failures",
+               local.stage_failures[static_cast<std::size_t>(stage)]);
+
     if (static_cast<double>(channel.cost().bits_total - start_bits) >
         budget) {
       local.fallback_used = true;
+      obs::count(tracer, "vt.fallbacks");
       IntersectionOutput exact =
           deterministic_exchange(channel, universe, s, t);
       if (diag != nullptr) *diag = local;
       return exact;
+    }
+  }
+
+  obs::count(tracer, "vt.bi_runs", local.total_bi_runs);
+  if (tracer != nullptr) {
+    for (std::uint32_t reruns : local.leaf_reruns) {
+      obs::observe(tracer, "vt.leaf_reruns", reruns);
     }
   }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "eq/equality.h"
+#include "obs/tracer.h"
 #include "util/iterated_log.h"
 #include "util/rng.h"
 
@@ -68,10 +69,15 @@ std::vector<bool> amortized_equality(sim::Channel& channel,
 
   const unsigned max_level = k >= 2 ? util::ceil_log2(k) : 0;
   AmortizedEqStats local_stats;
+  obs::Tracer* tracer = channel.tracer();
+  obs::Span protocol_span(tracer, "amortized_eq");
+  obs::count(tracer, "eq.amortized_instances", k);
 
   for (unsigned level = 0; level <= max_level + 16; ++level) {
+    obs::Span level_span(tracer, "level=" + std::to_string(level));
     const auto beta = static_cast<std::size_t>(
         std::max(1.0, std::round(std::pow(2.0, level / 2.0))));
+    obs::observe(tracer, "eq.mask_bits", beta);
     std::uint64_t batch = 0;
     const auto batch_nonce = [&](std::uint64_t b) {
       return util::mix64(nonce, util::mix64(level, b));
@@ -103,6 +109,8 @@ std::vector<bool> amortized_equality(sim::Channel& channel,
       }
       if (halves.empty()) break;
       local_stats.split_tests += halves.size();
+      obs::count(tracer, "eq.split_tests", halves.size());
+      obs::Span split_span(tracer, "binary_search");
       const std::vector<bool> half_pass = test_groups(
           channel, shared, batch_nonce(batch++), halves, xs, ys, beta);
       pending.clear();
@@ -128,6 +136,7 @@ std::vector<bool> amortized_equality(sim::Channel& channel,
     groups = std::move(merged);
   }
 
+  obs::observe(tracer, "eq.levels", local_stats.levels);
   if (stats != nullptr) *stats = local_stats;
   return equal;
 }

@@ -14,9 +14,12 @@ namespace setint::multiparty {
 VerifiedRunResult verified_two_party_intersection(
     const sim::SharedRandomness& shared, std::uint64_t nonce,
     std::uint64_t universe, util::SetView s, util::SetView t,
-    const core::VerificationTreeParams& params, std::size_t k_bound) {
+    const core::VerificationTreeParams& params, std::size_t k_bound,
+    obs::Tracer* tracer) {
   if (k_bound == 0) k_bound = std::max<std::size_t>({s.size(), t.size(), 2});
   sim::Channel channel;
+  channel.set_tracer(tracer);
+  obs::Span verified_span(tracer, "verified_intersection");
   constexpr std::uint64_t kMaxRepetitions = 24;
   VerifiedRunResult result;
   for (std::uint64_t rep = 0; rep < kMaxRepetitions; ++rep) {
@@ -29,16 +32,20 @@ VerifiedRunResult verified_two_party_intersection(
     util::append_set(ca, out.alice);
     util::BitBuffer cb;
     util::append_set(cb, out.bob);
+    obs::Span certificate_span(tracer, "certificate");
     const bool certified = eq::equality_test(
         channel, shared, util::mix64(nonce, util::mix64(0xCE27, rep)), ca, cb,
         2 * k_bound);
     if (certified) {
+      obs::count(tracer, "mp.verified_runs");
+      obs::count(tracer, "mp.repetitions", result.repetitions);
       result.intersection = out.alice;
       result.cost = channel.cost();
       return result;
     }
   }
   // Deterministic backstop: exact, rarely reached.
+  obs::count(tracer, "mp.backstops");
   const core::IntersectionOutput exact =
       core::deterministic_exchange(channel, universe, s, t);
   result.intersection = exact.alice;
@@ -67,7 +74,13 @@ MultipartyResult coordinator_intersection(sim::Network& network,
   for (std::size_t i = 0; i < active.size(); ++i) active[i] = i;
   std::vector<util::Set> current = sets;
 
+  // Attribution happens once, at the network billing layer — the inner
+  // two-party channels run untraced so bits are not double-counted.
+  obs::Tracer* tracer = network.tracer();
+  obs::Span protocol_span(tracer, "coordinator");
+
   while (active.size() > 1) {
+    obs::Span level_span(tracer, "level=" + std::to_string(result.levels));
     std::vector<std::size_t> coordinators;
     network.begin_batch();
     for (std::size_t lo = 0; lo < active.size(); lo += group_size) {
@@ -84,6 +97,8 @@ MultipartyResult coordinator_intersection(sim::Network& network,
             params.tree, k);
         network.bill_pairwise_in_batch(coord, member, vr.cost);
         result.total_repetitions += vr.repetitions;
+        obs::count(tracer, "mp.pairwise_runs");
+        obs::count(tracer, "mp.repetitions", vr.repetitions);
         acc = util::set_intersection(acc, vr.intersection);
       }
       current[coord] = std::move(acc);
@@ -96,6 +111,7 @@ MultipartyResult coordinator_intersection(sim::Network& network,
   result.intersection = current[active[0]];
 
   if (params.broadcast_result && network.players() > 1) {
+    obs::Span broadcast_span(tracer, "broadcast");
     // The root coordinator ships the result to every other player in one
     // parallel round.
     util::BitBuffer encoded;

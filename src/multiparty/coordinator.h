@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/verification_tree.h"
+#include "obs/tracer.h"
 #include "sim/network.h"
 #include "sim/randomness.h"
 #include "util/set_util.h"
@@ -32,10 +33,15 @@ struct VerifiedRunResult {
   std::uint64_t repetitions = 1;
 };
 
+// `tracer` (optional, not owned) is installed on the internal channel, so
+// phase spans and metrics from the whole certified run — including
+// repetitions and the certificate — are attributed under the caller's
+// current span.
 VerifiedRunResult verified_two_party_intersection(
     const sim::SharedRandomness& shared, std::uint64_t nonce,
     std::uint64_t universe, util::SetView s, util::SetView t,
-    const core::VerificationTreeParams& params, std::size_t k_bound);
+    const core::VerificationTreeParams& params, std::size_t k_bound,
+    obs::Tracer* tracer = nullptr);
 
 struct MultipartyParams {
   core::VerificationTreeParams tree;  // two-party sub-protocol parameters

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/tracer.h"
 #include "sim/channel.h"
 #include "util/rng.h"
 
@@ -74,7 +75,13 @@ MultipartyResult tournament_intersection(sim::Network& network,
   for (std::size_t i = 0; i < active.size(); ++i) active[i] = i;
   std::vector<util::Set> current = sets;
 
+  // As in coordinator_intersection, attribution happens at the network
+  // billing layer only.
+  obs::Tracer* tracer = network.tracer();
+  obs::Span protocol_span(tracer, "tournament");
+
   while (active.size() > 1) {
+    obs::Span level_span(tracer, "level=" + std::to_string(result.levels));
     // Partition active players into groups; every group runs its bracket
     // level-synchronously so that matches across ALL groups share batches.
     std::vector<std::vector<std::size_t>> brackets;

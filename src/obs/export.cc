@@ -1,0 +1,150 @@
+#include "obs/export.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace setint::obs {
+
+void write_metrics_jsonl(const MetricsRegistry& metrics, std::ostream& os) {
+  for (const auto& [name, c] : metrics.counters()) {
+    Json line = Json::object();
+    line["metric"] = name;
+    line["type"] = "counter";
+    line["value"] = c.value();
+    os << line.dump() << '\n';
+  }
+  for (const auto& [name, h] : metrics.histograms()) {
+    Json line = Json::object();
+    line["metric"] = name;
+    line["type"] = "histogram";
+    line["count"] = h.count();
+    line["sum"] = h.sum();
+    line["min"] = h.min();
+    line["max"] = h.max();
+    line["mean"] = h.mean();
+    Json& buckets = line["buckets"] = Json::array();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.bucket_count(b) == 0) continue;
+      Json entry = Json::object();
+      entry["lt"] = b == 0 ? std::uint64_t{1}
+                   : b >= 64 ? ~std::uint64_t{0}
+                             : std::uint64_t{1} << b;
+      entry["count"] = h.bucket_count(b);
+      buckets.push_back(std::move(entry));
+    }
+    os << line.dump() << '\n';
+  }
+}
+
+namespace {
+
+Json trace_header() {
+  Json doc = Json::object();
+  doc["displayTimeUnit"] = "ms";
+  doc["otherData"] =
+      Json::object();  // placeholder so traceEvents is not the only key
+  doc["otherData"]["clock"] = "1us = 1 transmitted bit";
+  doc["traceEvents"] = Json::array();
+  return doc;
+}
+
+Json event(const char* ph, std::string name, std::uint64_t ts, int tid) {
+  Json e = Json::object();
+  e["name"] = std::move(name);
+  e["ph"] = ph;
+  e["ts"] = ts;
+  e["pid"] = 0;
+  e["tid"] = tid;
+  return e;
+}
+
+const char* party_name(int tid) { return tid == 0 ? "alice" : "bob"; }
+
+Json thread_name_event(int tid, std::string name) {
+  Json e = event("M", "thread_name", 0, tid);
+  e["args"] = Json::object();
+  e["args"]["name"] = std::move(name);
+  return e;
+}
+
+}  // namespace
+
+void write_chrome_trace(const sim::Transcript& transcript, std::ostream& os) {
+  Json doc = trace_header();
+  Json& events = doc["traceEvents"];
+  events.push_back(thread_name_event(0, "alice (sends)"));
+  events.push_back(thread_name_event(1, "bob (sends)"));
+
+  std::uint64_t offset = 0;
+  std::uint64_t round = 0;
+  bool has_direction = false;
+  sim::PartyId last = sim::PartyId::kAlice;
+  for (const auto& entry : transcript.entries()) {
+    if (!has_direction || last != entry.from) {
+      round += 1;
+      has_direction = true;
+      last = entry.from;
+      Json marker =
+          event("i", "round " + std::to_string(round), offset, sim::index(entry.from));
+      marker["s"] = "g";  // global-scope instant: full-height line
+      events.push_back(std::move(marker));
+    }
+    Json e = event("X",
+                   entry.label.empty() ? std::string("message") : entry.label,
+                   offset, sim::index(entry.from));
+    e["dur"] = entry.payload.size_bits();
+    e["args"] = Json::object();
+    e["args"]["bits"] = entry.payload.size_bits();
+    e["args"]["from"] = party_name(sim::index(entry.from));
+    e["args"]["round"] = round;
+    events.push_back(std::move(e));
+    offset += entry.payload.size_bits();
+  }
+  os << doc.dump(1);
+}
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
+  if (!tracer.recording_events()) {
+    throw std::logic_error(
+        "write_chrome_trace: tracer was not recording events");
+  }
+  constexpr int kPhaseTid = 2;
+  Json doc = trace_header();
+  Json& events = doc["traceEvents"];
+  events.push_back(thread_name_event(0, "alice (sends)"));
+  events.push_back(thread_name_event(1, "bob (sends)"));
+  events.push_back(thread_name_event(kPhaseTid, "phase stack"));
+
+  for (const TraceEvent& ev : tracer.events()) {
+    switch (ev.kind) {
+      case TraceEvent::Kind::kSpanBegin:
+        events.push_back(event("B", ev.label, ev.bit_offset, kPhaseTid));
+        break;
+      case TraceEvent::Kind::kSpanEnd:
+        events.push_back(event("E", ev.label, ev.bit_offset, kPhaseTid));
+        break;
+      case TraceEvent::Kind::kMessage: {
+        Json e = event("X",
+                       ev.label.empty() ? std::string("message") : ev.label,
+                       ev.bit_offset, ev.party);
+        e["dur"] = ev.bits;
+        e["args"] = Json::object();
+        e["args"]["bits"] = ev.bits;
+        e["args"]["from"] = party_name(ev.party);
+        events.push_back(std::move(e));
+        break;
+      }
+    }
+  }
+  os << doc.dump(1);
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << contents;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace setint::obs

@@ -1,0 +1,39 @@
+// Exporters: metric dumps as JSON-lines, per-run summary records, and
+// Chrome-trace-format (chrome://tracing / Perfetto) timelines of round
+// structure.
+//
+// The simulator has no wall clock worth plotting — the honest time axis is
+// "bits transmitted so far", so Chrome trace timestamps are bit offsets
+// (1 "microsecond" = 1 bit). Messages render as slices on the sending
+// party's track; span begin/end events (when the tracer recorded them)
+// render the phase stack on a third track.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "sim/transcript.h"
+
+namespace setint::obs {
+
+// One JSON object per line: {"metric": name, "type": "counter"|"histogram",
+// ...fields}. Suitable for appending across runs and for line-wise diffing.
+void write_metrics_jsonl(const MetricsRegistry& metrics, std::ostream& os);
+
+// Chrome trace from a recorded transcript: every message is a complete
+// ("ph":"X") event with ts = bits sent before it, dur = its payload bits,
+// on the sending party's thread; round boundaries are instant events.
+void write_chrome_trace(const sim::Transcript& transcript, std::ostream& os);
+
+// Chrome trace from a tracer's event log (requires record_events = true;
+// throws std::logic_error otherwise). Spans become nested B/E events,
+// messages complete events, all on the bit-offset clock.
+void write_chrome_trace(const Tracer& tracer, std::ostream& os);
+
+// Convenience: serialize and write to `path`, throwing std::runtime_error
+// on I/O failure.
+void write_file(const std::string& path, const std::string& contents);
+
+}  // namespace setint::obs

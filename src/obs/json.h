@@ -1,0 +1,82 @@
+// Minimal JSON document builder for the observability exporters and the
+// bench pipeline.
+//
+// Deliberately tiny: build-and-serialize only (no parsing), with ordered
+// objects so that a given construction order always serializes to the
+// same bytes — the bench determinism test diffs raw files. Doubles are
+// rendered with std::to_chars (shortest round-trip form), so equal values
+// always print identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace setint::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kUint, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;
+  Json(bool v) : type_(Type::kBool), bool_(v) {}
+  Json(std::uint64_t v) : type_(Type::kUint), uint_(v) {}
+  Json(std::int64_t v) : type_(Type::kInt), int_(v) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(unsigned v) : type_(Type::kUint), uint_(v) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(std::string v) : type_(Type::kString), string_(std::move(v)) {}
+  Json(std::string_view v) : type_(Type::kString), string_(v) {}
+  Json(const char* v) : type_(Type::kString), string_(v) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  // If the cell text is entirely one number, returns it typed (uint or
+  // double); otherwise returns it as a string. Lets the bench tables emit
+  // typed JSON without each caller tracking cell types.
+  static Json from_cell(const std::string& cell);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  // Array append. Converts a null value to an empty array first.
+  Json& push_back(Json v);
+
+  // Object insert-or-lookup (insertion-ordered). Converts a null value to
+  // an empty object first.
+  Json& operator[](std::string_view key);
+  void set(std::string_view key, Json v) { (*this)[key] = std::move(v); }
+  const Json* find(std::string_view key) const;
+
+  std::size_t size() const;
+
+  // indent < 0: compact single line. indent >= 0: pretty-printed with that
+  // many spaces per level (one key per line — downstream tooling filters
+  // volatile fields line-wise).
+  std::string dump(int indent = -1) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::uint64_t uint_ = 0;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace setint::obs

@@ -1,0 +1,64 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace setint::obs {
+
+int Histogram::bucket_of(std::uint64_t value) {
+  if (value == 0) return 0;
+  return 64 - std::countl_zero(value);
+}
+
+void Histogram::observe(std::uint64_t value) {
+  buckets_[bucket_of(value)] += 1;
+  count_ += 1;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+Json MetricsRegistry::ToJson() const {
+  Json out = Json::object();
+  Json& counters = out["counters"] = Json::object();
+  for (const auto& [name, c] : counters_) counters[name] = c.value();
+  Json& histograms = out["histograms"] = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    Json& record = histograms[name] = Json::object();
+    record["count"] = h.count();
+    record["sum"] = h.sum();
+    record["min"] = h.min();
+    record["max"] = h.max();
+    record["mean"] = h.mean();
+    Json& buckets = record["buckets"] = Json::array();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.bucket_count(b) == 0) continue;
+      Json entry = Json::object();
+      // Upper bound (exclusive) of the bucket: 1 for the zero bucket,
+      // 2^b otherwise; the top bucket's bound saturates.
+      entry["lt"] = b == 0 ? std::uint64_t{1}
+                   : b >= 64 ? ~std::uint64_t{0}
+                             : std::uint64_t{1} << b;
+      entry["count"] = h.bucket_count(b);
+      buckets.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
+}  // namespace setint::obs

@@ -1,0 +1,87 @@
+// Named counters and log-scale histograms for protocol internals.
+//
+// Protocols publish the quantities the paper's proofs reason about —
+// Basic-Intersection rerun counts (Lemma 3.10), bucket-size distributions
+// (Eq. (1)), equality hash-bit budgets, per-level bit spend — into a
+// MetricsRegistry instead of growing one ad-hoc Stats struct per module.
+// Metric names are dotted paths, `<module>.<quantity>` (see
+// docs/OBSERVABILITY.md for the naming scheme and the full inventory).
+//
+// The registry is deterministic: iteration order is lexicographic by name
+// and nothing here reads clocks, so two identical runs export identical
+// JSON.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+
+namespace setint::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Power-of-two bucketed histogram over uint64 values. Bucket 0 holds the
+// value 0; bucket b >= 1 holds values in [2^(b-1), 2^b). 65 buckets cover
+// the whole uint64 range, so observe() never clamps or drops.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void observe(std::uint64_t value);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  std::uint64_t bucket_count(int bucket) const { return buckets_[bucket]; }
+
+  // Index of the bucket `value` falls into.
+  static int bucket_of(std::uint64_t value);
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  bool empty() const { return counters_.empty() && histograms_.empty(); }
+
+  // {"counters": {name: value, ...},
+  //  "histograms": {name: {count, sum, min, max, mean,
+  //                        buckets: [{le, count}, ...nonzero only]}, ...}}
+  Json ToJson() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace setint::obs

@@ -1,0 +1,167 @@
+#include "obs/tracer.h"
+
+#include <stdexcept>
+
+namespace setint::obs {
+
+std::uint64_t PhaseNode::total_bits() const {
+  std::uint64_t total = self_bits;
+  for (const auto& c : children) total += c->total_bits();
+  return total;
+}
+
+std::uint64_t PhaseNode::total_messages() const {
+  std::uint64_t total = self_messages;
+  for (const auto& c : children) total += c->total_messages();
+  return total;
+}
+
+std::uint64_t PhaseNode::total_rounds() const {
+  std::uint64_t total = self_rounds;
+  for (const auto& c : children) total += c->total_rounds();
+  return total;
+}
+
+const PhaseNode* PhaseNode::child(std::string_view label) const {
+  for (const auto& c : children) {
+    if (c->label == label) return c.get();
+  }
+  return nullptr;
+}
+
+void Tracer::push(std::string_view label) {
+  PhaseNode* parent = stack_.back();
+  PhaseNode* node = nullptr;
+  for (const auto& c : parent->children) {
+    if (c->label == label) {
+      node = c.get();
+      break;
+    }
+  }
+  if (node == nullptr) {
+    parent->children.push_back(std::make_unique<PhaseNode>());
+    node = parent->children.back().get();
+    node->label = std::string(label);
+  }
+  node->enters += 1;
+  stack_.push_back(node);
+  if (record_events_) {
+    events_.push_back(TraceEvent{TraceEvent::Kind::kSpanBegin,
+                                 std::string(label), bit_clock_, 0, -1});
+  }
+}
+
+void Tracer::pop() {
+  if (stack_.size() <= 1) throw std::logic_error("Tracer: pop past root");
+  if (record_events_) {
+    events_.push_back(TraceEvent{TraceEvent::Kind::kSpanEnd,
+                                 stack_.back()->label, bit_clock_, 0, -1});
+  }
+  stack_.pop_back();
+}
+
+void Tracer::on_message(sim::PartyId from, std::uint64_t bits, bool new_round,
+                        std::string_view label) {
+  PhaseNode* node = stack_.back();
+  node->self_bits += bits;
+  node->self_messages += 1;
+  if (new_round) node->self_rounds += 1;
+  if (record_events_) {
+    events_.push_back(TraceEvent{TraceEvent::Kind::kMessage,
+                                 std::string(label), bit_clock_, bits,
+                                 sim::index(from)});
+  }
+  bit_clock_ += bits;
+}
+
+void Tracer::on_cost(const sim::CostStats& cost) {
+  PhaseNode* node = stack_.back();
+  node->self_bits += cost.bits_total;
+  node->self_messages += cost.messages;
+  node->self_rounds += cost.rounds;
+  bit_clock_ += cost.bits_total;
+}
+
+namespace {
+
+void flatten(const PhaseNode& node, const std::string& prefix, int depth,
+             std::vector<PhaseRow>& out) {
+  for (const auto& child : node.children) {
+    const std::string path =
+        prefix.empty() ? child->label : prefix + "/" + child->label;
+    PhaseRow row;
+    row.path = path;
+    row.depth = depth;
+    row.bits = child->total_bits();
+    row.self_bits = child->self_bits;
+    row.messages = child->total_messages();
+    row.rounds = child->total_rounds();
+    row.enters = child->enters;
+    out.push_back(std::move(row));
+    flatten(*child, path, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::vector<PhaseRow> Tracer::breakdown() const {
+  std::vector<PhaseRow> rows;
+  // The synthetic root row first, so consumers can check that phase sums
+  // cover the whole run (root.bits == CostStats::bits_total).
+  PhaseRow root_row;
+  root_row.path = "";
+  root_row.depth = -1;
+  root_row.bits = root_.total_bits();
+  root_row.self_bits = root_.self_bits;
+  root_row.messages = root_.total_messages();
+  root_row.rounds = root_.total_rounds();
+  root_row.enters = root_.enters;
+  rows.push_back(std::move(root_row));
+  flatten(root_, "", 0, rows);
+  return rows;
+}
+
+namespace {
+
+Json rows_to_json(const std::vector<PhaseRow>& rows) {
+  Json out = Json::array();
+  for (const PhaseRow& row : rows) {
+    Json record = Json::object();
+    record["path"] = row.path;
+    record["depth"] = row.depth;
+    record["bits"] = row.bits;
+    record["self_bits"] = row.self_bits;
+    record["messages"] = row.messages;
+    record["rounds"] = row.rounds;
+    record["enters"] = row.enters;
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+}  // namespace
+
+Json Tracer::BreakdownJson() const { return rows_to_json(breakdown()); }
+
+Json RunReport::ToJson() const {
+  Json out = Json::object();
+  Json& c = out["cost"] = Json::object();
+  c["bits_total"] = cost.bits_total;
+  c["bits_from_alice"] = cost.bits_from_alice;
+  c["bits_from_bob"] = cost.bits_from_bob;
+  c["messages"] = cost.messages;
+  c["rounds"] = cost.rounds;
+  out["phases"] = rows_to_json(phases);
+  out["metrics"] = metrics;
+  return out;
+}
+
+RunReport make_run_report(const sim::CostStats& cost, const Tracer& tracer) {
+  RunReport report;
+  report.cost = cost;
+  report.phases = tracer.breakdown();
+  report.metrics = tracer.metrics().ToJson();
+  return report;
+}
+
+}  // namespace setint::obs

@@ -1,0 +1,178 @@
+// Hierarchical phase attribution for protocol runs.
+//
+// A Tracer maintains a stack of labeled phases ("spans"); every bit,
+// message and round metered by sim::Channel / sim::Network while a span is
+// the innermost open one is attributed to that span's node in a phase
+// tree. Protocols open spans RAII-style:
+//
+//   obs::Span stage(channel.tracer(), "level=2");
+//   obs::Span eq(channel.tracer(), "equality");   // nested
+//
+// yielding paths such as
+// `verification_tree/level=2/basic_intersection/hash_exchange`. A node's
+// total cost is its own plus its descendants', so sibling totals sum to
+// the parent total whenever all traffic happens inside child spans — the
+// invariant the observability tests pin.
+//
+// Null tracers are free: Span and the channel hook both test one pointer
+// and do nothing else, so un-traced runs pay a single predictable branch
+// per send.
+//
+// The tracer also owns a MetricsRegistry (obs/metrics.h) so protocols can
+// publish scalar internals ("vt.bi_runs", "bucket_eq.instances", ...)
+// through the same plumbing: obs::count() / obs::observe() below no-op on
+// a null tracer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "sim/transcript.h"
+
+namespace setint::obs {
+
+struct PhaseNode {
+  std::string label;
+  // Cost of traffic metered while this node was the innermost open span
+  // (excludes descendants).
+  std::uint64_t self_bits = 0;
+  std::uint64_t self_messages = 0;
+  std::uint64_t self_rounds = 0;
+  std::uint64_t enters = 0;  // times a span with this label was opened here
+  std::vector<std::unique_ptr<PhaseNode>> children;
+
+  std::uint64_t total_bits() const;
+  std::uint64_t total_messages() const;
+  std::uint64_t total_rounds() const;
+
+  // Child with the given label, or nullptr.
+  const PhaseNode* child(std::string_view label) const;
+};
+
+// One row of the flattened (pre-order) phase breakdown.
+struct PhaseRow {
+  std::string path;  // '/'-joined labels from the root span down
+  int depth = 0;
+  std::uint64_t bits = 0;       // total: self + descendants
+  std::uint64_t self_bits = 0;  // excludes descendants
+  std::uint64_t messages = 0;   // total
+  std::uint64_t rounds = 0;     // total
+  std::uint64_t enters = 0;
+};
+
+// Timeline event, recorded only when the tracer is constructed with
+// record_events = true (exported to Chrome trace format by obs/export.h).
+// Timestamps are cumulative transmitted bits, the simulator's clock.
+struct TraceEvent {
+  enum class Kind { kSpanBegin, kSpanEnd, kMessage };
+  Kind kind;
+  std::string label;          // span label or message label
+  std::uint64_t bit_offset;   // total bits transmitted before this event
+  std::uint64_t bits = 0;     // message payload size (kMessage only)
+  int party = -1;             // sim::index(from) for kMessage, -1 for spans
+};
+
+class Tracer {
+ public:
+  explicit Tracer(bool record_events = false)
+      : record_events_(record_events) {
+    root_.label = "root";
+    root_.enters = 1;
+  }
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  // Span control — prefer the RAII Span wrapper below. Re-entering a label
+  // that already exists under the current node accumulates into the same
+  // child (phases merge by label; the event log keeps individual entries).
+  void push(std::string_view label);
+  void pop();
+  int depth() const { return static_cast<int>(stack_.size()) - 1; }
+
+  // Metering hook called by sim::Channel / sim::Network per delivered
+  // message. `new_round` marks a direction change (a round boundary).
+  void on_message(sim::PartyId from, std::uint64_t bits, bool new_round,
+                  std::string_view label = {});
+
+  // Aggregate billing hook (sim::Network): attributes a completed
+  // sub-protocol's whole cost to the current span in one step. No timeline
+  // event is recorded — per-message structure lives on the sub-protocol's
+  // own channel.
+  void on_cost(const sim::CostStats& cost);
+
+  const PhaseNode& root() const { return root_; }
+  std::uint64_t total_bits() const { return bit_clock_; }
+
+  std::vector<PhaseRow> breakdown() const;
+
+  // Breakdown as a JSON array of row objects (schema in
+  // docs/OBSERVABILITY.md).
+  Json BreakdownJson() const;
+
+  bool recording_events() const { return record_events_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  PhaseNode root_;
+  std::vector<PhaseNode*> stack_{&root_};
+  MetricsRegistry metrics_;
+  std::uint64_t bit_clock_ = 0;  // total bits metered so far
+  bool record_events_;
+  std::vector<TraceEvent> events_;
+};
+
+// RAII span. Safe to construct with a null tracer (does nothing).
+class Span {
+ public:
+  Span(Tracer* tracer, std::string_view label) : tracer_(tracer) {
+    if (tracer_ != nullptr) tracer_->push(label);
+  }
+  ~Span() { end(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Close the span before scope exit (for phases that end mid-function).
+  // Idempotent.
+  void end() {
+    if (tracer_ != nullptr) tracer_->pop();
+    tracer_ = nullptr;
+  }
+
+ private:
+  Tracer* tracer_;
+};
+
+// Null-safe metric helpers: protocols call these unconditionally; with no
+// tracer installed they cost one branch.
+inline void count(Tracer* tracer, std::string_view name,
+                  std::uint64_t delta = 1) {
+  if (tracer != nullptr) tracer->metrics().counter(name).add(delta);
+}
+
+inline void observe(Tracer* tracer, std::string_view name,
+                    std::uint64_t value) {
+  if (tracer != nullptr) tracer->metrics().histogram(name).observe(value);
+}
+
+// Cost summary + phase breakdown + metrics for one protocol run — what the
+// facade hands back when a tracer is installed.
+struct RunReport {
+  sim::CostStats cost;
+  std::vector<PhaseRow> phases;
+  Json metrics;  // MetricsRegistry::ToJson() snapshot
+
+  Json ToJson() const;
+};
+
+RunReport make_run_report(const sim::CostStats& cost, const Tracer& tracer);
+
+}  // namespace setint::obs

@@ -23,8 +23,8 @@ IntersectResult intersect(util::SetView s, util::SetView t,
 
   sim::SharedRandomness shared(options.seed);
   const multiparty::VerifiedRunResult run =
-      multiparty::verified_two_party_intersection(shared, options.seed,
-                                                  universe, s, t, params, k);
+      multiparty::verified_two_party_intersection(
+          shared, options.seed, universe, s, t, params, k, options.tracer);
   IntersectResult result;
   result.intersection = run.intersection;
   result.bits = run.cost.bits_total;
@@ -32,6 +32,11 @@ IntersectResult intersect(util::SetView s, util::SetView t,
   result.repetitions = run.repetitions;
   result.verified = true;  // verified_two_party always certifies or falls
                            // back to the exact deterministic exchange
+  if (options.tracer != nullptr) {
+    result.report = obs::make_run_report(run.cost, *options.tracer);
+  } else {
+    result.report.cost = run.cost;
+  }
   return result;
 }
 

@@ -11,10 +11,21 @@
 // (verification tree at r = log* k) followed by a 2k-bit certificate, so
 // `verified == true` means the output is S cap T with certainty up to the
 // 2^-2k certificate error.
+//
+// Observability: install an obs::Tracer to get a phase-attributed cost
+// breakdown of the run —
+//
+//   obs::Tracer tracer;
+//   auto result = setint::intersect(S, T, {.tracer = &tracer});
+//   // result.report.phases: per-phase bits/messages/rounds rows
+//   // result.report.ToJson(): machine-readable run record
+//
+// With no tracer the run pays nothing for the plumbing.
 #pragma once
 
 #include <cstdint>
 
+#include "obs/tracer.h"
 #include "util/set_util.h"
 
 namespace setint {
@@ -25,6 +36,9 @@ struct IntersectOptions {
   // 0 = auto (log* k). Larger r never helps; smaller r trades rounds for
   // bits per Theorem 1.1.
   int rounds_r = 0;
+  // Optional phase/metric sink (not owned). When set, the returned
+  // IntersectResult::report carries the full phase breakdown.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct IntersectResult {
@@ -33,6 +47,9 @@ struct IntersectResult {
   std::uint64_t rounds = 0;    // message alternations
   bool verified = false;       // certificate passed (exact up to 2^-2k)
   std::uint64_t repetitions = 1;
+  // Cost + phase breakdown + metrics. Phases/metrics are populated only
+  // when options.tracer was set; cost is always filled.
+  obs::RunReport report;
 };
 
 // Two-party exact intersection at O(k) communication. Inputs must be

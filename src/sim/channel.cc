@@ -1,5 +1,7 @@
 #include "sim/channel.h"
 
+#include "obs/tracer.h"
+
 namespace setint::sim {
 
 Channel::Channel(bool record_transcript) {
@@ -15,10 +17,14 @@ util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
     cost_.bits_from_bob += payload.size_bits();
   }
   cost_.messages += 1;
-  if (!has_last_direction_ || last_direction_ != from) {
+  const bool new_round = !has_last_direction_ || last_direction_ != from;
+  if (new_round) {
     cost_.rounds += 1;
     has_last_direction_ = true;
     last_direction_ = from;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->on_message(from, payload.size_bits(), new_round, label);
   }
   if (transcript_) transcript_->record(from, payload, std::move(label));
   return payload;

@@ -5,6 +5,10 @@
 // Channel::send(), which meters bits, messages and rounds. The returned
 // buffer is what the peer decodes — reading data that was never sent is
 // structurally impossible, which keeps the accounting honest.
+//
+// An optional obs::Tracer attributes every metered send to the tracer's
+// current phase-span stack (see obs/tracer.h); with no tracer installed the
+// hook is a single null-pointer test.
 #pragma once
 
 #include <memory>
@@ -12,6 +16,10 @@
 
 #include "sim/transcript.h"
 #include "util/bitio.h"
+
+namespace setint::obs {
+class Tracer;
+}  // namespace setint::obs
 
 namespace setint::sim {
 
@@ -22,7 +30,9 @@ class Channel {
   explicit Channel(bool record_transcript = false);
 
   // Delivers `payload` from `from` to the other party and returns it for
-  // decoding. Zero-bit payloads are allowed but still count as a message.
+  // decoding. Zero-bit payloads are allowed but still count as a message
+  // (and advance the round on a direction change) — see the "metering
+  // conventions" section of docs/PROTOCOL.md.
   util::BitBuffer send(PartyId from, util::BitBuffer payload,
                        std::string label = {});
 
@@ -31,11 +41,17 @@ class Channel {
   // Transcript if recording was enabled, else nullptr.
   const Transcript* transcript() const { return transcript_.get(); }
 
+  // Install (or clear, with nullptr) a tracer; not owned, must outlive the
+  // channel's sends.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   CostStats cost_;
   bool has_last_direction_ = false;
   PartyId last_direction_ = PartyId::kAlice;
   std::unique_ptr<Transcript> transcript_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace setint::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/tracer.h"
+
 namespace setint::sim {
 
 void Network::check_ids(std::size_t a, std::size_t b) const {
@@ -22,6 +24,12 @@ void Network::bill_pairwise(std::size_t a, std::size_t b,
     rounds_ += cost.rounds;
   } else {
     batch_max_rounds_ = std::max(batch_max_rounds_, cost.rounds);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->on_cost(cost);
+    obs::count(tracer_, "net.pairwise_bills");
+    obs::observe(tracer_, "net.pairwise_bits", cost.bits_total);
+    obs::observe(tracer_, "net.pairwise_rounds", cost.rounds);
   }
 }
 

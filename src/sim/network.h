@@ -13,6 +13,10 @@
 
 #include "sim/transcript.h"
 
+namespace setint::obs {
+class Tracer;
+}  // namespace setint::obs
+
 namespace setint::sim {
 
 struct PlayerCost {
@@ -49,6 +53,11 @@ class Network {
   std::uint64_t max_player_bits() const;
   double average_player_bits() const;
 
+  // Optional observability: every bill_pairwise is attributed to the
+  // tracer's current span and recorded in the "net.*" metrics. Not owned.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   void check_ids(std::size_t a, std::size_t b) const;
 
@@ -58,6 +67,7 @@ class Network {
   std::uint64_t rounds_ = 0;
   bool in_batch_ = false;
   std::uint64_t batch_max_rounds_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace setint::sim

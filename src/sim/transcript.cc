@@ -1,5 +1,7 @@
 #include "sim/transcript.h"
 
+#include <ostream>
+
 #include "util/rng.h"
 
 namespace setint::sim {
@@ -13,9 +15,40 @@ CostStats& CostStats::operator+=(const CostStats& o) {
   return *this;
 }
 
+std::string CostStats::ToString() const {
+  return "CostStats{bits=" + std::to_string(bits_total) + " (alice " +
+         std::to_string(bits_from_alice) + ", bob " +
+         std::to_string(bits_from_bob) +
+         "), messages=" + std::to_string(messages) +
+         ", rounds=" + std::to_string(rounds) + "}";
+}
+
+std::ostream& operator<<(std::ostream& os, const CostStats& c) {
+  return os << c.ToString();
+}
+
 void Transcript::record(PartyId from, const util::BitBuffer& payload,
                         std::string label) {
   entries_.push_back(TranscriptEntry{from, payload, std::move(label)});
+}
+
+std::string Transcript::ToString() const {
+  std::uint64_t bits = 0;
+  for (const auto& e : entries_) bits += e.payload.size_bits();
+  std::string out = "Transcript{" + std::to_string(entries_.size()) +
+                    " messages, " + std::to_string(bits) + " bits}";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto& e = entries_[i];
+    out += "\n  #" + std::to_string(i) + " " +
+           (e.from == PartyId::kAlice ? "alice" : "bob  ") + " " +
+           std::to_string(e.payload.size_bits()) + " bits";
+    if (!e.label.empty()) out += "  '" + e.label + "'";
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Transcript& t) {
+  return os << t.ToString();
 }
 
 std::uint64_t Transcript::digest() const {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -32,13 +33,23 @@ struct CostStats {
   std::uint64_t rounds = 0;
 
   CostStats& operator+=(const CostStats& o);
+  bool operator==(const CostStats& o) const = default;
+
+  // e.g. "CostStats{bits=1234 (alice 600, bob 634), messages=8, rounds=4}"
+  // so test failures show cost diffs instead of opaque asserts.
+  std::string ToString() const;
 };
+
+// GoogleTest and iostream printing support.
+std::ostream& operator<<(std::ostream& os, const CostStats& c);
 
 // Optional bit-exact record of every message (for tests and debugging).
 struct TranscriptEntry {
   PartyId from;
   util::BitBuffer payload;
   std::string label;
+
+  bool operator==(const TranscriptEntry& o) const = default;
 };
 
 class Transcript {
@@ -50,8 +61,16 @@ class Transcript {
   // Order-sensitive digest of all payloads; equal transcripts hash equal.
   std::uint64_t digest() const;
 
+  bool operator==(const Transcript& o) const { return entries_ == o.entries_; }
+
+  // One line per message ("#3 bob  17 bits  'eq-verdicts'") plus a summary
+  // header — readable test-failure output for transcript mismatches.
+  std::string ToString() const;
+
  private:
   std::vector<TranscriptEntry> entries_;
 };
+
+std::ostream& operator<<(std::ostream& os, const Transcript& t);
 
 }  // namespace setint::sim

@@ -1,0 +1,372 @@
+// Tests for the observability layer: span nesting and cost attribution on
+// the tracer, histogram bucketing edge cases, the JSON builder/exporters
+// (golden outputs), and the end-to-end invariant that a traced
+// verification-tree run attributes every bit of CostStats::bits_total to
+// a phase.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/verification_tree.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "setint.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace setint {
+namespace {
+
+util::BitBuffer bits_of(std::uint64_t v, unsigned w) {
+  util::BitBuffer b;
+  b.append_bits(v, w);
+  return b;
+}
+
+// ---------- Json builder ----------
+
+TEST(Json, GoldenCompactDump) {
+  obs::Json doc = obs::Json::object();
+  doc["name"] = "run";
+  doc["count"] = std::uint64_t{42};
+  doc["negative"] = -3;
+  doc["ratio"] = 0.5;
+  doc["flag"] = true;
+  doc["nothing"];  // null
+  obs::Json& arr = doc["items"] = obs::Json::array();
+  arr.push_back(std::uint64_t{1});
+  arr.push_back("two\n\"quoted\"");
+  EXPECT_EQ(doc.dump(),
+            "{\"name\":\"run\",\"count\":42,\"negative\":-3,\"ratio\":0.5,"
+            "\"flag\":true,\"nothing\":null,"
+            "\"items\":[1,\"two\\n\\\"quoted\\\"\"]}");
+}
+
+TEST(Json, GoldenPrettyDump) {
+  obs::Json doc = obs::Json::object();
+  doc["a"] = std::uint64_t{1};
+  obs::Json& inner = doc["b"] = obs::Json::object();
+  inner["c"] = "x";
+  EXPECT_EQ(doc.dump(2),
+            "{\n  \"a\": 1,\n  \"b\": {\n    \"c\": \"x\"\n  }\n}\n");
+}
+
+TEST(Json, ObjectKeysKeepInsertionOrder) {
+  obs::Json doc = obs::Json::object();
+  doc["zebra"] = 1;
+  doc["alpha"] = 2;
+  doc["zebra"] = 3;  // update in place, order unchanged
+  EXPECT_EQ(doc.dump(), "{\"zebra\":3,\"alpha\":2}");
+}
+
+TEST(Json, FromCellTypesNumbers) {
+  EXPECT_EQ(obs::Json::from_cell("123").dump(), "123");
+  EXPECT_EQ(obs::Json::from_cell("1.50").dump(), "1.5");
+  EXPECT_EQ(obs::Json::from_cell("-2.5").dump(), "-2.5");
+  EXPECT_EQ(obs::Json::from_cell("12 (r=4)").dump(), "\"12 (r=4)\"");
+  EXPECT_EQ(obs::Json::from_cell("yes").dump(), "\"yes\"");
+  EXPECT_EQ(obs::Json::from_cell("").dump(), "\"\"");
+}
+
+TEST(Json, DoublesRoundTripShortest) {
+  EXPECT_EQ(obs::Json(0.1).dump(), "0.1");
+  EXPECT_EQ(obs::Json(1.0).dump(), "1");
+  EXPECT_EQ(obs::Json(1e300).dump(), "1e+300");
+}
+
+// ---------- Histogram ----------
+
+TEST(Histogram, BucketOfEdgeCases) {
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 2);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 2);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3);
+  EXPECT_EQ(obs::Histogram::bucket_of(7), 3);
+  EXPECT_EQ(obs::Histogram::bucket_of(8), 4);
+  // Power-of-two boundaries land in the bucket they open.
+  for (int p = 0; p < 64; ++p) {
+    EXPECT_EQ(obs::Histogram::bucket_of(std::uint64_t{1} << p), p + 1);
+  }
+  EXPECT_EQ(obs::Histogram::bucket_of((std::uint64_t{1} << 20) - 1), 20);
+  EXPECT_EQ(obs::Histogram::bucket_of(~std::uint64_t{0}), 64);
+}
+
+TEST(Histogram, ObserveTracksStats) {
+  obs::Histogram h;
+  EXPECT_EQ(h.min(), 0u);  // empty histogram reports 0, not UINT64_MAX
+  h.observe(0);
+  h.observe(1);
+  h.observe(16);
+  h.observe(17);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 34u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 17u);
+  EXPECT_DOUBLE_EQ(h.mean(), 8.5);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // the 0
+  EXPECT_EQ(h.bucket_count(1), 1u);  // the 1
+  EXPECT_EQ(h.bucket_count(5), 2u);  // 16 and 17 in [16, 32)
+}
+
+TEST(MetricsRegistry, ExportsSortedAndTyped) {
+  obs::MetricsRegistry reg;
+  reg.counter("z.late").add(2);
+  reg.counter("a.early").add(1);
+  reg.histogram("m.sizes").observe(5);
+  const std::string json = reg.ToJson().dump();
+  // Lexicographic order regardless of registration order.
+  EXPECT_LT(json.find("a.early"), json.find("z.late"));
+  EXPECT_NE(json.find("\"m.sizes\""), std::string::npos);
+}
+
+// ---------- Tracer ----------
+
+TEST(Tracer, AttributesSelfCostToInnermostSpan) {
+  obs::Tracer tracer;
+  sim::Channel ch;
+  ch.set_tracer(&tracer);
+  {
+    obs::Span outer(&tracer, "outer");
+    ch.send(sim::PartyId::kAlice, bits_of(0, 10));
+    {
+      obs::Span inner(&tracer, "inner");
+      ch.send(sim::PartyId::kBob, bits_of(0, 4));
+    }
+    ch.send(sim::PartyId::kBob, bits_of(0, 1));
+  }
+  const obs::PhaseNode* outer = tracer.root().child("outer");
+  ASSERT_NE(outer, nullptr);
+  const obs::PhaseNode* inner = outer->child("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->self_bits, 11u);
+  EXPECT_EQ(inner->self_bits, 4u);
+  EXPECT_EQ(outer->total_bits(), 15u);
+  EXPECT_EQ(tracer.total_bits(), 15u);
+  EXPECT_EQ(outer->total_messages(), 3u);
+  EXPECT_EQ(outer->total_rounds(), 2u);  // A | B B
+}
+
+TEST(Tracer, ChildTotalsSumToParentWhenAllTrafficIsNested) {
+  obs::Tracer tracer;
+  sim::Channel ch;
+  ch.set_tracer(&tracer);
+  {
+    obs::Span root_span(&tracer, "protocol");
+    {
+      obs::Span a(&tracer, "phase_a");
+      ch.send(sim::PartyId::kAlice, bits_of(0, 8));
+    }
+    {
+      obs::Span b(&tracer, "phase_b");
+      ch.send(sim::PartyId::kBob, bits_of(0, 24));
+    }
+  }
+  const obs::PhaseNode* protocol = tracer.root().child("protocol");
+  ASSERT_NE(protocol, nullptr);
+  EXPECT_EQ(protocol->self_bits, 0u);
+  EXPECT_EQ(protocol->child("phase_a")->total_bits() +
+                protocol->child("phase_b")->total_bits(),
+            protocol->total_bits());
+}
+
+TEST(Tracer, ReenteringLabelMergesIntoOneNode) {
+  obs::Tracer tracer;
+  sim::Channel ch;
+  ch.set_tracer(&tracer);
+  for (int i = 0; i < 3; ++i) {
+    obs::Span s(&tracer, "repeated");
+    ch.send(sim::PartyId::kAlice, bits_of(0, 2));
+  }
+  const obs::PhaseNode* node = tracer.root().child("repeated");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->enters, 3u);
+  EXPECT_EQ(node->self_bits, 6u);
+  EXPECT_EQ(tracer.root().children.size(), 1u);
+}
+
+TEST(Tracer, NullTracerSpansAreNoOps) {
+  obs::Span s(nullptr, "nothing");
+  s.end();
+  obs::count(nullptr, "ctr");
+  obs::observe(nullptr, "hist", 7);  // must not crash
+}
+
+TEST(Tracer, SpanEndIsIdempotent) {
+  obs::Tracer tracer;
+  obs::Span s(&tracer, "phase");
+  s.end();
+  s.end();  // second end is a no-op, not a double pop
+  EXPECT_EQ(tracer.depth(), 0);
+}
+
+TEST(Tracer, BreakdownRowsCoverTreePreOrderWithRootFirst) {
+  obs::Tracer tracer;
+  sim::Channel ch;
+  ch.set_tracer(&tracer);
+  {
+    obs::Span outer(&tracer, "outer");
+    {
+      obs::Span inner(&tracer, "inner");
+      ch.send(sim::PartyId::kAlice, bits_of(0, 3));
+    }
+  }
+  const std::vector<obs::PhaseRow> rows = tracer.breakdown();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].path, "");  // synthetic total row
+  EXPECT_EQ(rows[0].depth, -1);
+  EXPECT_EQ(rows[0].bits, 3u);
+  EXPECT_EQ(rows[1].path, "outer");
+  EXPECT_EQ(rows[2].path, "outer/inner");
+  EXPECT_EQ(rows[2].depth, 1);
+  EXPECT_EQ(rows[2].self_bits, 3u);
+}
+
+TEST(Tracer, UnbalancedPopThrows) {
+  obs::Tracer tracer;
+  EXPECT_THROW(tracer.pop(), std::logic_error);
+}
+
+// ---------- End-to-end attribution ----------
+
+TEST(TracedVerificationTree, PerLevelBitsSumToCostStatsTotal) {
+  const std::uint64_t universe = std::uint64_t{1} << 32;
+  for (std::size_t k : {256u, 2048u}) {
+    for (int r = 2; r <= 4; ++r) {
+      util::Rng wrng(k);
+      const util::SetPair p = util::random_set_pair(wrng, universe, k, k / 2);
+      core::VerificationTreeParams params;
+      params.rounds_r = r;
+      obs::Tracer tracer;
+      sim::SharedRandomness shared(k + static_cast<std::uint64_t>(r));
+      sim::Channel ch;
+      ch.set_tracer(&tracer);
+      core::verification_tree_intersection(ch, shared, 1, universe, p.s, p.t,
+                                           params);
+      // Every transmitted bit is attributed: the tracer's clock, the
+      // protocol span's total, and the per-level totals all equal the
+      // channel meter.
+      EXPECT_EQ(tracer.total_bits(), ch.cost().bits_total);
+      const obs::PhaseNode* tree = tracer.root().child("verification_tree");
+      ASSERT_NE(tree, nullptr);
+      EXPECT_EQ(tree->total_bits(), ch.cost().bits_total);
+      EXPECT_EQ(tree->total_messages(), ch.cost().messages);
+      EXPECT_EQ(tree->total_rounds(), ch.cost().rounds);
+      std::uint64_t level_bits = tree->self_bits;
+      for (const auto& child : tree->children) {
+        level_bits += child->total_bits();
+      }
+      EXPECT_EQ(level_bits, ch.cost().bits_total)
+          << "k=" << k << " r=" << r;
+    }
+  }
+}
+
+TEST(TracedVerificationTree, PublishesProofSideMetrics) {
+  const std::uint64_t universe = std::uint64_t{1} << 30;
+  const std::size_t k = 1024;
+  util::Rng wrng(3);
+  const util::SetPair p = util::random_set_pair(wrng, universe, k, k / 2);
+  obs::Tracer tracer;
+  sim::SharedRandomness shared(3);
+  sim::Channel ch;
+  ch.set_tracer(&tracer);
+  core::verification_tree_intersection(ch, shared, 3, universe, p.s, p.t, {});
+  const auto& metrics = tracer.metrics();
+  EXPECT_GT(metrics.histograms().at("vt.bucket_size").count(), 0u);
+  EXPECT_GT(metrics.counters().at("bi.batches").value(), 0u);
+  EXPECT_GT(metrics.histograms().at("vt.leaf_reruns").count(), 0u);
+}
+
+TEST(Facade, RunReportCarriesPhasesAndMetrics) {
+  util::Set a, b;
+  for (std::uint64_t i = 0; i < 300; ++i) a.push_back(3 * i + 1);
+  for (std::uint64_t i = 0; i < 300; ++i) b.push_back(6 * i + 1);
+  obs::Tracer tracer;
+  IntersectOptions options;
+  options.tracer = &tracer;
+  const IntersectResult result = intersect(a, b, options);
+  EXPECT_EQ(result.report.cost.bits_total, result.bits);
+  ASSERT_FALSE(result.report.phases.empty());
+  EXPECT_EQ(result.report.phases[0].bits, result.bits);
+  EXPECT_FALSE(result.report.metrics.is_null());
+  const obs::Json doc = result.report.ToJson();
+  EXPECT_NE(doc.find("cost"), nullptr);
+  EXPECT_NE(doc.find("phases"), nullptr);
+  EXPECT_NE(doc.find("metrics"), nullptr);
+}
+
+// ---------- Exporters ----------
+
+TEST(Export, MetricsJsonlGolden) {
+  obs::MetricsRegistry reg;
+  reg.counter("runs").add(2);
+  reg.histogram("sizes").observe(0);
+  reg.histogram("sizes").observe(5);
+  std::ostringstream os;
+  obs::write_metrics_jsonl(reg, os);
+  EXPECT_EQ(os.str(),
+            "{\"metric\":\"runs\",\"type\":\"counter\",\"value\":2}\n"
+            "{\"metric\":\"sizes\",\"type\":\"histogram\",\"count\":2,"
+            "\"sum\":5,\"min\":0,\"max\":5,\"mean\":2.5,"
+            "\"buckets\":[{\"lt\":1,\"count\":1},{\"lt\":8,\"count\":1}]}\n");
+}
+
+TEST(Export, ChromeTraceFromTranscript) {
+  sim::Transcript t;
+  t.record(sim::PartyId::kAlice, bits_of(0, 10), "offer");
+  t.record(sim::PartyId::kBob, bits_of(0, 6), "reply");
+  std::ostringstream os;
+  obs::write_chrome_trace(t, os);
+  const std::string trace = os.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"offer\""), std::string::npos);
+  EXPECT_NE(trace.find("\"reply\""), std::string::npos);
+  EXPECT_NE(trace.find("round 2"), std::string::npos);
+  // Second message starts at the 10-bit offset of the first.
+  EXPECT_NE(trace.find("\"ts\": 10"), std::string::npos);
+}
+
+TEST(Export, ChromeTraceFromTracerRequiresEventRecording) {
+  obs::Tracer silent;
+  std::ostringstream os;
+  EXPECT_THROW(obs::write_chrome_trace(silent, os), std::logic_error);
+
+  obs::Tracer recording(/*record_events=*/true);
+  sim::Channel ch;
+  ch.set_tracer(&recording);
+  {
+    obs::Span s(&recording, "phase");
+    ch.send(sim::PartyId::kAlice, bits_of(0, 5), "msg");
+  }
+  std::ostringstream os2;
+  obs::write_chrome_trace(recording, os2);
+  const std::string trace = os2.str();
+  EXPECT_NE(trace.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(trace.find("\"phase\""), std::string::npos);
+  EXPECT_NE(trace.find("\"msg\""), std::string::npos);
+}
+
+TEST(Export, IdenticalRunsExportIdenticalJson) {
+  auto run_once = []() {
+    const std::uint64_t universe = std::uint64_t{1} << 28;
+    util::Rng wrng(11);
+    const util::SetPair p = util::random_set_pair(wrng, universe, 512, 256);
+    obs::Tracer tracer;
+    sim::SharedRandomness shared(11);
+    sim::Channel ch;
+    ch.set_tracer(&tracer);
+    core::verification_tree_intersection(ch, shared, 11, universe, p.s, p.t,
+                                         {});
+    return obs::make_run_report(ch.cost(), tracer).ToJson().dump(2);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace setint

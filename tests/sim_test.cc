@@ -3,6 +3,8 @@
 // synchronization, and the m-party network's per-player billing.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "sim/channel.h"
 #include "sim/network.h"
 #include "sim/randomness.h"
@@ -57,6 +59,20 @@ TEST(Channel, ZeroBitMessageStillCountsMessageAndRound) {
   EXPECT_EQ(ch.cost().rounds, 1u);
 }
 
+// Regression: an empty payload is a real protocol action ("I have
+// nothing") — it must advance the round on a direction change exactly
+// like a non-empty one, and same-direction empties must NOT open rounds.
+TEST(Channel, ZeroBitMessageAdvancesRoundOnDirectionChange) {
+  sim::Channel ch;
+  ch.send(sim::PartyId::kAlice, bits_of(0, 5));
+  ch.send(sim::PartyId::kBob, util::BitBuffer{});     // new direction
+  ch.send(sim::PartyId::kBob, util::BitBuffer{});     // same direction
+  ch.send(sim::PartyId::kAlice, util::BitBuffer{});   // new direction
+  EXPECT_EQ(ch.cost().bits_total, 5u);
+  EXPECT_EQ(ch.cost().messages, 4u);
+  EXPECT_EQ(ch.cost().rounds, 3u);
+}
+
 TEST(Channel, TranscriptRecordsWhenEnabled) {
   sim::Channel plain;
   EXPECT_EQ(plain.transcript(), nullptr);
@@ -94,6 +110,35 @@ TEST(CostStats, Accumulates) {
   EXPECT_EQ(a.bits_from_bob, 4u);
   EXPECT_EQ(a.messages, 3u);
   EXPECT_EQ(a.rounds, 3u);
+}
+
+TEST(CostStats, EqualityAndToString) {
+  const sim::CostStats a{20, 17, 3, 3, 3};
+  const sim::CostStats b{20, 17, 3, 3, 3};
+  sim::CostStats c = a;
+  c.rounds = 4;
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.ToString(),
+            "CostStats{bits=20 (alice 17, bob 3), messages=3, rounds=3}");
+  std::ostringstream os;
+  os << a;
+  EXPECT_EQ(os.str(), a.ToString());
+}
+
+TEST(Transcript, EqualityAndToString) {
+  sim::Transcript t1;
+  sim::Transcript t2;
+  t1.record(sim::PartyId::kAlice, bits_of(5, 4), "hello");
+  t2.record(sim::PartyId::kAlice, bits_of(5, 4), "hello");
+  EXPECT_EQ(t1, t2);
+  t2.record(sim::PartyId::kBob, bits_of(1, 1), "");
+  EXPECT_NE(t1, t2);
+  const std::string text = t2.ToString();
+  EXPECT_NE(text.find("2 messages"), std::string::npos);
+  EXPECT_NE(text.find("hello"), std::string::npos);
+  EXPECT_NE(text.find("alice"), std::string::npos);
+  EXPECT_NE(text.find("bob"), std::string::npos);
 }
 
 TEST(SharedRandomness, BothPartiesDeriveIdenticalStreams) {
