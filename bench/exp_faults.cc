@@ -1,0 +1,282 @@
+// F — robustness under an adversarial transport (docs/ROBUSTNESS.md).
+//
+// Sweeps fault rates against the certificate-driven retry layer and pins
+// the two safety claims end-to-end:
+//   * at flip rates <= 1e-3/bit the facade still returns a verified exact
+//     answer in >= 99% of runs (the acceptance bar for this layer), and
+//   * at ANY rate there is never an unflagged wrong answer — every
+//     non-degraded result is exact, every degraded result is a superset.
+// The cost columns show what robustness charges: integrity framing,
+// duplicate bandwidth, backoff/delay rounds, and extra attempts.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "multiparty/coordinator.h"
+#include "multiparty/tournament.h"
+#include "setint.h"
+#include "sim/fault.h"
+#include "sim/network.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace {
+
+using namespace setint;
+
+struct TwoPartyTally {
+  int trials = 0;
+  int verified = 0;
+  int degraded = 0;
+  int unflagged_wrong = 0;      // must stay 0: the headline safety claim
+  int superset_violations = 0;  // must stay 0: degraded answers are supersets
+  std::uint64_t total_bits = 0;
+  std::uint64_t total_rounds = 0;
+  std::uint64_t total_attempts = 0;
+};
+
+// Runs `trials` seeded facade calls, each with a fresh FaultPlan so the
+// fault stream is independent per trial but fully determined by the
+// reporter seed.
+TwoPartyTally run_two_party(const bench::Reporter& rep, std::uint64_t salt,
+                            int trials, sim::FaultSpec spec,
+                            const core::RetryPolicy& retry,
+                            std::uint64_t universe, std::size_t k) {
+  TwoPartyTally tally;
+  tally.trials = trials;
+  util::Rng wrng(rep.seed_for(salt, 0xA0));
+  for (int t = 0; t < trials; ++t) {
+    const util::SetPair pair = util::random_set_pair(wrng, universe, k, k / 4);
+    spec.seed = rep.seed_for(salt, 0xFA00 + static_cast<std::uint64_t>(t));
+    sim::FaultPlan plan(spec);
+    IntersectOptions options;
+    options.universe = universe;
+    options.seed = rep.seed_for(salt, 0x5E00 + static_cast<std::uint64_t>(t));
+    options.fault_plan = &plan;
+    options.retry = retry;
+    const IntersectResult result = intersect(pair.s, pair.t, options);
+    if (result.verified) tally.verified += 1;
+    if (result.degraded) tally.degraded += 1;
+    if (!result.degraded &&
+        result.intersection != pair.expected_intersection) {
+      tally.unflagged_wrong += 1;
+    }
+    if (!util::is_subset(pair.expected_intersection, result.intersection)) {
+      tally.superset_violations += 1;
+    }
+    tally.total_bits += result.bits;
+    tally.total_rounds += result.rounds;
+    tally.total_attempts += result.repetitions;
+  }
+  return tally;
+}
+
+std::string pct(int part, int whole) {
+  return bench::fmt_double(100.0 * part / std::max(1, whole), 1);
+}
+
+void add_tally_row(bench::Table& table, std::vector<std::string> prefix,
+                   const TwoPartyTally& c) {
+  prefix.push_back(bench::fmt_u64(static_cast<std::uint64_t>(c.trials)));
+  prefix.push_back(pct(c.verified, c.trials));
+  prefix.push_back(bench::fmt_u64(static_cast<std::uint64_t>(c.degraded)));
+  prefix.push_back(
+      bench::fmt_u64(static_cast<std::uint64_t>(c.unflagged_wrong)));
+  prefix.push_back(
+      bench::fmt_u64(static_cast<std::uint64_t>(c.superset_violations)));
+  prefix.push_back(bench::fmt_u64(
+      c.total_bits / static_cast<std::uint64_t>(std::max(1, c.trials))));
+  prefix.push_back(bench::fmt_u64(
+      c.total_rounds / static_cast<std::uint64_t>(std::max(1, c.trials))));
+  prefix.push_back(bench::fmt_double(
+      static_cast<double>(c.total_attempts) / std::max(1, c.trials), 2));
+  table.add_row(std::move(prefix));
+}
+
+const std::vector<std::string> kTallyColumns = {
+    "trials",         "verified %",         "degraded",
+    "unflagged wrong", "superset violations", "avg bits",
+    "avg rounds",     "avg attempts"};
+
+std::vector<std::string> with_prefix(std::vector<std::string> prefix) {
+  std::vector<std::string> columns = std::move(prefix);
+  columns.insert(columns.end(), kTallyColumns.begin(), kTallyColumns.end());
+  return columns;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace setint;
+  auto rep = bench::Reporter::FromArgs("faults", argc, argv);
+
+  const std::uint64_t universe = std::uint64_t{1} << 16;
+  const std::size_t k = 32;
+  int violations = 0;
+  bool low_rate_bar_met = true;
+
+  // F1: bit-flip rate sweep. The acceptance bar lives at 1e-3.
+  {
+    auto& table = rep.table("F1: flip rate vs success  (k=32, n=2^16)",
+                            with_prefix({"flip/bit"}));
+    const std::vector<double> rates = bench::sizes<double>(
+        rep.options(), {0.0, 1e-4, 5e-4, 1e-3, 2e-3, 5e-3, 2e-2},
+        {0.0, 1e-3, 2e-2});
+    const int trials = rep.smoke() ? 30 : 500;
+    for (double rate : rates) {
+      sim::FaultSpec spec;
+      spec.flip_per_bit = rate;
+      const TwoPartyTally c =
+          run_two_party(rep, static_cast<std::uint64_t>(rate * 1e6) + 1,
+                        trials, spec, {}, universe, k);
+      violations += c.unflagged_wrong + c.superset_violations;
+      if (rate <= 1e-3 && c.verified * 100 < c.trials * 99) {
+        low_rate_bar_met = false;
+      }
+      add_tally_row(table, {bench::fmt_double(rate, 4)}, c);
+    }
+    table.print();
+    std::printf("\n>= 99%% verified at flip rates <= 1e-3: %s\n",
+                low_rate_bar_met ? "YES" : "NO");
+  }
+
+  // F2: one fault mode at a time, plus everything at once.
+  {
+    auto& table = rep.table("F2: fault modes at fixed rates  (k=32, n=2^16)",
+                            with_prefix({"mode"}));
+    struct Mode {
+      const char* name;
+      sim::FaultSpec spec;
+    };
+    std::vector<Mode> modes;
+    {
+      Mode m{"drop 10%", {}};
+      m.spec.drop_prob = 0.1;
+      modes.push_back(m);
+      m = {"truncate 10%", {}};
+      m.spec.truncate_prob = 0.1;
+      modes.push_back(m);
+      m = {"duplicate 20%", {}};
+      m.spec.duplicate_prob = 0.2;
+      modes.push_back(m);
+      m = {"delay 20% x2", {}};
+      m.spec.delay_prob = 0.2;
+      m.spec.delay_rounds = 2;
+      modes.push_back(m);
+      m = {"mixed", {}};
+      m.spec.flip_per_bit = 1e-3;
+      m.spec.drop_prob = 0.05;
+      m.spec.truncate_prob = 0.05;
+      m.spec.duplicate_prob = 0.1;
+      m.spec.delay_prob = 0.1;
+      m.spec.delay_rounds = 2;
+      modes.push_back(m);
+    }
+    const int trials = rep.smoke() ? 20 : 200;
+    std::uint64_t salt = 0x200;
+    for (const Mode& mode : modes) {
+      const TwoPartyTally c =
+          run_two_party(rep, salt++, trials, mode.spec, {}, universe, k);
+      violations += c.unflagged_wrong + c.superset_violations;
+      add_tally_row(table, {mode.name}, c);
+    }
+    table.print();
+  }
+
+  // F3: retry budget at a bruising flip rate — shows degradation taking
+  // over as max_attempts shrinks, without ever compromising safety.
+  {
+    auto& table = rep.table(
+        "F3: retry budget at flip/bit = 2e-3  (k=32, n=2^16)",
+        with_prefix({"max attempts"}));
+    const std::vector<std::uint64_t> budgets = bench::sizes<std::uint64_t>(
+        rep.options(), {1, 2, 4, 8, 16, 24}, {1, 4, 24});
+    const int trials = rep.smoke() ? 20 : 200;
+    for (std::uint64_t budget : budgets) {
+      sim::FaultSpec spec;
+      spec.flip_per_bit = 2e-3;
+      core::RetryPolicy retry;
+      retry.max_attempts = budget;
+      const TwoPartyTally c = run_two_party(rep, 0x300 + budget, trials, spec,
+                                            retry, universe, k);
+      violations += c.unflagged_wrong + c.superset_violations;
+      add_tally_row(table, {bench::fmt_u64(budget)}, c);
+    }
+    table.print();
+  }
+
+  // F4: multiparty topologies sharing one network-wide fault stream.
+  {
+    auto& table = rep.table(
+        "F4: multiparty under mixed faults  (8 players, k=24, n=2^14)",
+        {"topology", "trials", "exact", "degraded runs",
+         "superset violations", "avg total bits", "avg degraded pairs"});
+    const int trials = rep.smoke() ? 5 : 40;
+    const std::uint64_t mp_universe = std::uint64_t{1} << 14;
+    for (const bool tournament : {false, true}) {
+      int exact = 0;
+      int degraded_runs = 0;
+      int mp_violations = 0;
+      std::uint64_t total_bits = 0;
+      std::uint64_t degraded_pairs = 0;
+      util::Rng wrng(rep.seed_for(0x400, tournament ? 2 : 1));
+      for (int t = 0; t < trials; ++t) {
+        const util::MultiSetInstance instance = util::random_multi_sets(
+            wrng, mp_universe, /*players=*/8, /*k=*/24, /*shared=*/6);
+        sim::FaultSpec spec;
+        spec.flip_per_bit = 1e-3;
+        spec.drop_prob = 0.02;
+        spec.seed = rep.seed_for(0x410 + static_cast<std::uint64_t>(t),
+                                 tournament ? 2 : 1);
+        sim::FaultPlan plan(spec);
+        sim::Network network(instance.sets.size());
+        network.set_fault_plan(&plan);
+        sim::SharedRandomness shared(
+            rep.seed_for(0x420 + static_cast<std::uint64_t>(t),
+                         tournament ? 2 : 1));
+        multiparty::MultipartyParams params;
+        const multiparty::MultipartyResult result =
+            tournament ? multiparty::tournament_intersection(
+                             network, shared, mp_universe, instance.sets,
+                             params)
+                       : multiparty::coordinator_intersection(
+                             network, shared, mp_universe, instance.sets,
+                             params);
+        if (!util::is_subset(instance.expected_intersection,
+                             result.intersection)) {
+          mp_violations += 1;
+        }
+        if (!result.degraded &&
+            result.intersection != instance.expected_intersection) {
+          mp_violations += 1;  // unflagged wrong multiparty answer
+        }
+        if (result.intersection == instance.expected_intersection) exact += 1;
+        if (result.degraded) degraded_runs += 1;
+        total_bits += network.total_bits();
+        degraded_pairs += result.degraded_pairs;
+      }
+      violations += mp_violations;
+      table.add_row(
+          {tournament ? "tournament" : "coordinator",
+           bench::fmt_u64(static_cast<std::uint64_t>(trials)),
+           bench::fmt_u64(static_cast<std::uint64_t>(exact)),
+           bench::fmt_u64(static_cast<std::uint64_t>(degraded_runs)),
+           bench::fmt_u64(static_cast<std::uint64_t>(mp_violations)),
+           bench::fmt_u64(total_bits / static_cast<std::uint64_t>(trials)),
+           bench::fmt_double(static_cast<double>(degraded_pairs) / trials,
+                             2)});
+    }
+    table.print();
+  }
+
+  std::printf("\nSafety held in every run (no unflagged wrong answers, "
+              "no superset violations): %s\n",
+              violations == 0 ? "YES" : "NO");
+  rep.note("safety_violations", violations);
+  rep.note("low_rate_bar_met", low_rate_bar_met);
+  // Safety (never an unflagged wrong answer) is deterministic and gates every
+  // run. The >= 99% bar is a statistical claim about 500-trial sweeps; at
+  // smoke size (30 trials) one unlucky retry exhaustion would flip the exit
+  // code, so it only gates full runs.
+  const bool ok = violations == 0 && (rep.smoke() || low_rate_bar_met);
+  return rep.finish(ok ? 0 : 1);
+}

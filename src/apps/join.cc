@@ -21,6 +21,7 @@ void append_payload(util::BitBuffer& out, const std::string& payload) {
 
 std::string read_payload(util::BitReader& in) {
   const std::uint64_t len = in.read_gamma64();
+  in.expect_at_least(len, 8, "payload length");
   std::string s;
   s.reserve(len);
   for (std::uint64_t i = 0; i < len; ++i) {

@@ -31,7 +31,14 @@ util::Set decode_positions(const util::BitBuffer& message,
   const util::Set positions = util::read_set(reader);
   util::Set out;
   out.reserve(positions.size());
-  for (std::uint64_t p : positions) out.push_back(reference[p]);
+  for (std::uint64_t p : positions) {
+    if (p >= reference.size()) {
+      throw std::invalid_argument(
+          "decode: reconcile position " + std::to_string(p) +
+          " out of range (field 'position')");
+    }
+    out.push_back(reference[p]);
+  }
   return out;
 }
 
@@ -53,6 +60,7 @@ util::BitBuffer encode_image(const util::Set& image, unsigned width) {
 
 util::Set decode_image(util::BitReader& reader, unsigned width) {
   const std::uint64_t count = reader.read_gamma64();
+  reader.expect_at_least(count, width, "image count");
   util::Set image(count);
   for (auto& v : image) v = reader.read_bits(width);
   return image;

@@ -120,8 +120,15 @@ std::vector<CandidatePair> basic_intersection_batch(
   const auto read_image = [](util::BitReader& in, std::uint64_t range) {
     const std::uint64_t count = in.read_gamma64();
     const unsigned width = util::ceil_log2(std::max<std::uint64_t>(range, 2));
+    in.expect_at_least(count, width, "image count");
     util::Set image(count);
     for (auto& v : image) v = in.read_bits(width);
+    // Images are sorted-unique by construction; the binary searches in
+    // filter_by_peer_image rely on it.
+    if (!util::is_canonical_set(image)) {
+      throw std::invalid_argument(
+          "decode: hashed image not strictly increasing (field 'image')");
+    }
     return image;
   };
 

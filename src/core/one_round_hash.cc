@@ -47,8 +47,13 @@ IntersectionOutput one_round_hash(sim::Channel& channel,
   };
   const auto read_image = [width](util::BitReader& in) {
     const std::uint64_t count = in.read_gamma64();
+    in.expect_at_least(count, width, "image count");
     util::Set image(count);
     for (auto& v : image) v = in.read_bits(width);
+    if (!util::is_canonical_set(image)) {
+      throw std::invalid_argument(
+          "decode: hashed image not strictly increasing (field 'image')");
+    }
     return image;
   };
 

@@ -29,8 +29,13 @@ void append_fixed_width_image(util::BitBuffer& out, const util::Set& image,
 
 util::Set read_fixed_width_image(util::BitReader& in, unsigned width) {
   const std::uint64_t count = in.read_gamma64();
+  in.expect_at_least(count, width, "image count");
   util::Set image(count);
   for (auto& v : image) v = in.read_bits(width);
+  if (!util::is_canonical_set(image)) {
+    throw std::invalid_argument(
+        "decode: hashed image not strictly increasing (field 'image')");
+  }
   return image;
 }
 

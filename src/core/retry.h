@@ -1,0 +1,40 @@
+// Retry and graceful-degradation policy for certified protocol runs.
+//
+// The verification-tree protocol plus its 2k-bit certificate is a
+// detector: on a reliable channel a failed certificate means a hash
+// collision; on an unreliable one (sim/fault.h) it additionally catches
+// corrupted candidates, and corrupted messages usually fail to decode at
+// all (std::invalid_argument / std::out_of_range from the hardened
+// decoders). Either way the sound response is the same — retry the whole
+// certified run with fresh randomness — and this policy bounds how hard
+// the recovery layer tries before it degrades to an honestly-flagged
+// superset answer. Semantics are specified in docs/ROBUSTNESS.md.
+#pragma once
+
+#include <cstdint>
+
+namespace setint::core {
+
+struct RetryPolicy {
+  // Certified attempts (verification tree + certificate, fresh nonce each
+  // time) before giving up. Replaces the old hard-coded kMaxRepetitions.
+  // At least 1 is always attempted. The default is sized for the
+  // BENCH_faults acceptance bar: at flip rate 1e-3/bit an attempt survives
+  // the integrity check with probability ~0.17, so 40 attempts leave
+  // < 1e-3 exhaustion probability (>= 99% verified); a reliable channel
+  // never uses more than one plus the rare certificate collision.
+  std::uint64_t max_attempts = 40;
+
+  // Extra latency rounds charged to the channel before every re-attempt —
+  // the cost model of a backoff timer on a real link. 0 = immediate retry.
+  std::uint64_t backoff_rounds = 0;
+
+  // Best-effort Basic-Intersection runs the degradation path may spend
+  // looking for a fault-free superset (Lemma 3.3) after `max_attempts` is
+  // exhausted under an active fault plan. If none survives, the caller's
+  // own input set — the one superset that needs no communication — is
+  // returned instead.
+  std::uint64_t degraded_attempts = 4;
+};
+
+}  // namespace setint::core

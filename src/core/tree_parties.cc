@@ -158,8 +158,13 @@ void TreePartyBase::apply_peer_images(const util::BitBuffer& message,
     }
     const unsigned width = image_width(bi_hashes_[j]);
     const std::uint64_t count = reader.read_gamma64();
+    reader.expect_at_least(count, width, "image count");
     util::Set peer_image(count);
     for (auto& v : peer_image) v = reader.read_bits(width);
+    if (!util::is_canonical_set(peer_image)) {
+      throw std::invalid_argument(
+          "decode: hashed image not strictly increasing (field 'image')");
+    }
     util::Set filtered;
     for (std::uint64_t x : assignment_[u]) {
       if (util::set_contains(peer_image, bi_hashes_[j](x))) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/basic_intersection.h"
 #include "core/deterministic_exchange.h"
 #include "eq/equality.h"
 #include "sim/channel.h"
@@ -15,40 +16,102 @@ VerifiedRunResult verified_two_party_intersection(
     const sim::SharedRandomness& shared, std::uint64_t nonce,
     std::uint64_t universe, util::SetView s, util::SetView t,
     const core::VerificationTreeParams& params, std::size_t k_bound,
-    obs::Tracer* tracer) {
+    obs::Tracer* tracer, const core::RetryPolicy& retry,
+    sim::FaultPlan* faults) {
   if (k_bound == 0) k_bound = std::max<std::size_t>({s.size(), t.size(), 2});
   sim::Channel channel;
   channel.set_tracer(tracer);
+  channel.set_fault_plan(faults);
   obs::Span verified_span(tracer, "verified_intersection");
-  constexpr std::uint64_t kMaxRepetitions = 24;
+  const std::uint64_t max_attempts =
+      std::max<std::uint64_t>(1, retry.max_attempts);
   VerifiedRunResult result;
-  for (std::uint64_t rep = 0; rep < kMaxRepetitions; ++rep) {
+  for (std::uint64_t rep = 0; rep < max_attempts; ++rep) {
     result.repetitions = rep + 1;
-    const core::IntersectionOutput out = core::verification_tree_intersection(
-        channel, shared, util::mix64(nonce, rep), universe, s, t, params);
-    // 2k-bit certificate (Section 4): candidates are subsets of the inputs
-    // and supersets of the intersection, so equality implies exactness.
-    util::BitBuffer ca;
-    util::append_set(ca, out.alice);
-    util::BitBuffer cb;
-    util::append_set(cb, out.bob);
-    obs::Span certificate_span(tracer, "certificate");
-    const bool certified = eq::equality_test(
-        channel, shared, util::mix64(nonce, util::mix64(0xCE27, rep)), ca, cb,
-        2 * k_bound);
-    if (certified) {
-      obs::count(tracer, "mp.verified_runs");
-      obs::count(tracer, "mp.repetitions", result.repetitions);
-      result.intersection = out.alice;
-      result.cost = channel.cost();
-      return result;
+    if (rep > 0) {
+      channel.charge_extra_rounds(retry.backoff_rounds);
+      obs::count(tracer, "retry.attempts");
+    }
+    try {
+      const core::IntersectionOutput out =
+          core::verification_tree_intersection(
+              channel, shared, util::mix64(nonce, rep), universe, s, t,
+              params);
+      // 2k-bit certificate (Section 4): candidates are subsets of the
+      // inputs and supersets of the intersection, so equality implies
+      // exactness.
+      util::BitBuffer ca;
+      util::append_set(ca, out.alice);
+      util::BitBuffer cb;
+      util::append_set(cb, out.bob);
+      obs::Span certificate_span(tracer, "certificate");
+      const bool certified = eq::equality_test(
+          channel, shared, util::mix64(nonce, util::mix64(0xCE27, rep)), ca,
+          cb, 2 * k_bound);
+      if (certified) {
+        obs::count(tracer, "mp.verified_runs");
+        obs::count(tracer, "mp.repetitions", result.repetitions);
+        result.intersection = out.alice;
+        result.cost = channel.cost();
+        return result;
+      }
+    } catch (const std::exception&) {
+      // A corrupted message failed to decode (the hardened decoders throw
+      // on damaged length prefixes and short reads). Same remedy as a
+      // failed certificate: fresh randomness, next attempt.
+      obs::count(tracer, "retry.decode_failures");
     }
   }
-  // Deterministic backstop: exact, rarely reached.
-  obs::count(tracer, "mp.backstops");
-  const core::IntersectionOutput exact =
-      core::deterministic_exchange(channel, universe, s, t);
-  result.intersection = exact.alice;
+
+  if (faults == nullptr || !faults->enabled()) {
+    // Reliable channel: only hash collisions can get here, and the
+    // deterministic backstop is exact.
+    obs::count(tracer, "mp.backstops");
+    const core::IntersectionOutput exact =
+        core::deterministic_exchange(channel, universe, s, t);
+    result.intersection = exact.alice;
+    result.cost = channel.cost();
+    return result;
+  }
+
+  // Graceful degradation: the retry budget is gone and the transport is
+  // hostile, so no exact answer can be promised. Basic-Intersection
+  // candidates are supersets of S cap T whenever the exchange arrives
+  // intact (Lemma 3.3): the channel's integrity framing already turns
+  // damaged frames into exceptions, and the content-fault snapshot below
+  // closes the residual 2^-32 checksum-collision window (duplicates and
+  // delays cost bandwidth but never corrupt content, so they don't
+  // disqualify a run).
+  obs::Span degraded_span(tracer, "degraded");
+  obs::count(tracer, "degraded.runs");
+  result.verified = false;
+  result.degraded = true;
+  const auto content_faults = [faults] {
+    const sim::FaultStats& st = faults->stats();
+    return st.bits_flipped + st.truncated_bits + st.dropped_messages;
+  };
+  const std::uint64_t degraded_attempts =
+      std::max<std::uint64_t>(1, retry.degraded_attempts);
+  for (std::uint64_t d = 0; d < degraded_attempts; ++d) {
+    const std::uint64_t before = content_faults();
+    try {
+      const core::CandidatePair cand = core::basic_intersection(
+          channel, shared, util::mix64(nonce, util::mix64(0xDE64, d)),
+          universe, s, t, /*target_failure=*/1.0 / 64.0);
+      if (content_faults() == before) {
+        obs::count(tracer, "degraded.clean_supersets");
+        result.intersection = cand.s_candidate;
+        result.cost = channel.cost();
+        return result;
+      }
+    } catch (const std::exception&) {
+      // Fault-touched attempt; fall through to the next one.
+    }
+  }
+  // Every degraded attempt was corrupted: the caller's own input is the
+  // one superset that survives any fault rate.
+  obs::count(tracer, "degraded.input_fallbacks");
+  result.intersection.assign(s.begin(), s.end());
   result.cost = channel.cost();
   return result;
 }
@@ -78,6 +141,9 @@ MultipartyResult coordinator_intersection(sim::Network& network,
   // two-party channels run untraced so bits are not double-counted.
   obs::Tracer* tracer = network.tracer();
   obs::Span protocol_span(tracer, "coordinator");
+  sim::FaultPlan* faults = params.fault_plan != nullptr
+                               ? params.fault_plan
+                               : network.fault_plan();
 
   while (active.size() > 1) {
     obs::Span level_span(tracer, "level=" + std::to_string(result.levels));
@@ -94,11 +160,19 @@ MultipartyResult coordinator_intersection(sim::Network& network,
             util::mix64(result.levels, coord), util::mix64(member, 0xC0));
         VerifiedRunResult vr = verified_two_party_intersection(
             shared, nonce, universe, current[coord], current[member],
-            params.tree, k);
+            params.tree, k, /*tracer=*/nullptr, params.retry, faults);
         network.bill_pairwise_in_batch(coord, member, vr.cost);
         result.total_repetitions += vr.repetitions;
         obs::count(tracer, "mp.pairwise_runs");
         obs::count(tracer, "mp.repetitions", vr.repetitions);
+        if (vr.degraded) {
+          // The degraded answer is still a superset of coord-cap-member,
+          // hence of the m-way intersection, so intersecting it into the
+          // accumulator keeps the one-sided invariant.
+          result.degraded_pairs += 1;
+          result.degraded = true;
+          obs::count(tracer, "mp.degraded_pairs");
+        }
         acc = util::set_intersection(acc, vr.intersection);
       }
       current[coord] = std::move(acc);

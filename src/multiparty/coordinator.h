@@ -13,8 +13,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/retry.h"
 #include "core/verification_tree.h"
 #include "obs/tracer.h"
+#include "sim/fault.h"
 #include "sim/network.h"
 #include "sim/randomness.h"
 #include "util/set_util.h"
@@ -25,23 +27,31 @@ namespace setint::multiparty {
 // verification-tree protocol, then a 2k-bit equality certificate on the
 // two candidates; by the Corollary 3.4 invariant, equal candidates ARE the
 // intersection, so a passing certificate certifies exactness. Failed
-// certificates trigger re-runs (expected O(1)); a deterministic exchange
-// backstop guarantees termination.
+// certificates (hash collisions, or corruption when a fault plan is
+// active) trigger re-runs with fresh randomness, bounded by the
+// RetryPolicy. On a reliable channel a deterministic-exchange backstop
+// guarantees exact termination; under an active fault plan budget
+// exhaustion instead degrades to an honestly-flagged superset
+// (verified = false, degraded = true) — see docs/ROBUSTNESS.md.
 struct VerifiedRunResult {
   util::Set intersection;
   sim::CostStats cost;
-  std::uint64_t repetitions = 1;
+  std::uint64_t repetitions = 1;  // certified attempts consumed
+  bool verified = true;   // certificate (or exact backstop) vouches for it
+  bool degraded = false;  // superset-only answer after budget exhaustion
 };
 
 // `tracer` (optional, not owned) is installed on the internal channel, so
 // phase spans and metrics from the whole certified run — including
 // repetitions and the certificate — are attributed under the caller's
-// current span.
+// current span. `faults` (optional, not owned) makes that channel
+// unreliable.
 VerifiedRunResult verified_two_party_intersection(
     const sim::SharedRandomness& shared, std::uint64_t nonce,
     std::uint64_t universe, util::SetView s, util::SetView t,
     const core::VerificationTreeParams& params, std::size_t k_bound,
-    obs::Tracer* tracer = nullptr);
+    obs::Tracer* tracer = nullptr, const core::RetryPolicy& retry = {},
+    sim::FaultPlan* faults = nullptr);
 
 struct MultipartyParams {
   core::VerificationTreeParams tree;  // two-party sub-protocol parameters
@@ -51,6 +61,13 @@ struct MultipartyParams {
   // ends up holding the intersection (one extra parallel round; m-1
   // messages of |result| * O(log(n/|result|)) bits).
   bool broadcast_result = false;
+
+  // Retry/degradation budget for every certified two-party sub-run.
+  core::RetryPolicy retry;
+
+  // Per-call fault plan override (not owned); when null the Network's
+  // installed plan (sim::Network::set_fault_plan) is used, if any.
+  sim::FaultPlan* fault_plan = nullptr;
 };
 
 struct MultipartyResult {
@@ -58,6 +75,14 @@ struct MultipartyResult {
   std::size_t levels = 0;
   std::uint64_t total_repetitions = 0;  // two-party re-runs across all pairs
   std::uint64_t broadcast_bits = 0;     // 0 unless broadcast_result was set
+
+  // Degradation accounting: pairwise sub-runs (coordinator) or matches
+  // (tournament) that exhausted their retry budget or were skipped because
+  // every attempt was fault-touched. When degraded is true the
+  // intersection is still ALWAYS a superset of the true m-way
+  // intersection, but may be strict.
+  std::uint64_t degraded_pairs = 0;
+  bool degraded = false;
 };
 
 // Computes the m-way intersection of `sets` (each a subset of [universe)).

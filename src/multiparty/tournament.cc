@@ -15,13 +15,23 @@ namespace {
 // surrounding network batch (all groups advance their brackets in the same
 // batch, so rounds reflect network-wide parallelism). Returns the players
 // advancing to the next bracket level.
+//
+// Non-final matches are uncertified, so under an active fault plan a
+// corrupted match could silently break the candidates-are-supersets
+// invariant the root certificate relies on. Guard: any match whose
+// exchange was fault-touched (or threw) is discarded and retried with
+// fresh randomness; if the retry budget runs out the match is SKIPPED —
+// the left player advances with its set unchanged, which keeps every
+// carried set a superset of the true intersection at the price of a
+// degraded (possibly strict-superset) final answer.
 std::vector<std::size_t> advance_bracket(
     sim::Network& network, const sim::SharedRandomness& shared,
     std::uint64_t universe, std::vector<util::Set>& current,
     const std::vector<std::size_t>& level,
-    const core::VerificationTreeParams& tree, std::size_t k,
-    std::uint64_t level_nonce, std::uint64_t* repetitions) {
+    const MultipartyParams& params, std::size_t k, std::uint64_t level_nonce,
+    sim::FaultPlan* faults, MultipartyResult* result) {
   std::vector<std::size_t> next;
+  obs::Tracer* tracer = network.tracer();
   const bool final_level = level.size() == 2;
   for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
     const std::size_t left = level[i];
@@ -32,19 +42,66 @@ std::vector<std::size_t> advance_bracket(
       // Root match: certified — exactness for the whole bracket follows
       // from the subset/superset invariants (see header).
       VerifiedRunResult vr = verified_two_party_intersection(
-          shared, nonce, universe, current[left], current[right], tree, k);
+          shared, nonce, universe, current[left], current[right], params.tree,
+          k, /*tracer=*/nullptr, params.retry, faults);
       network.bill_pairwise_in_batch(left, right, vr.cost);
-      *repetitions += vr.repetitions;
+      result->total_repetitions += vr.repetitions;
+      if (vr.degraded) {
+        result->degraded_pairs += 1;
+        result->degraded = true;
+        obs::count(tracer, "mp.degraded_pairs");
+      }
       current[left] = std::move(vr.intersection);
     } else {
-      sim::Channel channel;
-      const core::IntersectionOutput out =
-          core::verification_tree_intersection(channel, shared, nonce,
-                                               universe, current[left],
-                                               current[right], tree);
-      network.bill_pairwise_in_batch(left, right, channel.cost());
-      current[left] = out.alice;
-      current[right] = out.bob;
+      const std::uint64_t tries =
+          std::max<std::uint64_t>(1, params.retry.max_attempts);
+      bool advanced = false;
+      for (std::uint64_t attempt = 0; attempt < tries && !advanced;
+           ++attempt) {
+        sim::Channel channel;
+        channel.set_fault_plan(faults);
+        // Duplicates and delays cost bandwidth but never corrupt content,
+        // so only content-damaging fault classes disqualify the match
+        // (the channel's integrity framing throws on most of them; this
+        // snapshot closes the checksum-collision window).
+        const std::uint64_t before =
+            faults != nullptr ? faults->stats().bits_flipped +
+                                    faults->stats().truncated_bits +
+                                    faults->stats().dropped_messages
+                              : 0;
+        if (attempt > 0) {
+          channel.charge_extra_rounds(params.retry.backoff_rounds);
+          obs::count(tracer, "retry.attempts");
+        }
+        try {
+          const core::IntersectionOutput out =
+              core::verification_tree_intersection(
+                  channel, shared, util::mix64(nonce, attempt), universe,
+                  current[left], current[right], params.tree);
+          network.bill_pairwise_in_batch(left, right, channel.cost());
+          if (faults == nullptr ||
+              faults->stats().bits_flipped + faults->stats().truncated_bits +
+                      faults->stats().dropped_messages ==
+                  before) {
+            current[left] = out.alice;
+            current[right] = out.bob;
+            advanced = true;
+          }
+          // Fault-touched: the traffic is billed, the suspect candidates
+          // are discarded, and the match re-runs with a fresh nonce.
+        } catch (const std::exception&) {
+          network.bill_pairwise_in_batch(left, right, channel.cost());
+          obs::count(tracer, "retry.decode_failures");
+        }
+      }
+      if (!advanced) {
+        // Skipped match: left carries its set up unchanged (still a
+        // superset); right's constraint is lost, so flag degradation.
+        result->degraded_pairs += 1;
+        result->degraded = true;
+        obs::count(tracer, "mp.degraded_pairs");
+        obs::count(tracer, "mp.skipped_matches");
+      }
     }
     next.push_back(left);
   }
@@ -79,6 +136,9 @@ MultipartyResult tournament_intersection(sim::Network& network,
   // billing layer only.
   obs::Tracer* tracer = network.tracer();
   obs::Span protocol_span(tracer, "tournament");
+  sim::FaultPlan* faults = params.fault_plan != nullptr
+                               ? params.fault_plan
+                               : network.fault_plan();
 
   while (active.size() > 1) {
     obs::Span level_span(tracer, "level=" + std::to_string(result.levels));
@@ -99,8 +159,7 @@ MultipartyResult tournament_intersection(sim::Network& network,
         const std::uint64_t level_nonce = util::mix64(
             0x7031, util::mix64(result.levels, util::mix64(depth, bracket[0])));
         bracket = advance_bracket(network, shared, universe, current, bracket,
-                                  params.tree, k, level_nonce,
-                                  &result.total_repetitions);
+                                  params, k, level_nonce, faults, &result);
       }
       network.end_batch();
       ++depth;

@@ -24,14 +24,18 @@ IntersectResult intersect(util::SetView s, util::SetView t,
   sim::SharedRandomness shared(options.seed);
   const multiparty::VerifiedRunResult run =
       multiparty::verified_two_party_intersection(
-          shared, options.seed, universe, s, t, params, k, options.tracer);
+          shared, options.seed, universe, s, t, params, k, options.tracer,
+          options.retry, options.fault_plan);
   IntersectResult result;
   result.intersection = run.intersection;
   result.bits = run.cost.bits_total;
   result.rounds = run.cost.rounds;
   result.repetitions = run.repetitions;
-  result.verified = true;  // verified_two_party always certifies or falls
-                           // back to the exact deterministic exchange
+  // On a reliable channel the run always certifies or falls back to the
+  // exact deterministic exchange; under a fault plan it may instead
+  // degrade to a flagged superset.
+  result.verified = run.verified;
+  result.degraded = run.degraded;
   if (options.tracer != nullptr) {
     result.report = obs::make_run_report(run.cost, *options.tracer);
   } else {

@@ -21,11 +21,27 @@
 //   // result.report.ToJson(): machine-readable run record
 //
 // With no tracer the run pays nothing for the plumbing.
+//
+// Robustness: install a sim::FaultPlan to run over an adversarial
+// transport. The facade retries certificate-failing (or undecodable) runs
+// with fresh randomness per options.retry, and after budget exhaustion
+// degrades to a flagged superset answer:
+//
+//   sim::FaultPlan plan(sim::FaultSpec{.flip_per_bit = 1e-3, .seed = 7});
+//   auto result = setint::intersect(S, T, {.fault_plan = &plan});
+//   // result.verified: exact (certificate passed)
+//   // result.degraded: superset-only answer, honestly flagged
+//
+// Contract (docs/ROBUSTNESS.md): verified implies exact up to the 2^-2k
+// certificate error; degraded implies intersection is a superset of
+// S cap T; never both.
 #pragma once
 
 #include <cstdint>
 
+#include "core/retry.h"
 #include "obs/tracer.h"
+#include "sim/fault.h"
 #include "util/set_util.h"
 
 namespace setint {
@@ -39,6 +55,10 @@ struct IntersectOptions {
   // Optional phase/metric sink (not owned). When set, the returned
   // IntersectResult::report carries the full phase breakdown.
   obs::Tracer* tracer = nullptr;
+  // Optional unreliable-transport model (not owned, stateful).
+  sim::FaultPlan* fault_plan = nullptr;
+  // Retry budget + backoff cost + degradation budget.
+  core::RetryPolicy retry;
 };
 
 struct IntersectResult {
@@ -46,7 +66,11 @@ struct IntersectResult {
   std::uint64_t bits = 0;      // total communication
   std::uint64_t rounds = 0;    // message alternations
   bool verified = false;       // certificate passed (exact up to 2^-2k)
-  std::uint64_t repetitions = 1;
+  // True when the retry budget died under an active fault plan and the
+  // result is a best-effort SUPERSET of S cap T (Lemma 3.3 / the input
+  // fallback) rather than the exact intersection.
+  bool degraded = false;
+  std::uint64_t repetitions = 1;  // certified attempts consumed
   // Cost + phase breakdown + metrics. Phases/metrics are populated only
   // when options.tracer was set; cost is always filled.
   obs::RunReport report;

@@ -8,13 +8,30 @@ Channel::Channel(bool record_transcript) {
   if (record_transcript) transcript_ = std::make_unique<Transcript>();
 }
 
+namespace {
+
+constexpr unsigned kChecksumBits = 32;
+
+std::uint64_t checksum_of(const util::BitBuffer& payload) {
+  return payload.fingerprint() & ((std::uint64_t{1} << kChecksumBits) - 1);
+}
+
+}  // namespace
+
 util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
                               std::string label) {
-  cost_.bits_total += payload.size_bits();
+  const bool faulty = fault_plan_ != nullptr && fault_plan_->enabled();
+  if (faulty) {
+    // Integrity frame: body + 32-bit checksum, transmitted (and billed)
+    // like any other bits.
+    payload.append_bits(checksum_of(payload), kChecksumBits);
+  }
+  const std::uint64_t sent_bits = payload.size_bits();
+  cost_.bits_total += sent_bits;
   if (from == PartyId::kAlice) {
-    cost_.bits_from_alice += payload.size_bits();
+    cost_.bits_from_alice += sent_bits;
   } else {
-    cost_.bits_from_bob += payload.size_bits();
+    cost_.bits_from_bob += sent_bits;
   }
   cost_.messages += 1;
   const bool new_round = !has_last_direction_ || last_direction_ != from;
@@ -24,10 +41,78 @@ util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
     last_direction_ = from;
   }
   if (tracer_ != nullptr) {
-    tracer_->on_message(from, payload.size_bits(), new_round, label);
+    tracer_->on_message(from, sent_bits, new_round, label);
   }
+
+  if (faulty) {
+    // The sender's transmission is metered above; the plan now decides
+    // what the receiver observes and what extra cost the link charges.
+    const AppliedFaults f = fault_plan_->apply(payload);
+    if (f.duplicated) {
+      // The same frame crosses the link twice. The receiver's decode API
+      // sees one copy, but the bandwidth is spent and billed.
+      cost_.bits_total += sent_bits;
+      if (from == PartyId::kAlice) {
+        cost_.bits_from_alice += sent_bits;
+      } else {
+        cost_.bits_from_bob += sent_bits;
+      }
+      cost_.messages += 1;
+      if (tracer_ != nullptr) {
+        tracer_->on_message(from, sent_bits, false, label + " [dup]");
+      }
+    }
+    if (f.delay_rounds > 0) charge_extra_rounds(f.delay_rounds);
+    if (tracer_ != nullptr) {
+      obs::count(tracer_, "fault.injected", f.events());
+      if (f.bits_flipped > 0) {
+        obs::count(tracer_, "fault.flipped_bits", f.bits_flipped);
+      }
+      if (f.truncated_bits > 0) obs::count(tracer_, "fault.truncations");
+      if (f.dropped) obs::count(tracer_, "fault.drops");
+      if (f.duplicated) obs::count(tracer_, "fault.duplicates");
+      if (f.delay_rounds > 0) {
+        obs::count(tracer_, "fault.delay_rounds", f.delay_rounds);
+      }
+    }
+
+    // Delivery-side integrity check: strip the checksum and verify it
+    // against the (possibly corrupted) body. Any damage — flips,
+    // truncation, a drop — fails here with probability 1 - 2^-32.
+    if (payload.size_bits() < kChecksumBits) {
+      obs::count(tracer_, "fault.integrity_failures");
+      throw ChannelIntegrityError("channel: frame lost in flight (" + label +
+                                  ")");
+    }
+    util::BitBuffer body;
+    const std::size_t body_bits = payload.size_bits() - kChecksumBits;
+    for (std::size_t i = 0; i < body_bits; ++i) {
+      body.append_bit(payload.bit(i));
+    }
+    std::uint64_t delivered_sum = 0;
+    for (unsigned i = 0; i < kChecksumBits; ++i) {
+      if (payload.bit(body_bits + i)) delivered_sum |= std::uint64_t{1} << i;
+    }
+    if (delivered_sum != checksum_of(body)) {
+      obs::count(tracer_, "fault.integrity_failures");
+      throw ChannelIntegrityError("channel: frame checksum mismatch (" +
+                                  label + ")");
+    }
+    payload = std::move(body);
+  }
+
   if (transcript_) transcript_->record(from, payload, std::move(label));
   return payload;
+}
+
+void Channel::charge_extra_rounds(std::uint64_t rounds) {
+  if (rounds == 0) return;
+  cost_.rounds += rounds;
+  if (tracer_ != nullptr) {
+    CostStats latency;
+    latency.rounds = rounds;
+    tracer_->on_cost(latency);
+  }
 }
 
 }  // namespace setint::sim

@@ -9,11 +9,30 @@
 // An optional obs::Tracer attributes every metered send to the tracer's
 // current phase-span stack (see obs/tracer.h); with no tracer installed the
 // hook is a single null-pointer test.
+//
+// An optional sim::FaultPlan makes the transport adversarial: after the
+// sender's bits are metered, the plan may corrupt what the receiver
+// decodes (flip/truncate/drop) and charge extra cost (duplicate bits,
+// latency rounds). Injected faults are attributed to the current tracer
+// phase and counted under the fault.* metrics — see docs/ROBUSTNESS.md.
+//
+// Integrity framing: with a fault plan active, every message is framed
+// with a 32-bit content checksum (charged to the sender like any other
+// bits). A frame damaged in flight fails the check on delivery and send()
+// throws ChannelIntegrityError instead of handing corrupted bits to the
+// decoder — the retry layer treats it like any decode failure. This is
+// load-bearing for soundness: without it, a corrupted hashed image can
+// knock a true element out of one party's candidate at stage i, after
+// which stage i+1's honest Basic-Intersection rerun removes it from the
+// OTHER party too, and the final certificate passes on equal-but-wrong
+// candidates. The checksum caps that silent path at ~2^-32 per message.
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 
+#include "sim/fault.h"
 #include "sim/transcript.h"
 #include "util/bitio.h"
 
@@ -22,6 +41,12 @@ class Tracer;
 }  // namespace setint::obs
 
 namespace setint::sim {
+
+// A message's integrity frame failed verification on delivery (corrupted,
+// truncated, or dropped in flight). Counted under "fault.integrity_failures".
+struct ChannelIntegrityError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 class Channel {
  public:
@@ -46,12 +71,24 @@ class Channel {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() const { return tracer_; }
 
+  // Install (or clear) a fault plan; not owned. The plan is stateful (its
+  // Rng advances per message), so sharing one plan across channels is how
+  // multiparty runs keep a single deterministic fault stream.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+  FaultPlan* fault_plan() const { return fault_plan_; }
+
+  // Charge latency that produced no payload (retry backoff, injected
+  // delay): adds rounds to the cost and attributes them to the current
+  // tracer phase.
+  void charge_extra_rounds(std::uint64_t rounds);
+
  private:
   CostStats cost_;
   bool has_last_direction_ = false;
   PartyId last_direction_ = PartyId::kAlice;
   std::unique_ptr<Transcript> transcript_;
   obs::Tracer* tracer_ = nullptr;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace setint::sim

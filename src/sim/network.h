@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/fault.h"
 #include "sim/transcript.h"
 
 namespace setint::obs {
@@ -58,6 +59,13 @@ class Network {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() const { return tracer_; }
 
+  // Optional unreliable-transport model (not owned): the Network never
+  // sees payloads itself, but multiparty protocols install this plan on
+  // every internal two-party Channel, so one deterministic fault stream
+  // covers the whole m-party run (see sim/fault.h).
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+  FaultPlan* fault_plan() const { return fault_plan_; }
+
  private:
   void check_ids(std::size_t a, std::size_t b) const;
 
@@ -68,6 +76,7 @@ class Network {
   bool in_batch_ = false;
   std::uint64_t batch_max_rounds_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace setint::sim

@@ -56,6 +56,11 @@ bool BitBuffer::bit(std::size_t i) const {
   return (words_[i / 64] >> (i % 64)) & 1;
 }
 
+void BitBuffer::toggle_bit(std::size_t i) {
+  if (i >= size_bits_) throw std::out_of_range("BitBuffer::toggle_bit");
+  words_[i / 64] ^= (std::uint64_t{1} << (i % 64));
+}
+
 std::uint64_t BitBuffer::fingerprint() const {
   // FNV-1a over words plus the bit length.
   std::uint64_t h = 14695981039346656037ull;
@@ -111,6 +116,19 @@ std::uint64_t BitReader::read_bits(unsigned width) {
     if (read_bit()) value |= (std::uint64_t{1} << i);
   }
   return value;
+}
+
+void BitReader::expect_at_least(std::uint64_t items,
+                                std::uint64_t bits_per_item,
+                                const char* field) const {
+  const std::uint64_t per = bits_per_item == 0 ? 1 : bits_per_item;
+  if (items > remaining() / per) {
+    throw std::invalid_argument(
+        std::string("decode: length prefix '") + field + "' = " +
+        std::to_string(items) + " needs " + std::to_string(per) +
+        " bits/item but only " + std::to_string(remaining()) +
+        " bits remain");
+  }
 }
 
 std::uint64_t BitReader::read_elias_gamma() {

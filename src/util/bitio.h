@@ -48,6 +48,10 @@ class BitBuffer {
 
   bool bit(std::size_t i) const;
 
+  // Inverts bit i in place (used by the fault-injection layer,
+  // sim/fault.h). Throws std::out_of_range past the end.
+  void toggle_bit(std::size_t i);
+
   const std::vector<std::uint64_t>& words() const { return words_; }
 
   // 64-bit content fingerprint (not cryptographic); used by tests and by
@@ -83,6 +87,14 @@ class BitReader {
   std::size_t position() const { return pos_; }
   std::size_t remaining() const { return buffer_->size_bits() - pos_; }
   bool exhausted() const { return remaining() == 0; }
+
+  // Guard for length-prefixed decodes: throws std::invalid_argument naming
+  // `field` unless at least `items * bits_per_item` bits remain. Decoders
+  // call this right after reading a count so that a corrupted or hostile
+  // length prefix is rejected BEFORE it drives an allocation or a long
+  // decode loop (see docs/ROBUSTNESS.md).
+  void expect_at_least(std::uint64_t items, std::uint64_t bits_per_item,
+                       const char* field) const;
 
  private:
   const BitBuffer* buffer_;

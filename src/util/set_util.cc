@@ -1,6 +1,7 @@
 #include "util/set_util.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -69,12 +70,25 @@ void append_set(BitBuffer& out, SetView s) {
 
 Set read_set(BitReader& in) {
   const std::uint64_t size = in.read_gamma64();
+  // Every element costs at least one gamma bit, so a corrupted size prefix
+  // is caught before it drives the reserve below.
+  in.expect_at_least(size, 1, "set size");
   Set s;
   s.reserve(size);
   std::uint64_t prev = 0;
   for (std::uint64_t i = 0; i < size; ++i) {
-    const std::uint64_t v =
-        i == 0 ? in.read_gamma64() : prev + in.read_gamma64() + 1;
+    std::uint64_t v;
+    if (i == 0) {
+      v = in.read_gamma64();
+    } else {
+      const std::uint64_t gap = in.read_gamma64();
+      if (prev == std::numeric_limits<std::uint64_t>::max() ||
+          gap > std::numeric_limits<std::uint64_t>::max() - prev - 1) {
+        throw std::invalid_argument(
+            "decode: set element delta overflows 64 bits (field 'delta')");
+      }
+      v = prev + gap + 1;
+    }
     s.push_back(v);
     prev = v;
   }
@@ -120,12 +134,25 @@ void append_set_rice(BitBuffer& out, SetView s, std::uint64_t universe) {
 
 Set read_set_rice(BitReader& in, std::uint64_t universe) {
   const std::uint64_t size = in.read_gamma64();
+  const unsigned b = rice_parameter(universe, size);
+  // A Rice codeword costs at least 1 + b bits, bounding any honest size.
+  in.expect_at_least(size, 1 + b, "set size");
   Set s;
   s.reserve(size);
-  const unsigned b = rice_parameter(universe, size);
   std::uint64_t prev = 0;
   for (std::uint64_t i = 0; i < size; ++i) {
-    const std::uint64_t v = i == 0 ? in.read_rice(b) : prev + in.read_rice(b) + 1;
+    std::uint64_t v;
+    if (i == 0) {
+      v = in.read_rice(b);
+    } else {
+      const std::uint64_t gap = in.read_rice(b);
+      if (prev == std::numeric_limits<std::uint64_t>::max() ||
+          gap > std::numeric_limits<std::uint64_t>::max() - prev - 1) {
+        throw std::invalid_argument(
+            "decode: set element delta overflows 64 bits (field 'delta')");
+      }
+      v = prev + gap + 1;
+    }
     s.push_back(v);
     prev = v;
   }

@@ -1,13 +1,28 @@
-// Robustness of the decode paths: protocols assume a reliable channel,
-// so a corrupted or truncated message must fail LOUDLY (std::exception)
-// or decode to values whose downstream invariants catch the damage —
-// never read out of bounds or loop forever. These tests flip bits in
-// real protocol messages and hammer the decoders with adversarial bytes.
+// Robustness of the stack under an unreliable transport.
+//
+// Part 1 — decode paths: protocols assume a reliable channel, so a
+// corrupted or truncated message must fail LOUDLY (std::exception) or
+// decode to values whose downstream invariants catch the damage — never
+// read out of bounds or loop forever. These tests flip bits in real
+// protocol messages and hammer the decoders with adversarial bytes.
+//
+// Part 2 — end-to-end recovery (docs/ROBUSTNESS.md): with a sim::FaultPlan
+// injecting flips/truncations/drops/duplicates, the facade and multiparty
+// protocols must return either a certified exact answer (verified=true) or
+// an honestly-flagged superset (degraded=true) — never an unflagged wrong
+// answer — while the PR-1 cost-accounting invariant (tracer root == channel
+// cost) keeps holding, fault overhead included.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 
+#include "multiparty/coordinator.h"
+#include "multiparty/tournament.h"
+#include "obs/tracer.h"
+#include "setint.h"
 #include "sim/channel.h"
+#include "sim/fault.h"
+#include "sim/network.h"
 #include "sim/randomness.h"
 #include "util/bitio.h"
 #include "util/rng.h"
@@ -144,6 +159,321 @@ TEST(Robustness, RiceRejectsEndlessUnary) {
   for (int i = 0; i < 100; ++i) b.append_bit(true);
   util::BitReader reader(b);
   EXPECT_THROW((void)reader.read_rice(2), std::exception);
+}
+
+// A length prefix claiming more items than the buffer can possibly hold
+// (a "decode bomb") must be rejected up front with a message naming the
+// offending field — not by allocating and then running out of bits.
+TEST(Robustness, LengthPrefixBombsThrowNamedErrors) {
+  {
+    util::BitBuffer bomb;
+    bomb.append_gamma64(1u << 30);  // claims 2^30 set elements, has 0 bits
+    util::BitReader reader(bomb);
+    try {
+      (void)util::read_set(reader);
+      FAIL() << "read_set accepted a 2^30-element length prefix";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("set size"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    util::BitBuffer bomb;
+    bomb.append_gamma64(1u << 30);
+    util::BitReader reader(bomb);
+    try {
+      (void)util::read_set_rice(reader, 1u << 20);
+      FAIL() << "read_set_rice accepted a 2^30-element length prefix";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("set size"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Robustness, FaultSpecRejectsBadProbabilities) {
+  sim::FaultSpec spec;
+  spec.flip_per_bit = 1.5;
+  try {
+    sim::FaultPlan plan(spec);
+    FAIL() << "FaultPlan accepted flip_per_bit = 1.5";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("flip_per_bit"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Part 2: end-to-end runs over a faulty transport.
+// ---------------------------------------------------------------------
+
+sim::FaultSpec mixed_spec(std::uint64_t seed) {
+  sim::FaultSpec spec;
+  spec.flip_per_bit = 0.002;
+  spec.truncate_prob = 0.05;
+  spec.drop_prob = 0.05;
+  spec.duplicate_prob = 0.1;
+  spec.delay_prob = 0.1;
+  spec.delay_rounds = 2;
+  spec.seed = seed;
+  return spec;
+}
+
+// The whole point of seeding the plan: two plans with the same seed must
+// mutate identical payload streams identically and agree on every stat.
+TEST(FaultPlan, SameSeedSameFaultStream) {
+  sim::FaultPlan a(mixed_spec(99));
+  sim::FaultPlan b(mixed_spec(99));
+  util::Rng rng(5);
+  for (int msg = 0; msg < 200; ++msg) {
+    util::BitBuffer payload;
+    const std::size_t len = 1 + rng.below(300);
+    for (std::size_t i = 0; i < len; ++i) payload.append_bit(rng.coin());
+    util::BitBuffer copy = payload;
+    a.apply(payload);
+    b.apply(copy);
+    ASSERT_EQ(payload.size_bits(), copy.size_bits()) << msg;
+    for (std::size_t i = 0; i < payload.size_bits(); ++i) {
+      ASSERT_EQ(payload.bit(i), copy.bit(i)) << msg << ":" << i;
+    }
+  }
+  EXPECT_EQ(a.stats().faults_injected, b.stats().faults_injected);
+  EXPECT_EQ(a.stats().bits_flipped, b.stats().bits_flipped);
+  EXPECT_EQ(a.stats().dropped_messages, b.stats().dropped_messages);
+  EXPECT_EQ(a.stats().truncated_bits, b.stats().truncated_bits);
+  EXPECT_GT(a.stats().faults_injected, 0u);  // the spec actually bites
+}
+
+TEST(FaultPlan, DisabledPlanIsIdentity) {
+  sim::FaultPlan plan;  // default spec: all probabilities zero
+  EXPECT_FALSE(plan.enabled());
+  util::BitBuffer payload;
+  for (int i = 0; i < 64; ++i) payload.append_bit(i % 3 == 0);
+  const util::BitBuffer original = payload;
+  const sim::AppliedFaults applied = plan.apply(payload);
+  EXPECT_EQ(applied.events(), 0u);
+  ASSERT_EQ(payload.size_bits(), original.size_bits());
+  for (std::size_t i = 0; i < payload.size_bits(); ++i) {
+    EXPECT_EQ(payload.bit(i), original.bit(i));
+  }
+  EXPECT_EQ(plan.stats().faults_injected, 0u);
+  EXPECT_EQ(plan.stats().messages_seen, 1u);
+}
+
+// At a gentle flip rate the certificate-driven retry loop must converge:
+// the overwhelming majority of runs certify, and — the load-bearing safety
+// property — NO run ever returns a wrong answer without raising the
+// degraded flag, and every degraded answer is still a superset.
+TEST(FaultE2E, RetryConvergesAtLowFlipRate) {
+  const std::uint64_t universe = 1u << 16;
+  const std::size_t k = 32;
+  const int runs = 120;
+  int verified_count = 0;
+  util::Rng rng(0xF1);
+  for (int trial = 0; trial < runs; ++trial) {
+    const util::SetPair pair =
+        util::random_set_pair(rng, universe, k, k / 4);
+    sim::FaultSpec spec;
+    spec.flip_per_bit = 1e-3;
+    spec.seed = util::mix64(0xFA, trial);
+    sim::FaultPlan plan(spec);
+    setint::IntersectOptions options;
+    options.universe = universe;
+    options.seed = util::mix64(0x5EED, trial);
+    options.fault_plan = &plan;
+    const setint::IntersectResult result =
+        setint::intersect(pair.s, pair.t, options);
+    // Safety: never verified AND degraded; wrong answers only behind the
+    // degraded flag; degraded answers are supersets.
+    ASSERT_FALSE(result.verified && result.degraded) << trial;
+    if (!result.degraded) {
+      ASSERT_EQ(result.intersection, pair.expected_intersection) << trial;
+    } else {
+      ASSERT_TRUE(
+          util::is_subset(pair.expected_intersection, result.intersection))
+          << trial;
+    }
+    if (result.verified) ++verified_count;
+  }
+  // The acceptance bar is >= 99% over 500 runs (checked by exp_faults);
+  // here a slightly looser bound keeps the unit test fast and stable.
+  EXPECT_GE(verified_count, (runs * 98) / 100)
+      << verified_count << "/" << runs << " verified";
+}
+
+// Under a harsh mixed fault plan with a tight retry budget, degradation
+// must actually trigger — and every degraded answer must still be an
+// honestly-flagged superset of the true intersection.
+TEST(FaultE2E, HarshFaultsDegradeToFlaggedSupersets) {
+  const std::uint64_t universe = 1u << 14;
+  const std::size_t k = 24;
+  int degraded_count = 0;
+  util::Rng rng(0xF2);
+  for (int trial = 0; trial < 40; ++trial) {
+    const util::SetPair pair =
+        util::random_set_pair(rng, universe, k, k / 3);
+    sim::FaultSpec spec;
+    spec.flip_per_bit = 0.02;
+    spec.drop_prob = 0.2;
+    spec.truncate_prob = 0.2;
+    spec.seed = util::mix64(0xBAD, trial);
+    sim::FaultPlan plan(spec);
+    setint::IntersectOptions options;
+    options.universe = universe;
+    options.seed = util::mix64(0x5EED2, trial);
+    options.fault_plan = &plan;
+    options.retry.max_attempts = 3;
+    options.retry.degraded_attempts = 3;
+    const setint::IntersectResult result =
+        setint::intersect(pair.s, pair.t, options);
+    ASSERT_FALSE(result.verified && result.degraded) << trial;
+    ASSERT_TRUE(
+        util::is_subset(pair.expected_intersection, result.intersection))
+        << trial;
+    if (result.verified) {
+      ASSERT_EQ(result.intersection, pair.expected_intersection) << trial;
+    }
+    if (result.degraded) ++degraded_count;
+  }
+  EXPECT_GT(degraded_count, 0) << "fault plan never forced degradation";
+}
+
+// drop_prob = 1 delivers every message empty: no attempt can certify, no
+// degraded Basic-Intersection run can finish cleanly, so the facade must
+// burn exactly max_attempts repetitions, charge the backoff rounds, and
+// fall back to Alice's own input — the unconditional superset.
+TEST(FaultE2E, TotalLossFallsBackToOwnInput) {
+  util::Rng rng(0xF3);
+  const util::SetPair pair = util::random_set_pair(rng, 1u << 12, 16, 4);
+  sim::FaultSpec spec;
+  spec.drop_prob = 1.0;
+  spec.seed = 3;
+  sim::FaultPlan plan(spec);
+  setint::IntersectOptions options;
+  options.universe = 1u << 12;
+  options.fault_plan = &plan;
+  options.retry.max_attempts = 4;
+  options.retry.backoff_rounds = 5;
+  options.retry.degraded_attempts = 2;
+  const setint::IntersectResult result =
+      setint::intersect(pair.s, pair.t, options);
+  EXPECT_FALSE(result.verified);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.repetitions, 4u);
+  EXPECT_EQ(result.intersection, pair.s);  // own-input fallback
+  // 3 retries were preceded by a backoff charge of 5 rounds each.
+  EXPECT_GE(result.rounds, 15u);
+  EXPECT_GT(plan.stats().dropped_messages, 0u);
+}
+
+// PR-1 invariant, now with fault overhead in the stream: duplicate bits
+// and delay/backoff rounds must land in BOTH the channel CostStats and the
+// tracer's phase tree, so the synthetic root row still equals the total.
+TEST(FaultE2E, CostInvariantHoldsUnderFaults) {
+  util::Rng rng(0xF4);
+  const util::SetPair pair = util::random_set_pair(rng, 1u << 14, 32, 8);
+  sim::FaultSpec spec;
+  spec.flip_per_bit = 0.001;
+  spec.duplicate_prob = 0.3;
+  spec.delay_prob = 0.3;
+  spec.delay_rounds = 2;
+  spec.seed = 11;
+  sim::FaultPlan plan(spec);
+  obs::Tracer tracer;
+  setint::IntersectOptions options;
+  options.universe = 1u << 14;
+  options.fault_plan = &plan;
+  options.tracer = &tracer;
+  const setint::IntersectResult result =
+      setint::intersect(pair.s, pair.t, options);
+  ASSERT_FALSE(result.report.phases.empty());
+  const obs::PhaseRow& root = result.report.phases[0];  // synthetic root
+  EXPECT_EQ(root.depth, -1);
+  EXPECT_EQ(root.bits, result.report.cost.bits_total);
+  EXPECT_EQ(root.messages, result.report.cost.messages);
+  EXPECT_EQ(root.rounds, result.report.cost.rounds);
+  // The fault stream was live and the channel published it.
+  EXPECT_GT(plan.stats().faults_injected, 0u);
+  EXPECT_EQ(tracer.metrics().counter("fault.injected").value(),
+            plan.stats().faults_injected);
+}
+
+// Both multiparty topologies over a shared network-wide fault plan: the
+// final answer is always a superset of the planted m-way intersection,
+// exact whenever the run did not flag degradation.
+TEST(FaultE2E, MultipartyCoordinatorSafeUnderFaults) {
+  util::Rng rng(0xF5);
+  const util::MultiSetInstance instance =
+      util::random_multi_sets(rng, 1u << 14, /*players=*/6, /*k=*/24,
+                              /*shared=*/6);
+  sim::FaultSpec spec;
+  spec.flip_per_bit = 0.005;
+  spec.drop_prob = 0.05;
+  spec.seed = 21;
+  sim::FaultPlan plan(spec);
+  sim::Network network(instance.sets.size());
+  network.set_fault_plan(&plan);
+  sim::SharedRandomness shared(0x6F5);
+  multiparty::MultipartyParams params;
+  params.retry.max_attempts = 8;
+  const multiparty::MultipartyResult result =
+      multiparty::coordinator_intersection(network, shared, 1u << 14,
+                                           instance.sets, params);
+  EXPECT_TRUE(
+      util::is_subset(instance.expected_intersection, result.intersection));
+  if (!result.degraded) {
+    EXPECT_EQ(result.intersection, instance.expected_intersection);
+  }
+  EXPECT_GT(plan.stats().messages_seen, 0u);
+}
+
+TEST(FaultE2E, MultipartyTournamentSafeUnderFaults) {
+  util::Rng rng(0xF6);
+  const util::MultiSetInstance instance =
+      util::random_multi_sets(rng, 1u << 14, /*players=*/8, /*k=*/24,
+                              /*shared=*/5);
+  sim::FaultSpec spec;
+  spec.flip_per_bit = 0.005;
+  spec.truncate_prob = 0.05;
+  spec.seed = 31;
+  sim::FaultPlan plan(spec);
+  sim::Network network(instance.sets.size());
+  network.set_fault_plan(&plan);
+  sim::SharedRandomness shared(0x6F6);
+  multiparty::MultipartyParams params;
+  params.retry.max_attempts = 8;
+  const multiparty::MultipartyResult result =
+      multiparty::tournament_intersection(network, shared, 1u << 14,
+                                          instance.sets, params);
+  EXPECT_TRUE(
+      util::is_subset(instance.expected_intersection, result.intersection));
+  if (!result.degraded) {
+    EXPECT_EQ(result.intersection, instance.expected_intersection);
+  }
+  EXPECT_GT(plan.stats().messages_seen, 0u);
+}
+
+// With a fault plan installed but every probability zero, behaviour must
+// be bit-for-bit what a reliable channel produces: certified on the first
+// attempt, exact, no degradation.
+TEST(FaultE2E, ZeroRatePlanMatchesReliableChannel) {
+  util::Rng rng(0xF7);
+  const util::SetPair pair = util::random_set_pair(rng, 1u << 14, 32, 8);
+  setint::IntersectOptions clean;
+  clean.universe = 1u << 14;
+  const setint::IntersectResult baseline =
+      setint::intersect(pair.s, pair.t, clean);
+
+  sim::FaultPlan plan;  // disabled
+  setint::IntersectOptions faulty = clean;
+  faulty.fault_plan = &plan;
+  const setint::IntersectResult result =
+      setint::intersect(pair.s, pair.t, faulty);
+  EXPECT_EQ(result.intersection, baseline.intersection);
+  EXPECT_EQ(result.bits, baseline.bits);
+  EXPECT_EQ(result.rounds, baseline.rounds);
+  EXPECT_TRUE(result.verified);
+  EXPECT_FALSE(result.degraded);
 }
 
 }  // namespace

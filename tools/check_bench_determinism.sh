@@ -4,29 +4,36 @@
 # wall_ms line (which bench_util.h keeps alone on its own line so this
 # check can filter it).
 #
-# Usage: tools/check_bench_determinism.sh [<path-to-bench-binary>]
-# Default binary: build/bench/exp_rounds (built if missing).
+# Usage: tools/check_bench_determinism.sh [<path-to-bench-binary>...]
+# Default binaries: build/bench/exp_rounds and build/bench/exp_faults —
+# exp_faults additionally pins that the fault-injection stream itself is
+# reproducible from the seed (the BENCH_faults contract).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BIN="${1:-build/bench/exp_rounds}"
-
-if [[ ! -x "$BIN" ]]; then
-  cmake -B build -S . > /dev/null
-  cmake --build build -j "$(nproc)" --target "$(basename "$BIN")" > /dev/null
+BINS=("$@")
+if [[ ${#BINS[@]} -eq 0 ]]; then
+  BINS=(build/bench/exp_rounds build/bench/exp_faults)
 fi
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-for run in a b; do
-  "$BIN" --smoke --seed=42 --json="$TMP/$run.json" > /dev/null
-  sed '/"wall_ms"/d' "$TMP/$run.json" > "$TMP/$run.filtered"
-done
+for BIN in "${BINS[@]}"; do
+  if [[ ! -x "$BIN" ]]; then
+    cmake -B build -S . > /dev/null
+    cmake --build build -j "$(nproc)" --target "$(basename "$BIN")" > /dev/null
+  fi
 
-if ! cmp -s "$TMP/a.filtered" "$TMP/b.filtered"; then
-  echo "FAIL: same-seed runs of $BIN differ beyond wall_ms:" >&2
-  diff "$TMP/a.filtered" "$TMP/b.filtered" | head >&2
-  exit 1
-fi
-echo "OK: $BIN is deterministic for a fixed seed (modulo wall_ms)"
+  for run in a b; do
+    "$BIN" --smoke --seed=42 --json="$TMP/$run.json" > /dev/null
+    sed '/"wall_ms"/d' "$TMP/$run.json" > "$TMP/$run.filtered"
+  done
+
+  if ! cmp -s "$TMP/a.filtered" "$TMP/b.filtered"; then
+    echo "FAIL: same-seed runs of $BIN differ beyond wall_ms:" >&2
+    diff "$TMP/a.filtered" "$TMP/b.filtered" | head >&2
+    exit 1
+  fi
+  echo "OK: $BIN is deterministic for a fixed seed (modulo wall_ms)"
+done

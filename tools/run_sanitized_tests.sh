@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds with AddressSanitizer + UBSanitizer (-DSETINT_SANITIZE=ON, its own
+# build-sanitize/ tree so the regular build stays untouched) and runs the
+# full ctest suite under the sanitizers. The decoder-hardening and
+# fault-injection tests exercise every adversarial decode path, so this is
+# the memory-safety gate for the robustness layer (docs/ROBUSTNESS.md).
+#
+# Usage: tools/run_sanitized_tests.sh [ctest args...]
+#   tools/run_sanitized_tests.sh                 # everything
+#   tools/run_sanitized_tests.sh -L robustness   # just the robustness slice
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPO_ROOT="$PWD"
+BUILD_DIR="$REPO_ROOT/build-sanitize"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DSETINT_SANITIZE=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" > /dev/null
+
+# halt_on_error keeps UBSan failures fatal even where the compiler default
+# differs; detect_leaks stays on (default) for ASan.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+cd "$BUILD_DIR"
+ctest --output-on-failure -j "$(nproc)" "$@"
