@@ -1,0 +1,313 @@
+// G — Byzantine-peer hardening (docs/ROBUSTNESS.md, "Threat model").
+//
+// Sweeps every attack class against the facade with resource limits on
+// and off, and pins the Byzantine safety contract end-to-end:
+//   * the honest side never crashes or hangs — every run terminates and
+//     no exception escapes the retry layer;
+//   * its output is ALWAYS a subset of its own input, whatever the peer
+//     sends (the one guarantee a lying peer leaves standing);
+//   * runs the adversary left untouched (frames_crafted == 0) are exact;
+//   * the resource-limit guard is load-bearing: with limits OFF the
+//     inflated-length attack demonstrably materializes far more decoded
+//     items than the max_decoded_items cap allows, and with limits ON the
+//     identical frame is refused with ResourceLimitError.
+// Any violated claim makes the binary exit non-zero.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/resource_limits.h"
+#include "multiparty/coordinator.h"
+#include "multiparty/tournament.h"
+#include "setint.h"
+#include "sim/adversary.h"
+#include "sim/channel.h"
+#include "sim/network.h"
+#include "util/bitio.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace {
+
+using namespace setint;
+
+struct AdvTally {
+  int trials = 0;
+  int degraded = 0;
+  int verified = 0;
+  int clean_runs = 0;        // adversary crafted nothing (stealth misses)
+  int escapes = 0;           // exceptions past the retry layer: must stay 0
+  int subset_violations = 0; // output not a subset of own input: must stay 0
+  int unflagged_wrong = 0;   // crafted-free run wrong vs oracle: must stay 0
+  std::uint64_t total_bits = 0;
+  std::uint64_t total_attempts = 0;
+  std::uint64_t frames_crafted = 0;
+};
+
+AdvTally run_attack(const bench::Reporter& rep, std::uint64_t salt,
+                    int trials, sim::AttackClass attack, double attack_prob,
+                    bool limits_on, std::uint64_t universe, std::size_t k) {
+  AdvTally tally;
+  tally.trials = trials;
+  util::Rng wrng(rep.seed_for(salt, 0xA0));
+  for (int t = 0; t < trials; ++t) {
+    const util::SetPair pair = util::random_set_pair(wrng, universe, k, k / 4);
+    sim::AdversarySpec spec;
+    spec.party = sim::PartyId::kBob;
+    spec.attack = attack;
+    spec.attack_prob = attack_prob;
+    spec.frame_bits = std::uint64_t{1} << 14;
+    spec.lie_universe = universe;
+    spec.seed = rep.seed_for(salt, 0xAD00 + static_cast<std::uint64_t>(t));
+    sim::Adversary adversary(spec);
+
+    IntersectOptions options;
+    options.universe = universe;
+    options.seed = rep.seed_for(salt, 0x5E00 + static_cast<std::uint64_t>(t));
+    options.adversary = &adversary;
+    if (limits_on) {
+      options.limits = core::ResourceLimits::for_workload(universe, k);
+    }
+    options.retry.max_attempts = 6;
+    options.retry.degraded_attempts = 2;
+
+    IntersectResult result;
+    try {
+      result = intersect(pair.s, pair.t, options);
+    } catch (const std::exception&) {
+      tally.escapes += 1;
+      continue;
+    }
+    if (result.verified) tally.verified += 1;
+    if (result.degraded) tally.degraded += 1;
+    if (!util::is_subset(result.intersection, pair.s)) {
+      tally.subset_violations += 1;
+    }
+    if (adversary.stats().frames_crafted == 0) {
+      tally.clean_runs += 1;
+      if (result.intersection != pair.expected_intersection) {
+        tally.unflagged_wrong += 1;
+      }
+    }
+    tally.total_bits += result.bits;
+    tally.total_attempts += result.repetitions;
+    tally.frames_crafted += adversary.stats().frames_crafted;
+  }
+  return tally;
+}
+
+std::string pct(int part, int whole) {
+  return bench::fmt_double(100.0 * part / std::max(1, whole), 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace setint;
+  auto rep = bench::Reporter::FromArgs("adversary", argc, argv);
+
+  const std::uint64_t universe = std::uint64_t{1} << 14;
+  const std::size_t k = 32;
+  int violations = 0;
+
+  static constexpr struct {
+    sim::AttackClass attack;
+    const char* name;
+  } kClasses[] = {
+      {sim::AttackClass::kInflatedLength, "inflated-length"},
+      {sim::AttackClass::kUnaryBomb, "unary-bomb"},
+      {sim::AttackClass::kRandomGarbage, "random-garbage"},
+      {sim::AttackClass::kReplay, "replay"},
+      {sim::AttackClass::kTruncate, "truncate"},
+      {sim::AttackClass::kSemanticLie, "semantic-lie"},
+      {sim::AttackClass::kMixed, "mixed"},
+  };
+
+  // G1: every attack class, resource limits off vs on. Safety columns
+  // must read zero in every row; the cost columns show what surviving a
+  // liar costs (burned attempts, degraded answers).
+  {
+    auto& table = rep.table(
+        "G1: attack class vs defenses  (k=32, n=2^14, attack prob 0.75)",
+        {"attack", "limits", "trials", "verified %", "degraded", "escapes",
+         "subset violations", "unflagged wrong", "avg bits", "avg attempts",
+         "crafted frames"});
+    const int trials = rep.smoke() ? 10 : 120;
+    std::uint64_t salt = 0x100;
+    for (const auto& cls : kClasses) {
+      for (const bool limits_on : {false, true}) {
+        const AdvTally c = run_attack(rep, salt++, trials, cls.attack,
+                                      /*attack_prob=*/0.75, limits_on,
+                                      universe, k);
+        violations += c.escapes + c.subset_violations + c.unflagged_wrong;
+        table.add_row(
+            {cls.name, limits_on ? "on" : "off",
+             bench::fmt_u64(static_cast<std::uint64_t>(c.trials)),
+             pct(c.verified, c.trials),
+             bench::fmt_u64(static_cast<std::uint64_t>(c.degraded)),
+             bench::fmt_u64(static_cast<std::uint64_t>(c.escapes)),
+             bench::fmt_u64(static_cast<std::uint64_t>(c.subset_violations)),
+             bench::fmt_u64(static_cast<std::uint64_t>(c.unflagged_wrong)),
+             bench::fmt_u64(c.total_bits /
+                            static_cast<std::uint64_t>(std::max(1, c.trials))),
+             bench::fmt_double(
+                 static_cast<double>(c.total_attempts) /
+                     std::max(1, c.trials), 2),
+             bench::fmt_u64(c.frames_crafted)});
+      }
+    }
+    table.print();
+  }
+
+  // G2: the guard is load-bearing. One crafted inflated-length frame,
+  // decoded twice: without limits the honest decoder materializes every
+  // claimed item (orders of magnitude past the cap); with limits the same
+  // frame dies in the items budget before the allocation.
+  bool guard_demo_ok = false;
+  std::uint64_t items_without_limits = 0;
+  {
+    const core::ResourceLimits limits =
+        core::ResourceLimits::for_workload(universe, k);
+    sim::AdversarySpec spec;
+    spec.party = sim::PartyId::kBob;
+    spec.attack = sim::AttackClass::kInflatedLength;
+    spec.attack_prob = 1.0;
+    spec.frame_bits = std::uint64_t{1} << 16;
+    spec.seed = rep.seed_for(0x200);
+
+    util::BitBuffer honest;
+    util::append_set(honest, util::Set{1, 2, 3});
+
+    {
+      sim::Adversary adversary(spec);
+      sim::Channel channel;
+      channel.set_adversary(&adversary);
+      const util::BitBuffer delivered =
+          channel.send(sim::PartyId::kBob, honest);
+      util::BitReader reader = channel.reader(delivered);
+      items_without_limits = util::read_set(reader).size();
+    }
+    bool limit_fired = false;
+    {
+      sim::Adversary adversary(spec);
+      sim::Channel channel;
+      channel.set_adversary(&adversary);
+      channel.set_limits(&limits);
+      const util::BitBuffer delivered =
+          channel.send(sim::PartyId::kBob, honest);
+      util::BitReader reader = channel.reader(delivered);
+      try {
+        (void)util::read_set(reader);
+      } catch (const core::ResourceLimitError&) {
+        limit_fired = true;
+      }
+    }
+    guard_demo_ok =
+        items_without_limits > limits.max_decoded_items && limit_fired;
+
+    auto& table = rep.table(
+        "G2: inflated-length frame vs max_decoded_items "
+        "(honest frame: 3 elements)",
+        {"limits", "cap (items)", "decoded items", "outcome"});
+    table.add_row({"off", bench::fmt_u64(limits.max_decoded_items),
+                   bench::fmt_u64(items_without_limits),
+                   "materialized in full"});
+    table.add_row({"on", bench::fmt_u64(limits.max_decoded_items), "-",
+                   limit_fired ? "ResourceLimitError" : "NOT CAUGHT"});
+    table.print();
+    std::printf("\nguard load-bearing (blow-past without limits, refusal "
+                "with): %s\n",
+                guard_demo_ok ? "YES" : "NO");
+  }
+
+  // G3: one Byzantine player among eight, both multiparty topologies.
+  // Coordinator invariant: an honest root keeps the answer inside every
+  // honest player's set. Tournament invariant: the liar's uncertified
+  // match is skipped, so the true intersection is never lost (superset)
+  // and the root chain keeps the answer inside player 0's set.
+  {
+    auto& table = rep.table(
+        "G3: one Byzantine player of 8  (k=24, n=2^14, mixed attack)",
+        {"topology", "trials", "degraded runs", "avg degraded pairs",
+         "invariant violations", "avg total bits"});
+    const int trials = rep.smoke() ? 5 : 40;
+    const std::size_t byzantine = 3;
+    for (const bool tournament : {false, true}) {
+      int degraded_runs = 0;
+      int mp_violations = 0;
+      std::uint64_t degraded_pairs = 0;
+      std::uint64_t total_bits = 0;
+      util::Rng wrng(rep.seed_for(0x300, tournament ? 2 : 1));
+      for (int t = 0; t < trials; ++t) {
+        const util::MultiSetInstance instance = util::random_multi_sets(
+            wrng, universe, /*players=*/8, /*k=*/24, /*shared=*/6);
+        sim::AdversarySpec spec;
+        spec.attack = sim::AttackClass::kMixed;
+        spec.attack_prob = 1.0;
+        spec.frame_bits = std::uint64_t{1} << 13;
+        spec.lie_universe = universe;
+        spec.seed = rep.seed_for(0x310 + static_cast<std::uint64_t>(t),
+                                 tournament ? 2 : 1);
+        sim::Adversary adversary(spec);
+        sim::Network network(instance.sets.size());
+        sim::SharedRandomness shared(
+            rep.seed_for(0x320 + static_cast<std::uint64_t>(t),
+                         tournament ? 2 : 1));
+        multiparty::MultipartyParams params;
+        params.retry.max_attempts = 6;
+        params.retry.degraded_attempts = 2;
+        params.adversary = &adversary;
+        params.byzantine_player = byzantine;
+        params.limits = core::ResourceLimits::for_workload(universe, 24);
+        multiparty::MultipartyResult result;
+        try {
+          result = tournament
+                       ? multiparty::tournament_intersection(
+                             network, shared, universe, instance.sets, params)
+                       : multiparty::coordinator_intersection(
+                             network, shared, universe, instance.sets, params);
+        } catch (const std::exception&) {
+          mp_violations += 1;
+          continue;
+        }
+        if (tournament) {
+          if (!util::is_subset(instance.expected_intersection,
+                               result.intersection) ||
+              !util::is_subset(result.intersection, instance.sets[0])) {
+            mp_violations += 1;
+          }
+        } else {
+          util::Set honest = instance.sets[0];
+          for (std::size_t i = 1; i < instance.sets.size(); ++i) {
+            if (i == byzantine) continue;
+            honest = util::set_intersection(honest, instance.sets[i]);
+          }
+          if (!util::is_subset(result.intersection, honest)) {
+            mp_violations += 1;
+          }
+        }
+        if (result.degraded) degraded_runs += 1;
+        degraded_pairs += result.degraded_pairs;
+        total_bits += network.total_bits();
+      }
+      violations += mp_violations;
+      table.add_row(
+          {tournament ? "tournament" : "coordinator",
+           bench::fmt_u64(static_cast<std::uint64_t>(trials)),
+           bench::fmt_u64(static_cast<std::uint64_t>(degraded_runs)),
+           bench::fmt_double(static_cast<double>(degraded_pairs) / trials, 2),
+           bench::fmt_u64(static_cast<std::uint64_t>(mp_violations)),
+           bench::fmt_u64(total_bits /
+                          static_cast<std::uint64_t>(std::max(1, trials)))});
+    }
+    table.print();
+  }
+
+  std::printf("\nByzantine safety held in every run (no escapes, no "
+              "non-subset outputs, no unflagged wrong answers): %s\n",
+              violations == 0 ? "YES" : "NO");
+  rep.note("safety_violations", violations);
+  rep.note("guard_demo_ok", guard_demo_ok);
+  rep.note("items_decoded_without_limits", items_without_limits);
+  const bool ok = violations == 0 && guard_demo_ok;
+  return rep.finish(ok ? 0 : 1);
+}

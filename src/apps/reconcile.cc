@@ -25,9 +25,7 @@ util::BitBuffer encode_positions(util::SetView reference,
   return out;
 }
 
-util::Set decode_positions(const util::BitBuffer& message,
-                           util::SetView reference) {
-  util::BitReader reader(message);
+util::Set decode_positions(util::BitReader& reader, util::SetView reference) {
   const util::Set positions = util::read_set(reader);
   util::Set out;
   out.reserve(positions.size());
@@ -129,10 +127,12 @@ ReconcileResult reconcile_intersection(
   const util::BitBuffer b_removed_msg = channel.send(
       sim::PartyId::kBob,
       encode_positions(old_intersection, bob_delta.removed), "rec-rem-b");
+  util::BitReader a_removed_reader = channel.reader(a_removed_msg);
   const util::Set removed_a =
-      decode_positions(a_removed_msg, old_intersection);
+      decode_positions(a_removed_reader, old_intersection);
+  util::BitReader b_removed_reader = channel.reader(b_removed_msg);
   const util::Set removed_b =
-      decode_positions(b_removed_msg, old_intersection);
+      decode_positions(b_removed_reader, old_intersection);
   const util::Set surviving = util::set_difference(
       util::set_difference(old_intersection, removed_a), removed_b);
 
@@ -159,7 +159,7 @@ ReconcileResult reconcile_intersection(
   const util::Set a_image = image_of(alice_delta.added, h);
   const util::BitBuffer a_img_delivered = channel.send(
       sim::PartyId::kAlice, encode_image(a_image, width), "rec-add-a");
-  util::BitReader a_img_reader(a_img_delivered);
+  util::BitReader a_img_reader = channel.reader(a_img_delivered);
   const util::Set a_image_at_bob = decode_image(a_img_reader, width);
 
   const util::Set b_image = image_of(bob_delta.added, h);
@@ -167,7 +167,7 @@ ReconcileResult reconcile_intersection(
   b_reply.append_buffer(match_bitmask(t_new, h, a_image_at_bob));
   const util::BitBuffer b_delivered =
       channel.send(sim::PartyId::kBob, std::move(b_reply), "rec-add-b");
-  util::BitReader b_reader(b_delivered);
+  util::BitReader b_reader = channel.reader(b_delivered);
   const util::Set b_image_at_alice = decode_image(b_reader, width);
   util::BitBuffer a_match_mask;
   for (std::size_t i = 0; i < a_image.size(); ++i) {

@@ -87,9 +87,11 @@ std::vector<CandidatePair> basic_intersection_batch(
   }
 
   // Both parties now know every m_j and can derive identical hash
-  // functions from shared randomness.
-  util::BitReader ra(a_sz);
-  util::BitReader rb(b_sz);
+  // functions from shared randomness. Readers carry the channel's
+  // resource limits so crafted length prefixes are charged against
+  // max_decoded_items (docs/ROBUSTNESS.md).
+  util::BitReader ra = channel.reader(a_sz);
+  util::BitReader rb = channel.reader(b_sz);
   std::vector<std::uint64_t> m(n);
   for (std::size_t j = 0; j < n; ++j) {
     m[j] = ra.read_gamma64() + rb.read_gamma64();
@@ -156,8 +158,8 @@ std::vector<CandidatePair> basic_intersection_batch(
   }
 
   // Decode the peer's images and filter own elements.
-  util::BitReader a_reader(a_msg);
-  util::BitReader b_reader(b_msg);
+  util::BitReader a_reader = channel.reader(a_msg);
+  util::BitReader b_reader = channel.reader(b_msg);
   for (std::size_t j = 0; j < n; ++j) {
     if (skip(j)) continue;  // candidates stay empty
     const util::Set peer_for_bob = read_image(a_reader, hashes[j].range());

@@ -66,8 +66,8 @@ IntersectionOutput bucket_eq_intersection(sim::Channel& channel,
                         "bucket-sizes-b");
   }
 
-  util::BitReader ra(a_sz);
-  util::BitReader rb(b_sz);
+  util::BitReader ra = channel.reader(a_sz);
+  util::BitReader rb = channel.reader(b_sz);
   const unsigned element_bits = util::ceil_log2(big_n);
 
   // The instance collection E: per bucket, all (a-th of S_i, b-th of T_i)

@@ -17,7 +17,7 @@ IntersectionOutput deterministic_exchange(sim::Channel& channel,
   util::append_set_rice(msg, s, universe);
   const util::BitBuffer delivered =
       channel.send(sim::PartyId::kAlice, std::move(msg), "full-set");
-  util::BitReader reader(delivered);
+  util::BitReader reader = channel.reader(delivered);
   const util::Set received = util::read_set_rice(reader, universe);
 
   IntersectionOutput out;
@@ -27,7 +27,7 @@ IntersectionOutput deterministic_exchange(sim::Channel& channel,
     util::append_set_rice(reply, out.bob, universe);
     const util::BitBuffer back =
         channel.send(sim::PartyId::kBob, std::move(reply), "intersection");
-    util::BitReader rr(back);
+    util::BitReader rr = channel.reader(back);
     out.alice = util::read_set_rice(rr, universe);
   } else {
     out.alice = out.bob;  // convention: report Bob's exact answer

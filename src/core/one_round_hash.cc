@@ -72,8 +72,8 @@ IntersectionOutput one_round_hash(sim::Channel& channel,
   const util::BitBuffer b_delivered =
       channel.send(sim::PartyId::kBob, std::move(b_msg), "hash-image-b");
 
-  util::BitReader ra(a_delivered);
-  util::BitReader rb(b_delivered);
+  util::BitReader ra = channel.reader(a_delivered);
+  util::BitReader rb = channel.reader(b_delivered);
   const util::Set peer_for_bob = read_image(ra);
   const util::Set peer_for_alice = read_image(rb);
 

@@ -48,7 +48,11 @@ std::vector<bool> batch_equality_test(sim::Channel& channel,
       channel.send(sim::PartyId::kAlice, std::move(alice_msg), "eq-hashes");
 
   // Bob compares against his own hashes and replies the verdict bitmap.
-  util::BitReader reader(delivered);
+  util::BitReader reader = channel.reader(delivered);
+  // All n instances at `bits` hash bits each must be present up front — a
+  // short (truncated or crafted) frame is rejected by name here instead
+  // of failing bit-by-bit mid-comparison.
+  reader.expect_at_least(n, bits, "eq hashes");
   util::BitBuffer verdicts;
   std::vector<bool> result(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -67,7 +71,8 @@ std::vector<bool> batch_equality_test(sim::Channel& channel,
       channel.send(sim::PartyId::kBob, std::move(verdicts), "eq-verdicts");
 
   // Alice decodes the same verdicts; both parties now agree on `result`.
-  util::BitReader vr(verdicts_delivered);
+  util::BitReader vr = channel.reader(verdicts_delivered);
+  vr.expect_at_least(n, 1, "eq verdicts");
   for (std::size_t i = 0; i < n; ++i) {
     const bool v = vr.read_bit();
     if (v != result[i]) throw std::logic_error("equality verdict mismatch");

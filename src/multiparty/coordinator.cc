@@ -17,22 +17,25 @@ VerifiedRunResult verified_two_party_intersection(
     std::uint64_t universe, util::SetView s, util::SetView t,
     const core::VerificationTreeParams& params, std::size_t k_bound,
     obs::Tracer* tracer, const core::RetryPolicy& retry,
-    sim::FaultPlan* faults) {
+    sim::FaultPlan* faults, sim::Adversary* adversary,
+    const core::ResourceLimits* limits) {
   if (k_bound == 0) k_bound = std::max<std::size_t>({s.size(), t.size(), 2});
   sim::Channel channel;
   channel.set_tracer(tracer);
   channel.set_fault_plan(faults);
+  channel.set_adversary(adversary);
+  if (limits != nullptr && limits->enabled()) channel.set_limits(limits);
   obs::Span verified_span(tracer, "verified_intersection");
   const std::uint64_t max_attempts =
       std::max<std::uint64_t>(1, retry.max_attempts);
   VerifiedRunResult result;
   for (std::uint64_t rep = 0; rep < max_attempts; ++rep) {
     result.repetitions = rep + 1;
-    if (rep > 0) {
-      channel.charge_extra_rounds(retry.backoff_rounds);
-      obs::count(tracer, "retry.attempts");
-    }
+    if (rep > 0) obs::count(tracer, "retry.attempts");
     try {
+      // Inside the try: with limits installed the backoff charge itself
+      // can breach max_rounds, which burns the attempt like any failure.
+      if (rep > 0) channel.charge_extra_rounds(retry.backoff_rounds);
       const core::IntersectionOutput out =
           core::verification_tree_intersection(
               channel, shared, util::mix64(nonce, rep), universe, s, t,
@@ -55,6 +58,12 @@ VerifiedRunResult verified_two_party_intersection(
         result.cost = channel.cost();
         return result;
       }
+    } catch (const core::ResourceLimitError&) {
+      // A frame or a decode blew past a resource cap — the signature move
+      // of a Byzantine peer. Burn the attempt like any decode failure
+      // (an unlucky honest run near the cap retries too).
+      obs::count(tracer, "limit.breaches");
+      obs::count(tracer, "retry.decode_failures");
     } catch (const std::exception&) {
       // A corrupted message failed to decode (the hardened decoders throw
       // on damaged length prefixes and short reads). Same remedy as a
@@ -63,15 +72,27 @@ VerifiedRunResult verified_two_party_intersection(
     }
   }
 
-  if (faults == nullptr || !faults->enabled()) {
-    // Reliable channel: only hash collisions can get here, and the
-    // deterministic backstop is exact.
+  // The deterministic backstop trusts every byte the peer sends, so it is
+  // only sound against an unreliable-but-honest transport. A Byzantine
+  // peer (enabled adversary) would simply lie to it; degrade instead.
+  const bool hostile = (faults != nullptr && faults->enabled()) ||
+                       (adversary != nullptr && adversary->enabled());
+  if (!hostile) {
+    // Reliable channel: only hash collisions (or limit breaches) can get
+    // here, and the deterministic backstop is exact.
     obs::count(tracer, "mp.backstops");
-    const core::IntersectionOutput exact =
-        core::deterministic_exchange(channel, universe, s, t);
-    result.intersection = exact.alice;
-    result.cost = channel.cost();
-    return result;
+    try {
+      const core::IntersectionOutput exact =
+          core::deterministic_exchange(channel, universe, s, t);
+      result.intersection = exact.alice;
+      result.cost = channel.cost();
+      return result;
+    } catch (const core::ResourceLimitError&) {
+      // Limits tight enough that even the deterministic exchange breaches
+      // them: fall through to the degraded superset path rather than let
+      // the error escape the retry layer.
+      obs::count(tracer, "limit.breaches");
+    }
   }
 
   // Graceful degradation: the retry budget is gone and the transport is
@@ -86,9 +107,18 @@ VerifiedRunResult verified_two_party_intersection(
   obs::count(tracer, "degraded.runs");
   result.verified = false;
   result.degraded = true;
-  const auto content_faults = [faults] {
-    const sim::FaultStats& st = faults->stats();
-    return st.bits_flipped + st.truncated_bits + st.dropped_messages;
+  // An attempt only counts as a clean superset if neither the stochastic
+  // plan damaged content NOR the adversary substituted a frame during it —
+  // a crafted frame that decodes cleanly can still lie, and a lie can
+  // knock true elements out of the candidate (no superset guarantee).
+  const auto content_faults = [faults, adversary] {
+    std::uint64_t events = 0;
+    if (faults != nullptr) {
+      const sim::FaultStats& st = faults->stats();
+      events += st.bits_flipped + st.truncated_bits + st.dropped_messages;
+    }
+    if (adversary != nullptr) events += adversary->stats().frames_crafted;
+    return events;
   };
   const std::uint64_t degraded_attempts =
       std::max<std::uint64_t>(1, retry.degraded_attempts);
@@ -144,6 +174,8 @@ MultipartyResult coordinator_intersection(sim::Network& network,
   sim::FaultPlan* faults = params.fault_plan != nullptr
                                ? params.fault_plan
                                : network.fault_plan();
+  const core::ResourceLimits* limits =
+      params.limits.enabled() ? &params.limits : nullptr;
 
   while (active.size() > 1) {
     obs::Span level_span(tracer, "level=" + std::to_string(result.levels));
@@ -158,9 +190,25 @@ MultipartyResult coordinator_intersection(sim::Network& network,
         const std::size_t member = active[j];
         const std::uint64_t nonce = util::mix64(
             util::mix64(result.levels, coord), util::mix64(member, 0xC0));
+        // Bind the Byzantine player (if any) to the channel role it holds
+        // in this pair; pairs of honest players run with no adversary.
+        sim::Adversary* pair_adversary = nullptr;
+        if (params.adversary != nullptr) {
+          if (coord == params.byzantine_player) {
+            params.adversary->set_party(sim::PartyId::kAlice);
+            pair_adversary = params.adversary;
+          } else if (member == params.byzantine_player) {
+            params.adversary->set_party(sim::PartyId::kBob);
+            pair_adversary = params.adversary;
+          }
+        }
         VerifiedRunResult vr = verified_two_party_intersection(
             shared, nonce, universe, current[coord], current[member],
-            params.tree, k, /*tracer=*/nullptr, params.retry, faults);
+            params.tree, k, /*tracer=*/nullptr, params.retry, faults,
+            pair_adversary, limits);
+        if (pair_adversary != nullptr) {
+          obs::count(tracer, "mp.byzantine_pairs");
+        }
         network.bill_pairwise_in_batch(coord, member, vr.cost);
         result.total_repetitions += vr.repetitions;
         obs::count(tracer, "mp.pairwise_runs");

@@ -13,9 +13,13 @@
 #include <cstdint>
 #include <vector>
 
+#include <cstddef>
+
+#include "core/resource_limits.h"
 #include "core/retry.h"
 #include "core/verification_tree.h"
 #include "obs/tracer.h"
+#include "sim/adversary.h"
 #include "sim/fault.h"
 #include "sim/network.h"
 #include "sim/randomness.h"
@@ -45,13 +49,20 @@ struct VerifiedRunResult {
 // phase spans and metrics from the whole certified run — including
 // repetitions and the certificate — are attributed under the caller's
 // current span. `faults` (optional, not owned) makes that channel
-// unreliable.
+// unreliable. `adversary` (optional, not owned) makes one PARTY Byzantine
+// (sim/adversary.h); because a Byzantine peer could feed the
+// deterministic-exchange backstop lying bytes, an enabled adversary —
+// like an enabled fault plan — routes budget exhaustion into the honest
+// degraded path instead. `limits` (optional, not owned) is installed on
+// the internal channel; breaches burn a retry attempt like any decode
+// failure.
 VerifiedRunResult verified_two_party_intersection(
     const sim::SharedRandomness& shared, std::uint64_t nonce,
     std::uint64_t universe, util::SetView s, util::SetView t,
     const core::VerificationTreeParams& params, std::size_t k_bound,
     obs::Tracer* tracer = nullptr, const core::RetryPolicy& retry = {},
-    sim::FaultPlan* faults = nullptr);
+    sim::FaultPlan* faults = nullptr, sim::Adversary* adversary = nullptr,
+    const core::ResourceLimits* limits = nullptr);
 
 struct MultipartyParams {
   core::VerificationTreeParams tree;  // two-party sub-protocol parameters
@@ -68,6 +79,21 @@ struct MultipartyParams {
   // Per-call fault plan override (not owned); when null the Network's
   // installed plan (sim::Network::set_fault_plan) is used, if any.
   sim::FaultPlan* fault_plan = nullptr;
+
+  // Byzantine player model (docs/ROBUSTNESS.md): `adversary` (not owned)
+  // replaces player index `byzantine_player`'s outbound frames in every
+  // pairwise sub-run that player participates in. The adversary is
+  // rebound (Adversary::set_party) to whichever channel role that player
+  // holds in each pair; pairs of honest players run clean. Invariant the
+  // tests pin: a lying player can only corrupt results derived from its
+  // own input — with an honest root the final intersection is still a
+  // subset of every honest player's set.
+  sim::Adversary* adversary = nullptr;
+  std::size_t byzantine_player = static_cast<std::size_t>(-1);
+
+  // Resource limits installed on every internal pairwise channel. Default
+  // (all zero) is disabled and free.
+  core::ResourceLimits limits;
 };
 
 struct MultipartyResult {

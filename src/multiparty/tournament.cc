@@ -32,20 +32,42 @@ std::vector<std::size_t> advance_bracket(
     sim::FaultPlan* faults, MultipartyResult* result) {
   std::vector<std::size_t> next;
   obs::Tracer* tracer = network.tracer();
+  const core::ResourceLimits* limits =
+      params.limits.enabled() ? &params.limits : nullptr;
+  // Bind the Byzantine player (if any) to the channel role it holds in a
+  // given match; matches between honest players run with no adversary.
+  const auto bind_adversary = [&params](std::size_t left,
+                                        std::size_t right) -> sim::Adversary* {
+    if (params.adversary == nullptr) return nullptr;
+    if (left == params.byzantine_player) {
+      params.adversary->set_party(sim::PartyId::kAlice);
+      return params.adversary;
+    }
+    if (right == params.byzantine_player) {
+      params.adversary->set_party(sim::PartyId::kBob);
+      return params.adversary;
+    }
+    return nullptr;
+  };
   const bool final_level = level.size() == 2;
   for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
     const std::size_t left = level[i];
     const std::size_t right = level[i + 1];
     const std::uint64_t nonce =
         util::mix64(level_nonce, util::mix64(left, right));
+    sim::Adversary* match_adversary = bind_adversary(left, right);
+    if (match_adversary != nullptr) obs::count(tracer, "mp.byzantine_pairs");
     if (final_level) {
       // Root match: certified — exactness for the whole bracket follows
       // from the subset/superset invariants (see header).
       VerifiedRunResult vr = verified_two_party_intersection(
           shared, nonce, universe, current[left], current[right], params.tree,
-          k, /*tracer=*/nullptr, params.retry, faults);
+          k, /*tracer=*/nullptr, params.retry, faults, match_adversary,
+          limits);
       network.bill_pairwise_in_batch(left, right, vr.cost);
       result->total_repetitions += vr.repetitions;
+      obs::count(tracer, "mp.pairwise_runs");
+      obs::count(tracer, "mp.repetitions", vr.repetitions);
       if (vr.degraded) {
         result->degraded_pairs += 1;
         result->degraded = true;
@@ -60,35 +82,51 @@ std::vector<std::size_t> advance_bracket(
            ++attempt) {
         sim::Channel channel;
         channel.set_fault_plan(faults);
+        channel.set_adversary(match_adversary);
+        channel.set_limits(limits);
         // Duplicates and delays cost bandwidth but never corrupt content,
         // so only content-damaging fault classes disqualify the match
         // (the channel's integrity framing throws on most of them; this
-        // snapshot closes the checksum-collision window).
-        const std::uint64_t before =
-            faults != nullptr ? faults->stats().bits_flipped +
-                                    faults->stats().truncated_bits +
-                                    faults->stats().dropped_messages
-                              : 0;
-        if (attempt > 0) {
-          channel.charge_extra_rounds(params.retry.backoff_rounds);
-          obs::count(tracer, "retry.attempts");
-        }
+        // snapshot closes the checksum-collision window). Crafted frames
+        // disqualify it too: a semantic lie decodes cleanly but can knock
+        // true elements out of the candidates, and an uncertified match
+        // has no certificate to catch that.
+        const auto content_events = [faults, match_adversary] {
+          std::uint64_t events = 0;
+          if (faults != nullptr) {
+            events += faults->stats().bits_flipped +
+                      faults->stats().truncated_bits +
+                      faults->stats().dropped_messages;
+          }
+          if (match_adversary != nullptr) {
+            events += match_adversary->stats().frames_crafted;
+          }
+          return events;
+        };
+        const std::uint64_t before = content_events();
+        if (attempt > 0) obs::count(tracer, "retry.attempts");
         try {
+          // Inside the try: the backoff charge can breach max_rounds when
+          // limits are installed, which discards the attempt.
+          if (attempt > 0) {
+            channel.charge_extra_rounds(params.retry.backoff_rounds);
+          }
           const core::IntersectionOutput out =
               core::verification_tree_intersection(
                   channel, shared, util::mix64(nonce, attempt), universe,
                   current[left], current[right], params.tree);
           network.bill_pairwise_in_batch(left, right, channel.cost());
-          if (faults == nullptr ||
-              faults->stats().bits_flipped + faults->stats().truncated_bits +
-                      faults->stats().dropped_messages ==
-                  before) {
+          if (content_events() == before) {
             current[left] = out.alice;
             current[right] = out.bob;
             advanced = true;
           }
           // Fault-touched: the traffic is billed, the suspect candidates
           // are discarded, and the match re-runs with a fresh nonce.
+        } catch (const core::ResourceLimitError&) {
+          network.bill_pairwise_in_batch(left, right, channel.cost());
+          obs::count(tracer, "limit.breaches");
+          obs::count(tracer, "retry.decode_failures");
         } catch (const std::exception&) {
           network.bill_pairwise_in_batch(left, right, channel.cost());
           obs::count(tracer, "retry.decode_failures");

@@ -10,6 +10,31 @@ namespace setint {
 
 IntersectResult intersect(util::SetView s, util::SetView t,
                           const IntersectOptions& options) {
+  // Degenerate inputs: with either side empty the intersection is empty
+  // by definition and no protocol run is needed — this also covers
+  // universe = 0 with both sets empty, which would otherwise bottom out
+  // in the log*/floor-log2 parameter derivations. Zero cost, verified
+  // (exact with certainty), zero attempts consumed.
+  if (s.empty() || t.empty()) {
+    std::uint64_t bound = options.universe;
+    if (bound == 0) {
+      // Inferred universe, same rule as the main path: max element + 1
+      // (so the check below reduces to canonicality).
+      std::uint64_t max_element = 0;
+      if (!s.empty()) max_element = s.back();
+      if (!t.empty()) max_element = std::max(max_element, t.back());
+      bound = max_element + 1;
+    }
+    util::validate_set(s, bound);
+    util::validate_set(t, bound);
+    IntersectResult empty;
+    empty.verified = true;
+    empty.repetitions = 0;
+    if (options.tracer != nullptr) {
+      empty.report = obs::make_run_report(sim::CostStats{}, *options.tracer);
+    }
+    return empty;
+  }
   std::uint64_t universe = options.universe;
   if (universe == 0) {
     std::uint64_t max_element = 0;
@@ -25,7 +50,8 @@ IntersectResult intersect(util::SetView s, util::SetView t,
   const multiparty::VerifiedRunResult run =
       multiparty::verified_two_party_intersection(
           shared, options.seed, universe, s, t, params, k, options.tracer,
-          options.retry, options.fault_plan);
+          options.retry, options.fault_plan, options.adversary,
+          options.limits.enabled() ? &options.limits : nullptr);
   IntersectResult result;
   result.intersection = run.intersection;
   result.bits = run.cost.bits_total;

@@ -35,12 +35,27 @@
 // Contract (docs/ROBUSTNESS.md): verified implies exact up to the 2^-2k
 // certificate error; degraded implies intersection is a superset of
 // S cap T; never both.
+//
+// Byzantine hardening: install a sim::Adversary to model a peer that
+// LIES (crafted frames rather than random damage) and/or
+// core::ResourceLimits to cap what a single run may consume:
+//
+//   sim::Adversary adv({.party = sim::PartyId::kBob});
+//   auto result = setint::intersect(S, T, {
+//       .adversary = &adv,
+//       .limits = core::ResourceLimits::for_workload(1u << 20, S.size())});
+//   // result.intersection is ALWAYS a subset of S (the honest side's
+//   // own input), whatever the peer sends; oversized or decode-bombing
+//   // frames are rejected via core::ResourceLimitError and burn retry
+//   // attempts until the run degrades honestly.
 #pragma once
 
 #include <cstdint>
 
+#include "core/resource_limits.h"
 #include "core/retry.h"
 #include "obs/tracer.h"
+#include "sim/adversary.h"
 #include "sim/fault.h"
 #include "util/set_util.h"
 
@@ -57,6 +72,13 @@ struct IntersectOptions {
   obs::Tracer* tracer = nullptr;
   // Optional unreliable-transport model (not owned, stateful).
   sim::FaultPlan* fault_plan = nullptr;
+  // Optional Byzantine-peer model (not owned, stateful): one party's
+  // frames are replaced with crafted ones (sim/adversary.h).
+  sim::Adversary* adversary = nullptr;
+  // Resource caps enforced on the run's channel and decoders. Default
+  // (all zero) is disabled and free; ResourceLimits::for_workload(u, k)
+  // derives generous caps an honest run never hits.
+  core::ResourceLimits limits;
   // Retry budget + backoff cost + degradation budget.
   core::RetryPolicy retry;
 };

@@ -1,0 +1,116 @@
+// Byzantine-peer model: one party emits crafted frames.
+//
+// sim/fault.h models a *stochastic* adversary — an unreliable link that
+// damages honest frames at random. An Adversary upgrades the threat
+// model: it replaces one party (or one multiparty player) and substitutes
+// whatever that party's honest protocol code would have sent with frames
+// *crafted* to abuse the decoders on the other side — inflated length
+// prefixes, pathological unary runs, replayed frames, random garbage,
+// and valid-format-but-lying payloads. Because the adversary IS the
+// sender, it computes valid integrity checksums for its own frames, so
+// the channel's framing (which defeats the stochastic model) gives no
+// protection here; the honest side survives on resource limits
+// (core/resource_limits.h), the hardened decoders, and the certificate /
+// retry / degradation machinery. The contract the tests and
+// bench/exp_adversary pin (docs/ROBUSTNESS.md, "Threat model"):
+//
+//   * the honest party never crashes, hangs, or allocates unboundedly;
+//   * its output is always a subset of its own input;
+//   * a Byzantine party can corrupt only results derived from its own
+//     input — multiparty runs between honest players stay verified.
+//
+// Like FaultPlan, every decision comes from a private seeded Rng, so an
+// attack stream is reproducible from its seed alone (the
+// BENCH_adversary.json determinism contract).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/transcript.h"
+#include "util/bitio.h"
+#include "util/rng.h"
+
+namespace setint::sim {
+
+// One structure-aware attack shape; kMixed rotates pseudo-randomly.
+enum class AttackClass : int {
+  kNone = 0,
+  kInflatedLength,  // huge-but-decodable gamma length prefix + dense tail
+  kUnaryBomb,       // all-zeros / all-ones frames (gamma + Rice torture)
+  kRandomGarbage,   // seeded random bits of frame_bits length
+  kReplay,          // re-send a previous frame from this party
+  kTruncate,        // the honest frame cut at a random position
+  kSemanticLie,     // valid set encoding of fabricated elements
+  kMixed,           // rotate through all of the above per message
+};
+
+const char* attack_class_name(AttackClass attack);
+
+struct AdversarySpec {
+  // Which side of a two-party channel lies. Multiparty protocols rebind
+  // this per pairwise sub-run via Adversary::set_party so a single
+  // Byzantine player index maps onto the correct channel role.
+  PartyId party = PartyId::kBob;
+  AttackClass attack = AttackClass::kMixed;
+  // Per-message probability of substituting a crafted frame; messages
+  // that are not attacked pass through untouched (a stealthy adversary).
+  double attack_prob = 1.0;
+  // Size scale in bits for crafted frames (inflated-length, unary-bomb,
+  // garbage). Bounded work per frame: decoding never exceeds O(frame_bits).
+  std::uint64_t frame_bits = 1u << 14;
+  // Universe the semantic-lie fabricated sets draw from.
+  std::uint64_t lie_universe = 1u << 20;
+  std::uint64_t seed = 0xadff;
+};
+
+struct AdversaryStats {
+  std::uint64_t frames_seen = 0;     // messages from the Byzantine party
+  std::uint64_t frames_crafted = 0;  // of those, how many were replaced
+  std::uint64_t inflated_lengths = 0;
+  std::uint64_t unary_bombs = 0;
+  std::uint64_t garbage_frames = 0;
+  std::uint64_t replays = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t semantic_lies = 0;
+};
+
+class Adversary {
+ public:
+  Adversary() : Adversary(AdversarySpec{}) {}
+  explicit Adversary(const AdversarySpec& spec);
+
+  const AdversarySpec& spec() const { return spec_; }
+  const AdversaryStats& stats() const { return stats_; }
+  bool enabled() const {
+    return spec_.attack != AttackClass::kNone && spec_.attack_prob > 0.0;
+  }
+
+  // True iff frames sent by `from` are under this adversary's control.
+  bool controls(PartyId from) const { return from == spec_.party; }
+
+  // Rebind which channel role the Byzantine party plays (multiparty
+  // wrappers call this when the same lying player is Alice in one pair
+  // and Bob in another). The attack Rng stream is unaffected.
+  void set_party(PartyId party) { spec_.party = party; }
+
+  // Called by Channel::send for every frame from the controlled party,
+  // BEFORE integrity framing (the adversary is the sender and would
+  // checksum its own bytes). May replace `payload` with a crafted frame.
+  // Returns the attack applied, kNone if the frame passed untouched.
+  AttackClass craft(util::BitBuffer& payload);
+
+ private:
+  void craft_inflated_length(util::BitBuffer& payload);
+  void craft_unary_bomb(util::BitBuffer& payload);
+  void craft_garbage(util::BitBuffer& payload);
+  void craft_replay(util::BitBuffer& payload);
+  void craft_truncate(util::BitBuffer& payload);
+  void craft_semantic_lie(util::BitBuffer& payload);
+
+  AdversarySpec spec_;
+  util::Rng rng_;
+  AdversaryStats stats_;
+  util::BitBuffer last_frame_;  // most recent pre-attack frame, for replay
+};
+
+}  // namespace setint::sim

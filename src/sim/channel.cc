@@ -20,6 +20,17 @@ std::uint64_t checksum_of(const util::BitBuffer& payload) {
 
 util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
                               std::string label) {
+  // Byzantine substitution happens first: the adversary IS the sender, so
+  // anything added below (integrity framing, metering) applies to the
+  // crafted frame exactly as it would to an honest one.
+  if (adversary_ != nullptr && adversary_->controls(from)) {
+    const AttackClass attack = adversary_->craft(payload);
+    if (attack != AttackClass::kNone && tracer_ != nullptr) {
+      obs::count(tracer_, "adversary.crafted");
+      obs::count(tracer_,
+                 std::string("adversary.") + attack_class_name(attack));
+    }
+  }
   const bool faulty = fault_plan_ != nullptr && fault_plan_->enabled();
   if (faulty) {
     // Integrity frame: body + 32-bit checksum, transmitted (and billed)
@@ -42,6 +53,35 @@ util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
   }
   if (tracer_ != nullptr) {
     tracer_->on_message(from, sent_bits, new_round, label);
+  }
+
+  // Resource limits fire after metering: the bandwidth was spent (the
+  // attacker pays for its frame like everyone else) but the receiver
+  // refuses to decode it. The throw lands in the retry layer.
+  if (limits_ != nullptr && limits_->enabled()) {
+    if (limits_->max_message_bits > 0 &&
+        sent_bits > limits_->max_message_bits) {
+      obs::count(tracer_, "limit.message_bits_breaches");
+      throw core::ResourceLimitError(
+          "max_message_bits: frame of " + std::to_string(sent_bits) +
+          " bits exceeds the " + std::to_string(limits_->max_message_bits) +
+          "-bit cap (" + label + ")");
+    }
+    if (limits_->max_total_bits > 0 &&
+        cost_.bits_total > limits_->max_total_bits) {
+      obs::count(tracer_, "limit.total_bits_breaches");
+      throw core::ResourceLimitError(
+          "max_total_bits: run total of " + std::to_string(cost_.bits_total) +
+          " bits exceeds the " + std::to_string(limits_->max_total_bits) +
+          "-bit cap (" + label + ")");
+    }
+    if (limits_->max_rounds > 0 && cost_.rounds > limits_->max_rounds) {
+      obs::count(tracer_, "limit.rounds_breaches");
+      throw core::ResourceLimitError(
+          "max_rounds: round " + std::to_string(cost_.rounds) +
+          " exceeds the " + std::to_string(limits_->max_rounds) +
+          "-round cap (" + label + ")");
+    }
   }
 
   if (faulty) {
@@ -112,6 +152,14 @@ void Channel::charge_extra_rounds(std::uint64_t rounds) {
     CostStats latency;
     latency.rounds = rounds;
     tracer_->on_cost(latency);
+  }
+  if (limits_ != nullptr && limits_->max_rounds > 0 &&
+      cost_.rounds > limits_->max_rounds) {
+    obs::count(tracer_, "limit.rounds_breaches");
+    throw core::ResourceLimitError(
+        "max_rounds: latency charge brings the run to " +
+        std::to_string(cost_.rounds) + " rounds, cap " +
+        std::to_string(limits_->max_rounds));
   }
 }
 

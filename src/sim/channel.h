@@ -26,12 +26,22 @@
 // which stage i+1's honest Basic-Intersection rerun removes it from the
 // OTHER party too, and the final certificate passes on equal-but-wrong
 // candidates. The checksum caps that silent path at ~2^-32 per message.
+// Byzantine hardening (docs/ROBUSTNESS.md): an optional sim::Adversary
+// lets one party substitute crafted frames for its honest messages
+// (crafting happens sender-side, BEFORE integrity framing — a Byzantine
+// sender checksums its own bytes, so framing cannot catch it), and an
+// optional core::ResourceLimits bounds what the honest side will accept:
+// per-frame size, per-run bits and rounds at the channel, decoded items
+// via Channel::reader(). Breaches throw core::ResourceLimitError, which
+// the retry layer treats like any decode failure.
 #pragma once
 
 #include <memory>
 #include <stdexcept>
 #include <string>
 
+#include "core/resource_limits.h"
+#include "sim/adversary.h"
 #include "sim/fault.h"
 #include "sim/transcript.h"
 #include "util/bitio.h"
@@ -77,6 +87,24 @@ class Channel {
   void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
   FaultPlan* fault_plan() const { return fault_plan_; }
 
+  // Install (or clear) a Byzantine-peer model; not owned, stateful like a
+  // fault plan. Frames sent by the party the adversary controls are
+  // substituted with crafted ones before framing and metering.
+  void set_adversary(Adversary* adversary) { adversary_ = adversary; }
+  Adversary* adversary() const { return adversary_; }
+
+  // Install (or clear) resource limits; not owned, must outlive the run.
+  // Disabled or absent limits are free (one branch per send).
+  void set_limits(const core::ResourceLimits* limits) { limits_ = limits; }
+  const core::ResourceLimits* limits() const { return limits_; }
+
+  // Decoder for a delivered buffer with this channel's limits wired in —
+  // the one constructor protocol decode sites should use, so a lying
+  // length prefix is charged against max_decoded_items.
+  util::BitReader reader(const util::BitBuffer& buffer) const {
+    return util::BitReader(buffer, limits_);
+  }
+
   // Charge latency that produced no payload (retry backoff, injected
   // delay): adds rounds to the cost and attributes them to the current
   // tracer phase.
@@ -89,6 +117,8 @@ class Channel {
   std::unique_ptr<Transcript> transcript_;
   obs::Tracer* tracer_ = nullptr;
   FaultPlan* fault_plan_ = nullptr;
+  Adversary* adversary_ = nullptr;
+  const core::ResourceLimits* limits_ = nullptr;
 };
 
 }  // namespace setint::sim

@@ -120,7 +120,7 @@ std::uint64_t BitReader::read_bits(unsigned width) {
 
 void BitReader::expect_at_least(std::uint64_t items,
                                 std::uint64_t bits_per_item,
-                                const char* field) const {
+                                const char* field) {
   const std::uint64_t per = bits_per_item == 0 ? 1 : bits_per_item;
   if (items > remaining() / per) {
     throw std::invalid_argument(
@@ -129,13 +129,30 @@ void BitReader::expect_at_least(std::uint64_t items,
         " bits/item but only " + std::to_string(remaining()) +
         " bits remain");
   }
+  charge_items(items, field);
+}
+
+void BitReader::charge_items(std::uint64_t items, const char* field) {
+  items_charged_ += items;
+  if (limits_ != nullptr && limits_->max_decoded_items > 0 &&
+      items_charged_ > limits_->max_decoded_items) {
+    throw core::ResourceLimitError(
+        std::string("max_decoded_items: field '") + field + "' brings the "
+        "decode to " + std::to_string(items_charged_) + " items, cap " +
+        std::to_string(limits_->max_decoded_items));
+  }
 }
 
 std::uint64_t BitReader::read_elias_gamma() {
   unsigned n = 0;
   while (!read_bit()) {
     ++n;
-    if (n > 63) throw std::out_of_range("elias gamma: run of zeros too long");
+    if (n > 63) {
+      // 64+ leading zeros cannot start a codeword for a 64-bit value; a
+      // crafted all-zeros frame lands here instead of widening past 64.
+      throw std::invalid_argument(
+          "decode: gamma zero-run exceeds 63 bits (field 'gamma')");
+    }
   }
   std::uint64_t v = 1;  // the leading 1 bit just consumed
   for (unsigned i = 0; i < n; ++i) {
@@ -146,11 +163,16 @@ std::uint64_t BitReader::read_elias_gamma() {
 
 std::uint64_t BitReader::read_rice(unsigned b) {
   if (b > 63) throw std::invalid_argument("rice: parameter > 63");
+  // Largest quotient whose value q << b still fits in 64 bits; anything
+  // beyond is unencodable, so a longer unary run is a crafted frame.
+  const std::uint64_t max_q = ~std::uint64_t{0} >> b;
   std::uint64_t q = 0;
   while (read_bit()) {
     ++q;
-    if (q > (std::uint64_t{1} << 20)) {
-      throw std::out_of_range("rice: unary run too long");
+    if (q > (std::uint64_t{1} << 20) || q > max_q) {
+      throw std::invalid_argument(
+          "decode: rice unary quotient overflows the 64-bit value "
+          "(field 'rice')");
     }
   }
   return (q << b) | read_bits(b);

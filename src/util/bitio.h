@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "core/resource_limits.h"
+
 namespace setint::util {
 
 // Append-only sequence of bits. Bits are stored LSB-first within 64-bit
@@ -74,9 +76,21 @@ class BitBuffer {
 // Sequential decoder over a BitBuffer. Reading past the end throws
 // std::out_of_range: a protocol that decodes more bits than its peer sent
 // is a bug we want loud.
+//
+// Byzantine hardening (docs/ROBUSTNESS.md): a reader optionally carries a
+// core::ResourceLimits (not owned). Decoders charge every length prefix
+// against limits->max_decoded_items via expect_at_least/charge_items, so
+// a lying count is rejected with core::ResourceLimitError before it
+// drives an allocation — the guard sim::Channel::reader() wires in for
+// every delivered frame. Unary codes (gamma zero-runs, Rice quotients)
+// are capped unconditionally: a crafted all-zeros or all-ones frame
+// throws a named std::invalid_argument instead of scanning unboundedly
+// or overflowing the decoded width past 64 bits.
 class BitReader {
  public:
-  explicit BitReader(const BitBuffer& buffer) : buffer_(&buffer) {}
+  explicit BitReader(const BitBuffer& buffer,
+                     const core::ResourceLimits* limits = nullptr)
+      : buffer_(&buffer), limits_(limits) {}
 
   bool read_bit();
   std::uint64_t read_bits(unsigned width);
@@ -89,16 +103,27 @@ class BitReader {
   bool exhausted() const { return remaining() == 0; }
 
   // Guard for length-prefixed decodes: throws std::invalid_argument naming
-  // `field` unless at least `items * bits_per_item` bits remain. Decoders
-  // call this right after reading a count so that a corrupted or hostile
-  // length prefix is rejected BEFORE it drives an allocation or a long
-  // decode loop (see docs/ROBUSTNESS.md).
+  // `field` unless at least `items * bits_per_item` bits remain, and
+  // charges `items` against the decoded-items budget (charge_items).
+  // Decoders call this right after reading a count so that a corrupted or
+  // hostile length prefix is rejected BEFORE it drives an allocation or a
+  // long decode loop (see docs/ROBUSTNESS.md).
   void expect_at_least(std::uint64_t items, std::uint64_t bits_per_item,
-                       const char* field) const;
+                       const char* field);
+
+  // Adds `items` to this reader's running decoded-item count and throws
+  // core::ResourceLimitError naming `field` if the total exceeds
+  // limits->max_decoded_items. No-op without limits (or with the cap 0).
+  void charge_items(std::uint64_t items, const char* field);
+
+  std::uint64_t items_charged() const { return items_charged_; }
+  const core::ResourceLimits* limits() const { return limits_; }
 
  private:
   const BitBuffer* buffer_;
+  const core::ResourceLimits* limits_;
   std::size_t pos_ = 0;
+  std::uint64_t items_charged_ = 0;
 };
 
 // Exact cost in bits of the gamma64 encoding of v. Lets callers reason

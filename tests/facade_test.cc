@@ -44,6 +44,41 @@ TEST(Facade, EmptyInputs) {
   EXPECT_TRUE(r.verified);
 }
 
+// Degenerate-input validation: universe = 0 with both sets empty used to
+// bottom out in the log*/floor-log2 parameter derivations; it now returns
+// an empty verified answer without running a protocol (zero cost, zero
+// attempts).
+TEST(Facade, ExplicitZeroUniverseWithEmptySets) {
+  IntersectOptions options;
+  options.universe = 0;
+  const IntersectResult r = intersect(util::Set{}, util::Set{}, options);
+  EXPECT_TRUE(r.intersection.empty());
+  EXPECT_TRUE(r.verified);
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.bits, 0u);
+  EXPECT_EQ(r.rounds, 0u);
+  EXPECT_EQ(r.repetitions, 0u);
+}
+
+TEST(Facade, OneEmptySideShortCircuits) {
+  const util::Set s{2, 5, 9};
+  for (const bool left_empty : {true, false}) {
+    const IntersectResult r =
+        left_empty ? intersect(util::Set{}, s) : intersect(s, util::Set{});
+    EXPECT_TRUE(r.intersection.empty());
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(r.bits, 0u);
+    EXPECT_EQ(r.repetitions, 0u);
+  }
+  // The short-circuit still validates the non-empty side.
+  EXPECT_THROW(intersect(util::Set{3, 1}, util::Set{}),
+               std::invalid_argument);
+  IntersectOptions bounded;
+  bounded.universe = 4;
+  EXPECT_THROW(intersect(util::Set{7}, util::Set{}, bounded),
+               std::invalid_argument);
+}
+
 TEST(Facade, RoundsParameterControlsTradeoff) {
   util::Rng wrng(2);
   const util::SetPair p = util::random_set_pair(wrng, 1u << 26, 4096, 2048);

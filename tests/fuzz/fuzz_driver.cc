@@ -1,0 +1,228 @@
+// Seeded in-tree fuzz driver — the ctest-exercised harness (`fuzz_smoke`,
+// label "robustness"). No fuzzing engine required: inputs come from a
+// deterministic structure-aware generator, so a failure reproduces from
+// (seed, iteration) alone.
+//
+//   fuzz_driver [--iterations=N] [--seed=S] [--corpus=DIR]
+//
+// Every committed corpus file is replayed first, then N generated inputs
+// cycle round-robin over all targets (tests/fuzz/fuzz_targets.h), mixing
+// four strategies per input: raw random bytes, valid encodings mutated by
+// bit flips/truncation, pathological frames (all-zeros, all-ones,
+// inflated gamma length prefixes), and splices of valid encodings. Any
+// invariant violation aborts the process, which ctest reports as a
+// failure naming the reproducing seed.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz_targets.h"
+#include "util/bitio.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace {
+
+using setint::util::BitBuffer;
+using setint::util::Rng;
+
+// Serialize a bit buffer the way fuzz_targets::bits_from deserializes it:
+// LSB-first within each byte, zero-padded tail.
+std::vector<std::uint8_t> to_bytes(const BitBuffer& bits) {
+  std::vector<std::uint8_t> out((bits.size_bits() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size_bits(); ++i) {
+    if (bits.bit(i)) out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return out;
+}
+
+// A syntactically valid payload for the given target: well-formed
+// encodings are the highest-value mutation substrate, since a mutated
+// valid frame exercises deep decoder paths instead of dying on byte 0.
+std::vector<std::uint8_t> valid_payload(unsigned target, Rng& rng) {
+  BitBuffer bits;
+  switch (target % setint::fuzz::kNumTargets) {
+    case 0: {  // gamma stream
+      const std::uint64_t n = 1 + rng.below(24);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        bits.append_gamma64(rng.below(std::uint64_t{1} << rng.below(32)));
+      }
+      break;
+    }
+    case 1: {  // rice stream; byte 0 doubles as the rice parameter
+      const unsigned b = static_cast<unsigned>(rng.below(24));
+      bits.append_bits(b, 8);
+      const std::uint64_t n = 1 + rng.below(24);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        bits.append_rice(rng.below(std::uint64_t{1} << (b + 4)), b);
+      }
+      break;
+    }
+    case 2: {  // canonical set, gamma-delta coded
+      Rng set_rng(rng.next());
+      const auto set =
+          setint::util::random_set(set_rng, 1u << 16, rng.below(24));
+      setint::util::append_set(bits, set);
+      break;
+    }
+    case 3: {  // canonical set, rice coded; first 8 bytes pick the universe
+      const std::uint64_t universe = 2 + rng.below(1u << 16);
+      for (int i = 0; i < 8; ++i) bits.append_bits(rng.below(256), 8);
+      Rng set_rng(rng.next());
+      const auto set = setint::util::random_set(
+          set_rng, universe, rng.below(std::min<std::uint64_t>(24, universe)));
+      setint::util::append_set_rice(bits, set, universe);
+      break;
+    }
+    default: {  // end-to-end targets consume raw cursor bytes
+      const std::uint64_t n = 8 + rng.below(48);
+      for (std::uint64_t i = 0; i < n; ++i) bits.append_bits(rng.below(256), 8);
+      break;
+    }
+  }
+  return to_bytes(bits);
+}
+
+std::vector<std::uint8_t> pathological_payload(Rng& rng) {
+  BitBuffer bits;
+  switch (rng.below(3)) {
+    case 0:  // all zeros: gamma zero-run torture
+      for (std::uint64_t i = 0; i < 64 + rng.below(2048); ++i) {
+        bits.append_bit(false);
+      }
+      break;
+    case 1:  // all ones: rice unary torture / giant gamma values
+      for (std::uint64_t i = 0; i < 64 + rng.below(2048); ++i) {
+        bits.append_bit(true);
+      }
+      break;
+    default:  // inflated length prefix: gamma64(huge) + short tail
+      bits.append_gamma64(1 + rng.below(std::uint64_t{1} << 40));
+      for (std::uint64_t i = 0; i < rng.below(64); ++i) {
+        bits.append_bit(rng.coin());
+      }
+      break;
+  }
+  return to_bytes(bits);
+}
+
+void mutate(std::vector<std::uint8_t>& payload, Rng& rng) {
+  if (payload.empty()) return;
+  const std::uint64_t flips = rng.below(9);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    payload[rng.below(payload.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+  }
+  if (rng.coin() && payload.size() > 1) {
+    payload.resize(1 + rng.below(payload.size()));  // truncate
+  }
+}
+
+std::vector<std::uint8_t> generate(unsigned target, Rng& rng) {
+  std::vector<std::uint8_t> body;
+  switch (rng.below(4)) {
+    case 0: {  // raw random bytes
+      body.resize(1 + rng.below(200));
+      for (auto& b : body) b = static_cast<std::uint8_t>(rng.below(256));
+      break;
+    }
+    case 1: {  // valid encoding, then mutated
+      body = valid_payload(target, rng);
+      mutate(body, rng);
+      break;
+    }
+    case 2: {  // pathological frame
+      body = pathological_payload(rng);
+      break;
+    }
+    default: {  // splice of two valid encodings, then mutated
+      body = valid_payload(target, rng);
+      const auto second = valid_payload(target, rng);
+      body.insert(body.end(), second.begin(), second.end());
+      mutate(body, rng);
+      break;
+    }
+  }
+  std::vector<std::uint8_t> input;
+  input.reserve(body.size() + 1);
+  input.push_back(static_cast<std::uint8_t>(target));
+  input.insert(input.end(), body.begin(), body.end());
+  return input;
+}
+
+int replay_corpus(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) return 0;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());  // deterministic replay order
+  int replayed = 0;
+  for (const fs::path& p : files) {
+    std::ifstream in(p, std::ios::binary);
+    std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    setint::fuzz::run_one(reinterpret_cast<const std::uint8_t*>(raw.data()),
+                          raw.size());
+    ++replayed;
+  }
+  return replayed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t iterations = 12000;
+  std::uint64_t seed = 24145;
+  std::string corpus;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--iterations=", 0) == 0) {
+      iterations = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--corpus=", 0) == 0) {
+      corpus = arg.substr(9);
+    } else {
+      std::fprintf(stderr,
+                   "usage: fuzz_driver [--iterations=N] [--seed=S] "
+                   "[--corpus=DIR]\n");
+      return 2;
+    }
+  }
+
+  const int replayed = corpus.empty() ? 0 : replay_corpus(corpus);
+  if (replayed > 0) {
+    std::printf("fuzz: replayed %d corpus inputs from %s\n", replayed,
+                corpus.c_str());
+  }
+
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    // Round-robin over targets guarantees every decoder entry point gets
+    // iterations/kNumTargets structure-aware inputs regardless of N.
+    const unsigned target =
+        static_cast<unsigned>(i % setint::fuzz::kNumTargets);
+    const std::vector<std::uint8_t> input = generate(target, rng);
+    setint::fuzz::run_one(input.data(), input.size());
+    if ((i + 1) % 4000 == 0) {
+      std::printf("fuzz: %llu/%llu inputs (last target: %s)\n",
+                  static_cast<unsigned long long>(i + 1),
+                  static_cast<unsigned long long>(iterations),
+                  setint::fuzz::target_name(target));
+      std::fflush(stdout);
+    }
+  }
+  std::printf("fuzz: OK — %llu generated inputs + %d corpus inputs, "
+              "seed %llu, no invariant violations\n",
+              static_cast<unsigned long long>(iterations), replayed,
+              static_cast<unsigned long long>(seed));
+  return 0;
+}

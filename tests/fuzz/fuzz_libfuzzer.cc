@@ -1,0 +1,17 @@
+// libFuzzer entry point — built only under -DSETINT_FUZZ=ON with a Clang
+// toolchain (-fsanitize=fuzzer needs compiler-rt; gcc builds use the
+// seeded fuzz_driver instead). Run against the committed corpus:
+//
+//   cmake -B build-fuzz -DSETINT_FUZZ=ON -DCMAKE_CXX_COMPILER=clang++
+//   cmake --build build-fuzz --target fuzz_libfuzzer
+//   ./build-fuzz/tests/fuzz/fuzz_libfuzzer tests/fuzz/corpus
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return setint::fuzz::run_one(data, size);
+}

@@ -1,0 +1,37 @@
+// Structure-aware fuzz targets for every hostile-input surface
+// (docs/ROBUSTNESS.md, "Fuzzing"): the unary/gamma/Rice decoders, the
+// set codecs, and the end-to-end facade with and without a Byzantine
+// adversary. One entry point, libFuzzer-compatible:
+//
+//   run_one(data, size)  // data[0] selects the target, the rest is input
+//
+// The invariant every target enforces (aborting the process on violation,
+// so both the in-tree driver and a libFuzzer build flag it as a crash):
+//
+//   * no crash: only the *named* rejection exceptions may escape a decode
+//     (std::invalid_argument, std::out_of_range, std::length_error,
+//     core::ResourceLimitError) — anything else is a bug;
+//   * no hang / unbounded allocation: decoded work is bounded by the
+//     input size and the installed ResourceLimits;
+//   * never an unflagged wrong answer: end-to-end results are checked
+//     against a std::set_intersection differential oracle whenever the
+//     run reports verified=true and no frame was crafted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace setint::fuzz {
+
+// Number of distinct fuzz targets run_one dispatches over (data[0] mod
+// kNumTargets). The driver uses it to rotate coverage evenly.
+inline constexpr unsigned kNumTargets = 7;
+
+// Human-readable name of target `index` (index < kNumTargets).
+const char* target_name(unsigned index);
+
+// Execute one fuzz input. Returns 0 always (libFuzzer convention);
+// aborts the process with a diagnostic on any invariant violation.
+int run_one(const std::uint8_t* data, std::size_t size);
+
+}  // namespace setint::fuzz

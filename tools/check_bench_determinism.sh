@@ -5,15 +5,16 @@
 # check can filter it).
 #
 # Usage: tools/check_bench_determinism.sh [<path-to-bench-binary>...]
-# Default binaries: build/bench/exp_rounds and build/bench/exp_faults —
-# exp_faults additionally pins that the fault-injection stream itself is
-# reproducible from the seed (the BENCH_faults contract).
+# Default binaries: build/bench/exp_rounds, exp_faults and exp_adversary —
+# exp_faults and exp_adversary additionally pin that the fault-injection
+# and crafted-attack streams are reproducible from the seed alone (the
+# BENCH_faults / BENCH_adversary contracts).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BINS=("$@")
 if [[ ${#BINS[@]} -eq 0 ]]; then
-  BINS=(build/bench/exp_rounds build/bench/exp_faults)
+  BINS=(build/bench/exp_rounds build/bench/exp_faults build/bench/exp_adversary)
 fi
 
 TMP="$(mktemp -d)"

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Single-entry CI gate: everything a green checkmark means, in order.
+#
+#   1. tier-1 build + full ctest suite (RelWithDebInfo, build/)
+#   2. the robustness slice by label (fault injection, Byzantine adversary,
+#      fuzz smoke) — redundant with (1) but printed separately so a
+#      robustness regression is named, not buried
+#   3. a longer seeded fuzz run than the in-suite smoke test
+#   4. every bench binary end-to-end at smoke size (each one gates its own
+#      safety/acceptance claims via its exit code)
+#   5. the bench determinism contract (same seed => identical JSON modulo
+#      wall_ms)
+#
+# Usage: tools/ci.sh [--fast]
+#   --fast  skip steps 3-5 (inner-loop edit/test cycles)
+#
+# The sanitizer gates are separate entry points (they need their own build
+# trees): tools/run_sanitized_tests.sh and `cmake --preset sanitize-thread`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPO_ROOT="$PWD"
+BUILD_DIR="$REPO_ROOT/build"
+JOBS="$(nproc)"
+
+FAST=""
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+step() { echo; echo "=== [ci] $* ==="; }
+
+step "tier-1: configure + build"
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" > /dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+step "tier-1: full ctest suite"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+step "robustness slice (ctest -L robustness)"
+(cd "$BUILD_DIR" && ctest --output-on-failure -L robustness -j "$JOBS")
+
+if [[ -n "$FAST" ]]; then
+  echo
+  echo "[ci] --fast: skipping extended fuzz, bench smoke, determinism check"
+  echo "[ci] OK"
+  exit 0
+fi
+
+step "extended fuzz (40k structure-aware inputs, fresh seed)"
+"$BUILD_DIR/tests/fuzz/fuzz_driver" --iterations=40000 --seed=20260806 \
+    --corpus="$REPO_ROOT/tests/fuzz/corpus"
+
+step "bench pipeline at smoke size (safety gates live in the exit codes)"
+# Into a scratch dir — the committed BENCH_*.json records at the repo root
+# are full-size and only regenerated deliberately via tools/run_benches.sh.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+for BIN in "$BUILD_DIR"/bench/exp_*; do
+  [[ -x "$BIN" ]] || continue
+  NAME="$(basename "$BIN")"
+  echo "[ci] $NAME --smoke"
+  "$BIN" --smoke --seed=24145 --json="$SMOKE_DIR/$NAME.json" > /dev/null
+done
+
+step "bench determinism contract"
+tools/check_bench_determinism.sh build/bench/exp_rounds \
+    build/bench/exp_faults build/bench/exp_adversary
+
+echo
+echo "[ci] OK"
