@@ -6,8 +6,10 @@
 //   exp_foo [--seed=<u64>] [--json=<path>] [--smoke]
 //
 // * --seed seeds all workload generation and protocol randomness; two runs
-//   with the same seed produce byte-identical JSON except the wall_ms
-//   field (pinned by tools/check_bench_determinism.sh).
+//   with the same seed produce byte-identical JSON except lines mentioning
+//   wall_ms — the trailing wall_ms field plus any timing column, whose
+//   names must contain "wall_ms" so the line filter in
+//   tools/check_bench_determinism.sh strips them.
 // * --json writes a schema-versioned machine-readable record of every
 //   table the binary printed (plus experiment-specific notes such as phase
 //   breakdowns) — the BENCH_<exp>.json perf-trajectory files at the repo
@@ -48,6 +50,7 @@ inline constexpr int kBenchSchemaVersion = 1;
 struct Options {
   std::uint64_t seed = 0x5e71;
   bool smoke = false;
+  int threads = 1;        // batch parallelism (setint::run_batch sessions)
   std::string json_path;  // empty = human tables only
 
   static Options parse(int argc, char** argv) {
@@ -58,12 +61,17 @@ struct Options {
         o.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
       } else if (arg.rfind("--json=", 0) == 0) {
         o.json_path = arg.substr(7);
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        o.threads = static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
+        if (o.threads < 0) {
+          throw std::runtime_error("--threads must be >= 0 (0 = auto)");
+        }
       } else if (arg == "--smoke") {
         o.smoke = true;
       } else {
         throw std::runtime_error(
             "unknown flag: " + arg +
-            " (expected --seed=<u64> --json=<path> --smoke)");
+            " (expected --seed=<u64> --json=<path> --threads=<n> --smoke)");
       }
     }
     return o;
@@ -161,6 +169,7 @@ class Reporter {
   const Options& options() const { return opts_; }
   std::uint64_t seed() const { return opts_.seed; }
   bool smoke() const { return opts_.smoke; }
+  int threads() const { return opts_.threads; }
 
   // Workload seed for a named sweep point, decorrelated across (label,
   // a, b) but stable under --seed.

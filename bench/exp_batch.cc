@@ -1,0 +1,157 @@
+// E-batch — throughput of the parallel batch engine (runtime/batch.h).
+//
+// Runs one fixed workload of independent intersection sessions through
+// setint::run_batch at several thread counts and reports:
+//
+//   * wall-clock per thread count and the speedup over threads=1, and
+//   * a bit-identity verdict: every per-session result, per-session run
+//     report and the merged metrics JSON must match the serial run
+//     byte for byte (the determinism contract pinned by batch_test.cc).
+//
+// The exit code gates on bit-identity, not on speedup: scaling depends on
+// the machine (hardware_concurrency is recorded in the JSON), correctness
+// does not. Timing cells live in columns whose names contain "wall_ms" so
+// tools/check_bench_determinism.sh's line filter strips them.
+//
+// --threads=N adds N to the sweep (0 = hardware concurrency).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "bench_util.h"
+#include "obs/json.h"
+#include "runtime/batch.h"
+#include "setint.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace {
+
+using namespace setint;
+
+struct Workload {
+  std::vector<util::SetPair> pairs;
+  std::vector<Instance> instances;
+};
+
+Workload make_workload(std::uint64_t seed, std::size_t sessions,
+                       std::uint64_t universe) {
+  Workload w;
+  w.pairs.reserve(sessions);
+  util::Rng wrng(seed);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const std::size_t k = 48 + wrng.below(80);
+    w.pairs.push_back(util::random_set_pair(wrng, universe, k, wrng.below(k)));
+  }
+  w.instances.reserve(sessions);
+  for (const util::SetPair& p : w.pairs) w.instances.push_back({p.s, p.t});
+  return w;
+}
+
+bool identical(const BatchResult& a, const BatchResult& b) {
+  if (a.results.size() != b.results.size()) return false;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    const IntersectResult& x = a.results[i];
+    const IntersectResult& y = b.results[i];
+    if (x.intersection != y.intersection || x.bits != y.bits ||
+        x.rounds != y.rounds || x.verified != y.verified ||
+        x.repetitions != y.repetitions) {
+      return false;
+    }
+    if (x.report.ToJson().dump() != y.report.ToJson().dump()) return false;
+  }
+  return a.metrics.ToJson().dump() == b.metrics.ToJson().dump();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace setint;
+  auto rep = bench::Reporter::FromArgs("batch", argc, argv);
+
+  const std::uint64_t universe = std::uint64_t{1} << 22;
+  const std::size_t sessions = rep.smoke() ? 64 : 768;
+  const Workload w = make_workload(rep.seed_for(0xBA7C4), sessions, universe);
+  IntersectOptions options;
+  options.universe = universe;
+  options.seed = rep.seed();
+
+  std::vector<int> sweep =
+      bench::sizes<int>(rep.options(), {1, 2, 4, 8}, {1, 2});
+  const int requested = runtime::resolve_threads(rep.threads());
+  if (std::find(sweep.begin(), sweep.end(), requested) == sweep.end()) {
+    sweep.push_back(requested);
+  }
+
+  auto timed_run = [&](int threads) {
+    const auto start = std::chrono::steady_clock::now();
+    BatchResult out =
+        run_batch(options, w.instances, {.threads = threads, .trace = true});
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    return std::pair<BatchResult, double>(std::move(out), ms);
+  };
+
+  // Warm-up pass so first-touch allocation does not bias the serial
+  // baseline, then the measured serial run every other count compares to.
+  timed_run(1);
+  auto [serial, serial_ms] = timed_run(1);
+
+  bool all_exact = true;
+  std::size_t exact_count = 0;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    if (serial.results[i].intersection == w.pairs[i].expected_intersection) {
+      ++exact_count;
+    }
+  }
+
+  {
+    auto& table = rep.table(
+        "E-batch: wall clock vs threads (" + std::to_string(sessions) +
+            " sessions, universe 2^22)",
+        {"threads", "threads_used", "identical_to_serial", "wall_ms",
+         "speedup (wall_ms ratio)"});
+    for (int threads : sweep) {
+      BatchResult out;
+      double ms = 0.0;
+      if (threads == 1) {
+        ms = serial_ms;
+      } else {
+        auto [run, run_ms] = timed_run(threads);
+        out = std::move(run);
+        ms = run_ms;
+      }
+      const bool same = threads == 1 || identical(serial, out);
+      all_exact &= same;
+      table.add_row({bench::fmt_u64(static_cast<std::uint64_t>(threads)),
+                     bench::fmt_u64(static_cast<std::uint64_t>(
+                         threads == 1 ? serial.threads_used
+                                      : out.threads_used)),
+                     same ? "YES" : "NO", bench::fmt_double(ms),
+                     bench::fmt_double(serial_ms / ms)});
+    }
+    table.print();
+  }
+
+  {
+    auto& table = rep.table("E-batch: workload sanity",
+                            {"sessions", "exact_results", "hw_concurrency"});
+    table.add_row({bench::fmt_u64(sessions), bench::fmt_u64(exact_count),
+                   bench::fmt_u64(static_cast<std::uint64_t>(
+                       runtime::resolve_threads(0)))});
+    table.print();
+  }
+
+  obs::Json env = obs::Json::object();
+  env["hardware_concurrency"] = runtime::resolve_threads(0);
+  env["sessions"] = sessions;
+  rep.note("environment", std::move(env));
+
+  std::printf(
+      "\nBit-identity across thread counts (results, reports, merged\n"
+      "metrics JSON vs the serial run): %s\n",
+      all_exact ? "EXACT" : "VIOLATED");
+  return rep.finish(all_exact && exact_count == sessions ? 0 : 1);
+}

@@ -114,6 +114,12 @@ IntersectionOutput verification_tree_intersection(
                 std::max(1.0, util::iterated_log(r, kd))
           : std::numeric_limits<double>::infinity();
 
+  // Per-node concatenated-encoding scratch, hoisted out of the stage loop:
+  // stage 0 has the most nodes, so later (smaller) stages reuse its word
+  // storage instead of re-allocating k buffers per stage.
+  std::vector<util::BitBuffer> ca;
+  std::vector<util::BitBuffer> cb;
+
   for (int stage = 0; stage < r; ++stage) {
     obs::Span stage_span(tracer, "level=" + std::to_string(stage));
     // Failure target 1/(log^(r-i-1) k)^4 for this stage's equality tests
@@ -129,9 +135,13 @@ IntersectionOutput verification_tree_intersection(
 
     // Step 1: batched equality tests at every level-`stage` node.
     const auto& ranges = layout[static_cast<std::size_t>(stage)];
-    std::vector<util::BitBuffer> ca(ranges.size());
-    std::vector<util::BitBuffer> cb(ranges.size());
+    if (ca.size() < ranges.size()) {
+      ca.resize(ranges.size());
+      cb.resize(ranges.size());
+    }
     for (std::size_t v = 0; v < ranges.size(); ++v) {
+      ca[v].clear();
+      cb[v].clear();
       for (std::size_t u = ranges[v].first; u < ranges[v].second; ++u) {
         util::append_set(ca[v], sa[u]);
         util::append_set(cb[v], tb[u]);
@@ -142,8 +152,10 @@ IntersectionOutput verification_tree_intersection(
     {
       obs::Span eq_span(tracer, "equality");
       pass = eq::batch_equality_test(
-          channel, shared, util::mix64(nonce, util::mix64(0xE9, stage)), ca,
-          cb, eq_bits);
+          channel, shared, util::mix64(nonce, util::mix64(0xE9, stage)),
+          std::span<const util::BitBuffer>(ca.data(), ranges.size()),
+          std::span<const util::BitBuffer>(cb.data(), ranges.size()),
+          eq_bits);
     }
     local.stage_eq_bits[static_cast<std::size_t>(stage)] =
         channel.cost().bits_total - eq_before;

@@ -55,12 +55,16 @@ std::vector<bool> batch_equality_test(sim::Channel& channel,
   reader.expect_at_least(n, bits, "eq hashes");
   util::BitBuffer verdicts;
   std::vector<bool> result(n);
+  // One pooled scratch buffer for all n expected-hash encodes: cleared
+  // per instance, word storage reused across instances AND across calls
+  // within the session (the channel owns the pool).
+  util::PooledBuffer expected(channel.buffer_pool());
   for (std::size_t i = 0; i < n; ++i) {
-    util::BitBuffer expected;
+    expected->clear();
     hashing::mask_hash_wide(xb[i], bits, shared.stream("eq", nonce, i),
-                            expected);
+                            *expected);
     bool match = true;
-    util::BitReader er(expected);
+    util::BitReader er(*expected);
     for (std::size_t b = 0; b < bits; ++b) {
       if (reader.read_bit() != er.read_bit()) match = false;
     }

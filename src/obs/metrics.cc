@@ -17,6 +17,20 @@ void Histogram::observe(std::uint64_t value) {
   if (value > max_) max_ = value;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).merge(c);
+  for (const auto& [name, h] : other.histograms_) histogram(name).merge(h);
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {

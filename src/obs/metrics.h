@@ -26,6 +26,10 @@ class Counter {
   void add(std::uint64_t delta = 1) { value_ += delta; }
   std::uint64_t value() const { return value_; }
 
+  // Accumulates another counter's total (commutative and associative, so
+  // a merge in any order yields the same value).
+  void merge(const Counter& other) { value_ += other.value_; }
+
  private:
   std::uint64_t value_ = 0;
 };
@@ -38,6 +42,11 @@ class Histogram {
   static constexpr int kBuckets = 65;
 
   void observe(std::uint64_t value);
+
+  // Accumulates another histogram (bucket-wise sum; min/max/count/sum
+  // combine exactly). merge(a); merge(b) equals merge(b); merge(a), and
+  // the result is identical to observing both value streams directly.
+  void merge(const Histogram& other);
 
   std::uint64_t count() const { return count_; }
   std::uint64_t sum() const { return sum_; }
@@ -73,6 +82,14 @@ class MetricsRegistry {
   }
 
   bool empty() const { return counters_.empty() && histograms_.empty(); }
+
+  // Accumulates every metric of `other` into this registry (creating
+  // missing names). Counters and histograms merge exactly, so folding N
+  // per-session registries — in any order — yields the same registry as
+  // publishing all N metric streams into one. This is how the batch
+  // engine (runtime/batch.h) combines per-session registries after the
+  // barrier; see docs/OBSERVABILITY.md § thread affinity.
+  void merge(const MetricsRegistry& other);
 
   // {"counters": {name: value, ...},
   //  "histograms": {name: {count, sum, min, max, mean,

@@ -1,0 +1,69 @@
+#include "runtime/batch.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace setint::runtime {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void run_sessions(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  int workers = resolve_threads(threads);
+  if (static_cast<std::size_t>(workers) > count) {
+    workers = static_cast<int>(count);
+  }
+
+  // Index-addressed exception slots: a session that throws parks its
+  // exception at its own index; every other session still runs. Rethrow
+  // order is session order, not completion order — and the serial path
+  // below uses the same run-all-then-rethrow semantics, so threads=1 and
+  // threads=N are indistinguishable even for throwing workloads.
+  std::vector<std::exception_ptr> errors(count);
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      if (errors[i]) std::rethrow_exception(errors[i]);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();  // the merge barrier
+
+  for (std::size_t i = 0; i < count; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+}
+
+}  // namespace setint::runtime

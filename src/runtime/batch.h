@@ -1,0 +1,53 @@
+// Parallel batch execution with serial-identical determinism.
+//
+// The protocols in this library are embarrassingly parallel at the
+// session level: a bench sweep or an error-rate estimate runs thousands
+// of independent seeded sessions, each with its own sim::Channel, its own
+// RNG substream and (optionally) its own obs tracer. This engine runs
+// those sessions across a worker pool while guaranteeing that EVERY
+// observable output — results, metrics JSON, transcript digests — is
+// byte-for-byte identical to a serial run of the same seeds:
+//
+//   * sessions never share mutable state: each body invocation owns its
+//     channel, randomness and metrics (the thread-affinity contract in
+//     docs/OBSERVABILITY.md);
+//   * per-session randomness is a pure function of (master_seed,
+//     session_index), so claiming order cannot leak into any RNG stream;
+//   * outputs land in a pre-sized, index-addressed slot array and are
+//     merged IN SESSION ORDER after the join barrier, so thread count and
+//     scheduling affect wall-clock only.
+//
+// Exceptions keep the same discipline: a throwing session parks its
+// exception in its slot, remaining sessions still run, and after the
+// barrier the lowest-index exception is rethrown — the same one a serial
+// loop would have surfaced first.
+//
+// setint::run_batch (setint.h) is the facade entry point built on this;
+// the statistical test suite and the exp_batch bench drive it directly.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace setint::runtime {
+
+// Resolves a thread-count request: n >= 1 is taken as-is, 0 means
+// std::thread::hardware_concurrency() (at least 1).
+int resolve_threads(int requested);
+
+// Runs body(i) for every i in [0, count) across `threads` workers
+// (resolve_threads applied; capped at count). Workers claim indices from
+// a shared atomic cursor. threads <= 1 degenerates to a plain serial
+// loop — the baseline parallel runs must be bit-identical to.
+//
+// Requirements on body: invocations for distinct indices must not share
+// mutable state (no common Channel/Tracer/FaultPlan/Adversary/Rng) and
+// must write their outputs only to index-owned slots.
+//
+// If any invocation throws, every claimed session still runs to
+// completion (or parks its own exception); afterwards the exception of
+// the LOWEST session index is rethrown.
+void run_sessions(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace setint::runtime

@@ -1,10 +1,14 @@
 #include "setint.h"
 
 #include <algorithm>
+#include <memory>
+#include <stdexcept>
 
 #include "core/verification_tree.h"
 #include "multiparty/coordinator.h"
+#include "runtime/batch.h"
 #include "sim/randomness.h"
+#include "util/rng.h"
 
 namespace setint {
 
@@ -68,6 +72,54 @@ IntersectResult intersect(util::SetView s, util::SetView t,
     result.report.cost = run.cost;
   }
   return result;
+}
+
+std::uint64_t batch_session_seed(std::uint64_t master_seed,
+                                 std::uint64_t session_index) {
+  // Label-decorrelated so a batch session never collides with the plain
+  // facade's direct use of the master seed (or with bench::seed_for).
+  return util::mix64(master_seed, util::mix64(0xBA7C4u, session_index));
+}
+
+BatchResult run_batch(const IntersectOptions& options,
+                      std::span<const Instance> instances,
+                      const BatchOptions& batch) {
+  if (options.tracer != nullptr || options.fault_plan != nullptr ||
+      options.adversary != nullptr) {
+    throw std::invalid_argument(
+        "run_batch: tracer/fault_plan/adversary are single-session stateful "
+        "objects and cannot be shared across batch sessions; use "
+        "BatchOptions::trace for per-session tracing");
+  }
+
+  BatchResult out;
+  out.threads_used = runtime::resolve_threads(batch.threads);
+  out.results.resize(instances.size());
+  // Per-session tracers survive until the post-barrier merge so metrics
+  // can be folded in session order.
+  std::vector<std::unique_ptr<obs::Tracer>> tracers;
+  if (batch.trace) tracers.resize(instances.size());
+
+  runtime::run_sessions(
+      instances.size(), batch.threads, [&](std::size_t i) {
+        IntersectOptions session = options;
+        session.seed = batch_session_seed(options.seed, i);
+        if (batch.trace) {
+          tracers[i] = std::make_unique<obs::Tracer>();
+          session.tracer = tracers[i].get();
+        }
+        out.results[i] = intersect(instances[i].s, instances[i].t, session);
+      });
+
+  // Post-barrier, session-order merge: the fold is exact (counters and
+  // histograms are sums), so the merged registry — and its JSON — cannot
+  // depend on which thread ran which session.
+  if (batch.trace) {
+    for (const auto& tracer : tracers) {
+      out.metrics.merge(tracer->metrics());
+    }
+  }
+  return out;
 }
 
 }  // namespace setint

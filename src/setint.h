@@ -51,6 +51,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "core/resource_limits.h"
 #include "core/retry.h"
@@ -102,5 +104,62 @@ struct IntersectResult {
 // strictly increasing; throws std::invalid_argument otherwise.
 IntersectResult intersect(util::SetView s, util::SetView t,
                           const IntersectOptions& options = {});
+
+// ---------------------------------------------------------------------
+// Batch execution (runtime/batch.h): many independent sessions, one call.
+//
+//   std::vector<setint::Instance> batch = ...;
+//   auto out = setint::run_batch({.universe = 1u << 30}, batch,
+//                                {.threads = 8});
+//   // out.results[i] corresponds to batch[i], in order.
+//
+// Determinism contract: for fixed options and instances, every field of
+// BatchResult — results, per-session reports, merged metrics JSON — is
+// byte-for-byte independent of `threads`. Session i runs with seed
+// derived purely from (options.seed, i), its own channel and its own
+// tracer; per-session outputs are merged in session order after the
+// barrier. Pinned by tests/batch_test.cc and the exp_batch bench.
+
+// One session's inputs (views — the caller keeps the sets alive for the
+// duration of the call).
+struct Instance {
+  util::SetView s;
+  util::SetView t;
+};
+
+struct BatchOptions {
+  // Worker threads: 1 = serial reference execution, 0 = one per hardware
+  // thread, N = exactly N.
+  int threads = 1;
+  // Install a per-session tracer and fill results[i].report (phase
+  // breakdown + metrics) plus BatchResult::metrics. Costs tracer
+  // plumbing per session; off by default like the single-run facade.
+  bool trace = false;
+};
+
+struct BatchResult {
+  std::vector<IntersectResult> results;  // session order == instance order
+  // All sessions' metric registries merged in session order (empty unless
+  // BatchOptions::trace). Exact fold: equal to one registry fed every
+  // session's metric stream.
+  obs::MetricsRegistry metrics;
+  int threads_used = 1;
+};
+
+// Runs intersect() on every instance. The per-run stateful hooks of
+// IntersectOptions (tracer, fault_plan, adversary) are single-session
+// objects and must be null — sharing one across concurrent sessions
+// would break both thread safety and determinism, so run_batch throws
+// std::invalid_argument instead (see docs/OBSERVABILITY.md § thread
+// affinity). Use BatchOptions::trace for per-session tracing.
+BatchResult run_batch(const IntersectOptions& options,
+                      std::span<const Instance> instances,
+                      const BatchOptions& batch = {});
+
+// The seed session i of run_batch derives from `master_seed` — exposed
+// so a caller can reproduce any single batch session with
+// setint::intersect.
+std::uint64_t batch_session_seed(std::uint64_t master_seed,
+                                 std::uint64_t session_index);
 
 }  // namespace setint

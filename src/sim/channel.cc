@@ -124,21 +124,20 @@ util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
       throw ChannelIntegrityError("channel: frame lost in flight (" + label +
                                   ")");
     }
-    util::BitBuffer body;
     const std::size_t body_bits = payload.size_bits() - kChecksumBits;
-    for (std::size_t i = 0; i < body_bits; ++i) {
-      body.append_bit(payload.bit(i));
-    }
     std::uint64_t delivered_sum = 0;
     for (unsigned i = 0; i < kChecksumBits; ++i) {
       if (payload.bit(body_bits + i)) delivered_sum |= std::uint64_t{1} << i;
     }
-    if (delivered_sum != checksum_of(body)) {
+    // Strip the frame in place — truncate normalizes the tail word, so
+    // the body the receiver decodes is bit- and word-identical to one
+    // built from scratch (no per-message re-copy).
+    payload.truncate(body_bits);
+    if (delivered_sum != checksum_of(payload)) {
       obs::count(tracer_, "fault.integrity_failures");
       throw ChannelIntegrityError("channel: frame checksum mismatch (" +
                                   label + ")");
     }
-    payload = std::move(body);
   }
 
   if (transcript_) transcript_->record(from, payload, std::move(label));

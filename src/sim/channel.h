@@ -110,6 +110,13 @@ class Channel {
   // tracer phase.
   void charge_extra_rounds(std::uint64_t rounds);
 
+  // Per-session scratch-buffer pool. Protocol hot loops acquire encode
+  // scratch here so repeated messages reuse word storage instead of
+  // re-allocating (util::BufferPool). Single-threaded like the channel
+  // itself: one pool per session, never shared across threads — the
+  // thread-affinity contract in docs/OBSERVABILITY.md.
+  util::BufferPool& buffer_pool() { return buffer_pool_; }
+
  private:
   CostStats cost_;
   bool has_last_direction_ = false;
@@ -119,6 +126,7 @@ class Channel {
   FaultPlan* fault_plan_ = nullptr;
   Adversary* adversary_ = nullptr;
   const core::ResourceLimits* limits_ = nullptr;
+  util::BufferPool buffer_pool_;
 };
 
 }  // namespace setint::sim

@@ -17,15 +17,44 @@ void BitBuffer::append_bits(std::uint64_t value, unsigned width) {
   if (width < 64 && (value >> width) != 0) {
     throw std::invalid_argument("append_bits: value does not fit in width");
   }
-  for (unsigned i = 0; i < width; ++i) {
-    append_bit((value >> i) & 1);
-  }
+  if (width == 0) return;
+  // Word-wise write: place the low (64 - offset) bits into the current
+  // tail word, spill the rest into a fresh word. Bit layout is identical
+  // to `width` append_bit calls — only the allocator traffic changes.
+  const std::size_t word = size_bits_ / 64;
+  const unsigned offset = static_cast<unsigned>(size_bits_ % 64);
+  if (word == words_.size()) words_.push_back(0);
+  words_[word] |= value << offset;  // offset < 64 always
+  const unsigned placed = 64 - offset;
+  if (width > placed) words_.push_back(value >> placed);
+  size_bits_ += width;
 }
 
 void BitBuffer::append_buffer(const BitBuffer& other) {
-  for (std::size_t i = 0; i < other.size_bits(); ++i) {
-    append_bit(other.bit(i));
+  reserve_bits(size_bits_ + other.size_bits_);
+  const std::size_t full = other.size_bits_ / 64;
+  for (std::size_t i = 0; i < full; ++i) append_bits(other.words_[i], 64);
+  const unsigned tail = static_cast<unsigned>(other.size_bits_ % 64);
+  if (tail != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
+    append_bits(other.words_[full] & mask, tail);
   }
+}
+
+void BitBuffer::reserve_bits(std::size_t bits) {
+  words_.reserve((bits + 63) / 64);
+}
+
+void BitBuffer::truncate(std::size_t new_size_bits) {
+  if (new_size_bits >= size_bits_) return;
+  words_.resize((new_size_bits + 63) / 64);
+  const unsigned tail = static_cast<unsigned>(new_size_bits % 64);
+  if (tail != 0) {
+    // Re-zero the dropped bits so append_bit's OR-in stays correct and
+    // word-level consumers (fingerprint, mask_hash) see a normalized tail.
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+  size_bits_ = new_size_bits;
 }
 
 void BitBuffer::append_elias_gamma(std::uint64_t v) {
@@ -176,6 +205,20 @@ std::uint64_t BitReader::read_rice(unsigned b) {
     }
   }
   return (q << b) | read_bits(b);
+}
+
+BitBuffer BufferPool::acquire() {
+  ++acquired_;
+  if (free_.empty()) return BitBuffer{};
+  ++recycled_;
+  BitBuffer b = std::move(free_.back());
+  free_.pop_back();
+  return b;
+}
+
+void BufferPool::release(BitBuffer&& buffer) {
+  buffer.clear();  // retains word capacity
+  free_.push_back(std::move(buffer));
 }
 
 std::size_t rice_cost_bits(std::uint64_t v, unsigned b) {

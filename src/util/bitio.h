@@ -48,6 +48,18 @@ class BitBuffer {
   std::size_t size_bits() const { return size_bits_; }
   bool empty() const { return size_bits_ == 0; }
 
+  // Pre-allocates word storage for `bits` total bits. Never changes
+  // contents; encoders that know their output size call this once instead
+  // of growing word by word.
+  void reserve_bits(std::size_t bits);
+
+  // Drops every bit at index >= new_size_bits (no-op if already shorter).
+  // Storage is normalized — the tail word is re-zeroed past the new end —
+  // so fingerprints, equality and words() behave as if the buffer had been
+  // built at the shorter size. Used by sim::Channel to strip integrity
+  // frames in place instead of re-copying the body bit by bit.
+  void truncate(std::size_t new_size_bits);
+
   bool bit(std::size_t i) const;
 
   // Inverts bit i in place (used by the fault-injection layer,
@@ -124,6 +136,50 @@ class BitReader {
   const core::ResourceLimits* limits_;
   std::size_t pos_ = 0;
   std::uint64_t items_charged_ = 0;
+};
+
+// Capacity-recycling free list of BitBuffers. acquire() returns an empty
+// buffer that keeps whatever word storage a previously released buffer
+// had grown, so per-message scratch encoding stops hitting the allocator
+// once a session reaches steady state. Single-threaded by design: a pool
+// belongs to exactly one protocol session (sim::Channel owns one per
+// channel); the batch engine gives every session its own channel, so
+// pools are never shared across threads.
+class BufferPool {
+ public:
+  // Empty buffer, reusing released storage when available.
+  BitBuffer acquire();
+
+  // Returns a buffer's storage to the pool. The buffer's contents are
+  // discarded (cleared); only capacity is retained.
+  void release(BitBuffer&& buffer);
+
+  // Observability: how many acquires were served from the free list.
+  std::uint64_t recycled() const { return recycled_; }
+  std::uint64_t acquired() const { return acquired_; }
+
+ private:
+  std::vector<BitBuffer> free_;
+  std::uint64_t recycled_ = 0;
+  std::uint64_t acquired_ = 0;
+};
+
+// RAII lease on a pooled buffer: acquires on construction, releases on
+// scope exit. `*lease` / `lease->` reach the buffer.
+class PooledBuffer {
+ public:
+  explicit PooledBuffer(BufferPool& pool)
+      : pool_(&pool), buffer_(pool.acquire()) {}
+  ~PooledBuffer() { pool_->release(std::move(buffer_)); }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  BitBuffer& operator*() { return buffer_; }
+  BitBuffer* operator->() { return &buffer_; }
+
+ private:
+  BufferPool* pool_;
+  BitBuffer buffer_;
 };
 
 // Exact cost in bits of the gamma64 encoding of v. Lets callers reason

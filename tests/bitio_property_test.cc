@@ -1,0 +1,344 @@
+// Property-based round-trip tests for the codecs: randomized
+// encode -> decode across widths and edge values, complementing the
+// fixed fuzz corpus in tests/fuzz/. Also pins the equivalence of the
+// word-wise append fast paths with the bit-at-a-time reference, and the
+// BufferPool recycling contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitio.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace setint::util {
+namespace {
+
+// ---------- append_bits / read_bits ----------
+
+TEST(BitioProperty, AppendBitsRoundTripRandomWidths) {
+  Rng rng(0x1B17);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const unsigned width = static_cast<unsigned>(rng.below(65));  // 0..64
+    const std::uint64_t value =
+        width == 0 ? 0
+        : width == 64 ? rng.next()
+                      : rng.next() & ((std::uint64_t{1} << width) - 1);
+    // Random preceding offset so the word boundary lands everywhere.
+    const unsigned prefix = static_cast<unsigned>(rng.below(130));
+    BitBuffer b;
+    for (unsigned i = 0; i < prefix; ++i) b.append_bit(rng.coin());
+    b.append_bits(value, width);
+    ASSERT_EQ(b.size_bits(), prefix + width);
+    BitReader r(b);
+    for (unsigned i = 0; i < prefix; ++i) r.read_bit();
+    EXPECT_EQ(r.read_bits(width), value) << "width " << width;
+  }
+}
+
+TEST(BitioProperty, AppendBitsEdgeValues) {
+  for (unsigned width : {1u, 2u, 31u, 32u, 33u, 63u, 64u}) {
+    const std::uint64_t max =
+        width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+    for (std::uint64_t value : {std::uint64_t{0}, std::uint64_t{1}, max}) {
+      BitBuffer b;
+      b.append_bits(value, width);
+      BitReader r(b);
+      EXPECT_EQ(r.read_bits(width), value) << width;
+      EXPECT_TRUE(r.exhausted());
+    }
+  }
+}
+
+// The word-wise fast path must build the exact same buffer (bits, words,
+// fingerprint) as the bit-at-a-time reference.
+TEST(BitioProperty, WordWiseAppendMatchesBitAtATimeReference) {
+  Rng rng(0x2B17);
+  for (int trial = 0; trial < 500; ++trial) {
+    BitBuffer fast;
+    BitBuffer reference;
+    for (int op = 0; op < 20; ++op) {
+      const unsigned width = static_cast<unsigned>(rng.below(65));
+      const std::uint64_t value =
+          width == 0 ? 0
+          : width == 64 ? rng.next()
+                        : rng.next() & ((std::uint64_t{1} << width) - 1);
+      fast.append_bits(value, width);
+      for (unsigned i = 0; i < width; ++i) {
+        reference.append_bit((value >> i) & 1);
+      }
+    }
+    ASSERT_EQ(fast, reference);
+    EXPECT_EQ(fast.fingerprint(), reference.fingerprint());
+    EXPECT_EQ(fast.words(), reference.words());
+  }
+}
+
+TEST(BitioProperty, AppendBufferMatchesBitCopy) {
+  Rng rng(0x3B17);
+  for (int trial = 0; trial < 300; ++trial) {
+    BitBuffer src;
+    const std::size_t n = rng.below(200);
+    for (std::size_t i = 0; i < n; ++i) src.append_bit(rng.coin());
+    BitBuffer fast;
+    BitBuffer reference;
+    const std::size_t prefix = rng.below(70);
+    for (std::size_t i = 0; i < prefix; ++i) {
+      const bool bit = rng.coin();
+      fast.append_bit(bit);
+      reference.append_bit(bit);
+    }
+    fast.append_buffer(src);
+    for (std::size_t i = 0; i < src.size_bits(); ++i) {
+      reference.append_bit(src.bit(i));
+    }
+    ASSERT_EQ(fast, reference);
+    EXPECT_EQ(fast.words(), reference.words());
+  }
+}
+
+// ---------- truncate ----------
+
+TEST(BitioProperty, TruncateNormalizesStorage) {
+  Rng rng(0x4B17);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = 1 + rng.below(300);
+    std::vector<bool> bits(n);
+    BitBuffer full;
+    for (std::size_t i = 0; i < n; ++i) {
+      bits[i] = rng.coin();
+      full.append_bit(bits[i]);
+    }
+    const std::size_t cut = rng.below(n + 1);
+    full.truncate(cut);
+    // Reference: a buffer built at the shorter size from scratch.
+    BitBuffer reference;
+    for (std::size_t i = 0; i < cut; ++i) reference.append_bit(bits[i]);
+    ASSERT_EQ(full, reference);
+    EXPECT_EQ(full.fingerprint(), reference.fingerprint());
+    EXPECT_EQ(full.words(), reference.words());
+    // Appending after a truncate behaves like appending to the reference.
+    full.append_bits(0x2D, 6);
+    reference.append_bits(0x2D, 6);
+    EXPECT_EQ(full, reference);
+    EXPECT_EQ(full.words(), reference.words());
+  }
+}
+
+TEST(BitioProperty, TruncatePastEndIsANoop) {
+  BitBuffer b;
+  b.append_bits(0b1011, 4);
+  b.truncate(10);
+  EXPECT_EQ(b.size_bits(), 4u);
+  b.truncate(4);
+  EXPECT_EQ(b.size_bits(), 4u);
+}
+
+// ---------- gamma ----------
+
+TEST(BitioProperty, GammaRoundTripRandomAndEdges) {
+  Rng rng(0x5B17);
+  std::vector<std::uint64_t> values = {0, 1, 2, 3, 62, 63, 64, 65,
+                                       (std::uint64_t{1} << 32) - 1,
+                                       std::uint64_t{1} << 32,
+                                       (std::uint64_t{1} << 63) - 1,
+                                       std::uint64_t{1} << 63,
+                                       ~std::uint64_t{0} - 1};
+  for (int trial = 0; trial < 2000; ++trial) {
+    values.push_back(rng.next() >> rng.below(64));
+  }
+  BitBuffer b;
+  for (std::uint64_t v : values) {
+    const std::size_t before = b.size_bits();
+    b.append_gamma64(v);
+    EXPECT_EQ(b.size_bits() - before, gamma64_cost_bits(v)) << v;
+  }
+  BitReader r(b);
+  for (std::uint64_t v : values) {
+    ASSERT_EQ(r.read_gamma64(), v);
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+// ---------- Rice ----------
+
+TEST(BitioProperty, RiceRoundTripAcrossParameters) {
+  Rng rng(0x6B17);
+  for (unsigned param : {0u, 1u, 5u, 13u, 31u, 47u, 63u}) {
+    BitBuffer b;
+    std::vector<std::uint64_t> values;
+    for (int trial = 0; trial < 300; ++trial) {
+      // Quotient bounded (the encoder refuses > 2^20 unary runs);
+      // remainder spans the full parameter width including all-ones.
+      const std::uint64_t q = rng.below(100);
+      const std::uint64_t rem =
+          param == 0 ? 0
+                     : (trial % 3 == 0 ? (std::uint64_t{1} << param) - 1
+                                       : rng.below(std::uint64_t{1} << param));
+      values.push_back((q << param) | rem);
+    }
+    values.push_back(0);  // all-zeros codeword shape
+    for (std::uint64_t v : values) {
+      const std::size_t before = b.size_bits();
+      b.append_rice(v, param);
+      EXPECT_EQ(b.size_bits() - before, rice_cost_bits(v, param));
+    }
+    BitReader r(b);
+    for (std::uint64_t v : values) {
+      ASSERT_EQ(r.read_rice(param), v) << "param " << param;
+    }
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+// ---------- canonical set codecs ----------
+
+TEST(BitioProperty, CanonicalSetRoundTripRandom) {
+  Rng rng(0x7B17);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::uint64_t universe = 2 + (std::uint64_t{1} << rng.below(40));
+    const std::size_t size = static_cast<std::size_t>(
+        rng.below(std::min<std::uint64_t>(universe, 200) + 1));
+    const Set s = random_set(rng, universe, size);
+    {
+      BitBuffer b;
+      append_set(b, s);
+      EXPECT_EQ(b.size_bits(), set_encoding_cost_bits(s));
+      BitReader r(b);
+      EXPECT_EQ(read_set(r), s);
+      EXPECT_TRUE(r.exhausted());
+    }
+    {
+      BitBuffer b;
+      append_set_rice(b, s, universe);
+      EXPECT_EQ(b.size_bits(), set_rice_cost_bits(s, universe));
+      BitReader r(b);
+      EXPECT_EQ(read_set_rice(r, universe), s);
+      EXPECT_TRUE(r.exhausted());
+    }
+  }
+}
+
+TEST(BitioProperty, CanonicalSetEdgeShapes) {
+  const std::uint64_t top = (std::uint64_t{1} << 40) - 1;
+  std::vector<std::pair<Set, std::uint64_t>> shapes;
+  shapes.push_back({Set{}, 16});            // empty
+  shapes.push_back({Set{0}, 1});            // minimal universe
+  shapes.push_back({Set{top}, top + 1});    // single max element
+  shapes.push_back({Set{0, top}, top + 1});  // extremes only
+  {
+    Set dense;  // all-consecutive run: deltas all zero after -1 shift
+    for (std::uint64_t i = 0; i < 128; ++i) dense.push_back(i);
+    shapes.push_back({dense, 128});
+    Set even;  // constant gap 2
+    for (std::uint64_t i = 0; i < 128; ++i) even.push_back(2 * i);
+    shapes.push_back({even, 256});
+  }
+  for (const auto& [s, universe] : shapes) {
+    BitBuffer b;
+    append_set(b, s);
+    BitReader r(b);
+    EXPECT_EQ(read_set(r), s);
+    BitBuffer br;
+    append_set_rice(br, s, universe);
+    BitReader rr(br);
+    EXPECT_EQ(read_set_rice(rr, universe), s);
+  }
+}
+
+// Round-trips survive concatenation: many mixed records in one buffer,
+// decoded in order — the access pattern protocol messages actually use.
+TEST(BitioProperty, MixedRecordStreamRoundTrip) {
+  Rng rng(0x8B17);
+  for (int trial = 0; trial < 100; ++trial) {
+    BitBuffer b;
+    struct Record {
+      int kind;
+      std::uint64_t value;
+      unsigned width;
+      Set set;
+    };
+    std::vector<Record> records;
+    for (int i = 0; i < 30; ++i) {
+      Record rec;
+      rec.kind = static_cast<int>(rng.below(4));
+      switch (rec.kind) {
+        case 0:
+          rec.width = 1 + static_cast<unsigned>(rng.below(64));
+          rec.value = rec.width == 64
+                          ? rng.next()
+                          : rng.next() & ((std::uint64_t{1} << rec.width) - 1);
+          b.append_bits(rec.value, rec.width);
+          break;
+        case 1:
+          rec.value = rng.next() >> rng.below(64);
+          b.append_gamma64(rec.value);
+          break;
+        case 2:
+          rec.width = static_cast<unsigned>(rng.below(20));
+          rec.value = rng.below(1000) << rec.width >> rng.below(4);
+          b.append_rice(rec.value, rec.width);
+          break;
+        default:
+          rec.set = random_set(rng, 1u << 24, rng.below(40));
+          append_set(b, rec.set);
+          break;
+      }
+      records.push_back(std::move(rec));
+    }
+    BitReader r(b);
+    for (const Record& rec : records) {
+      switch (rec.kind) {
+        case 0:
+          ASSERT_EQ(r.read_bits(rec.width), rec.value);
+          break;
+        case 1:
+          ASSERT_EQ(r.read_gamma64(), rec.value);
+          break;
+        case 2:
+          ASSERT_EQ(r.read_rice(rec.width), rec.value);
+          break;
+        default:
+          ASSERT_EQ(read_set(r), rec.set);
+          break;
+      }
+    }
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+// ---------- BufferPool ----------
+
+TEST(BufferPool, RecyclesReleasedStorage) {
+  BufferPool pool;
+  BitBuffer a = pool.acquire();
+  EXPECT_TRUE(a.empty());
+  a.append_bits(0x1234, 16);
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.acquired(), 1u);
+  EXPECT_EQ(pool.recycled(), 0u);
+  BitBuffer b = pool.acquire();
+  // Recycled buffers come back empty — contents never leak between users.
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(pool.recycled(), 1u);
+  pool.release(std::move(b));
+}
+
+TEST(BufferPool, PooledBufferLeaseReturnsOnScopeExit) {
+  BufferPool pool;
+  {
+    PooledBuffer lease(pool);
+    lease->append_bit(true);
+    EXPECT_EQ(lease->size_bits(), 1u);
+  }
+  EXPECT_EQ(pool.acquired(), 1u);
+  {
+    PooledBuffer lease(pool);
+    EXPECT_TRUE(lease->empty());
+  }
+  EXPECT_EQ(pool.recycled(), 1u);
+}
+
+}  // namespace
+}  // namespace setint::util

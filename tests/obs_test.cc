@@ -124,6 +124,65 @@ TEST(MetricsRegistry, ExportsSortedAndTyped) {
   EXPECT_NE(json.find("\"m.sizes\""), std::string::npos);
 }
 
+TEST(HistogramMerge, ExactlyEqualsObservingBothStreams) {
+  util::Rng rng(0x4157);
+  obs::Histogram a;
+  obs::Histogram b;
+  obs::Histogram both;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.next() >> rng.below(64);
+    ((i % 3 == 0) ? a : b).observe(v);
+    both.observe(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.sum(), both.sum());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  for (int bucket = 0; bucket < obs::Histogram::kBuckets; ++bucket) {
+    EXPECT_EQ(a.bucket_count(bucket), both.bucket_count(bucket)) << bucket;
+  }
+}
+
+TEST(HistogramMerge, EmptyOperandsPreserveMinMax) {
+  obs::Histogram empty;
+  obs::Histogram h;
+  h.observe(7);
+  h.merge(empty);  // merging an empty histogram changes nothing
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 7u);
+  EXPECT_EQ(h.max(), 7u);
+  obs::Histogram target;
+  target.merge(h);  // merging INTO an empty histogram copies it
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_EQ(target.min(), 7u);
+  EXPECT_EQ(target.max(), 7u);
+}
+
+TEST(MetricsRegistryMerge, FoldIsOrderIndependentAndExact) {
+  // Three per-session registries with overlapping and disjoint names —
+  // the batch engine's post-barrier fold. Any fold order must serialize
+  // identically to one registry fed every stream.
+  auto fill = [](obs::MetricsRegistry& reg, std::uint64_t session) {
+    reg.counter("shared.runs").add(session + 1);
+    reg.counter("only." + std::to_string(session)).add(7);
+    reg.histogram("shared.sizes").observe(session * 10);
+  };
+  obs::MetricsRegistry combined;
+  obs::MetricsRegistry reversed;
+  obs::MetricsRegistry reference;
+  std::vector<obs::MetricsRegistry> sessions(3);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    fill(sessions[i], i);
+    fill(reference, i);
+  }
+  for (std::uint64_t i = 0; i < 3; ++i) combined.merge(sessions[i]);
+  for (std::uint64_t i = 3; i-- > 0;) reversed.merge(sessions[i]);
+  EXPECT_EQ(combined.ToJson().dump(2), reference.ToJson().dump(2));
+  EXPECT_EQ(reversed.ToJson().dump(2), reference.ToJson().dump(2));
+  EXPECT_EQ(combined.counters().at("shared.runs").value(), 6u);
+}
+
 // ---------- Tracer ----------
 
 TEST(Tracer, AttributesSelfCostToInnermostSpan) {

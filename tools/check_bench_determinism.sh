@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Pins the bench determinism contract: two runs of the same binary with
-# the same --seed must produce byte-identical BENCH JSON except the
-# wall_ms line (which bench_util.h keeps alone on its own line so this
-# check can filter it).
+# the same --seed must produce byte-identical BENCH JSON except lines
+# mentioning wall_ms — the trailing wall_ms field (kept alone on its own
+# line by bench_util.h) and any timing table column, whose names must
+# contain "wall_ms" so this filter strips them.
 #
 # Usage: tools/check_bench_determinism.sh [<path-to-bench-binary>...]
 # Default binaries: build/bench/exp_rounds, exp_faults and exp_adversary —
@@ -28,7 +29,7 @@ for BIN in "${BINS[@]}"; do
 
   for run in a b; do
     "$BIN" --smoke --seed=42 --json="$TMP/$run.json" > /dev/null
-    sed '/"wall_ms"/d' "$TMP/$run.json" > "$TMP/$run.filtered"
+    sed '/wall_ms/d' "$TMP/$run.json" > "$TMP/$run.filtered"
   done
 
   if ! cmp -s "$TMP/a.filtered" "$TMP/b.filtered"; then

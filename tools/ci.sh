@@ -10,12 +10,15 @@
 #      safety/acceptance claims via its exit code)
 #   5. the bench determinism contract (same seed => identical JSON modulo
 #      wall_ms)
+#   6. the ThreadSanitizer lane: the concurrency + statistical slices
+#      rebuilt under TSan (build-tsan/) — the batch engine's data-race
+#      gate
 #
 # Usage: tools/ci.sh [--fast]
-#   --fast  skip steps 3-5 (inner-loop edit/test cycles)
+#   --fast  skip steps 3-6 (inner-loop edit/test cycles)
 #
-# The sanitizer gates are separate entry points (they need their own build
-# trees): tools/run_sanitized_tests.sh and `cmake --preset sanitize-thread`.
+# The ASan/UBSan gate is a separate entry point (it needs its own build
+# tree): tools/run_sanitized_tests.sh.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -45,7 +48,7 @@ step "robustness slice (ctest -L robustness)"
 
 if [[ -n "$FAST" ]]; then
   echo
-  echo "[ci] --fast: skipping extended fuzz, bench smoke, determinism check"
+  echo "[ci] --fast: skipping extended fuzz, bench smoke, determinism, TSan"
   echo "[ci] OK"
   exit 0
 fi
@@ -68,7 +71,13 @@ done
 
 step "bench determinism contract"
 tools/check_bench_determinism.sh build/bench/exp_rounds \
-    build/bench/exp_faults build/bench/exp_adversary
+    build/bench/exp_faults build/bench/exp_adversary build/bench/exp_batch
+
+step "TSan lane: concurrency + statistical slices under ThreadSanitizer"
+cmake --preset sanitize-thread > /dev/null
+cmake --build --preset sanitize-thread -j "$JOBS" > /dev/null
+(cd "$REPO_ROOT/build-tsan" &&
+     ctest --output-on-failure -L "concurrency|statistical" -j "$JOBS")
 
 echo
 echo "[ci] OK"

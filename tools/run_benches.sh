@@ -33,7 +33,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" > /dev/null
 
 EXPERIMENTS=(tradeoff rounds zoo error multiparty_avg multiparty_worst
              applications intersection_size private_coin eqk internals
-             ablation disj_tradeoff skew planner faults adversary)
+             ablation disj_tradeoff skew planner faults adversary batch)
 
 for exp in "${EXPERIMENTS[@]}"; do
   if [[ -n "$ONLY" && ",$ONLY," != *",$exp,"* ]]; then
