@@ -1,0 +1,366 @@
+// E-CPU: the hot-path compute-engine lane — CPU time, not communication.
+//
+// Every other experiment measures bits and rounds; this one measures the
+// cost of *producing* them: ns/element for the hashing substrate (batched
+// Barrett/Montgomery evaluation vs the plain-division formula) and
+// sessions/sec for the core protocols end-to-end.
+//
+// Safety gate: the engine must change how bits are computed, never which
+// bits are sent. Section E-CPU.0 re-runs the golden reference instance
+// (fixed seeds, independent of --seed) and compares transcript digests and
+// bit/round counts against the constants pinned in tests/golden_test.cc;
+// any divergence makes the binary exit non-zero. Microbench sections
+// additionally pin checksum equality between the engine and its
+// plain-division baseline.
+//
+// Timing cells live in columns whose names contain "wall_ms" so the bench
+// determinism filter strips them (the bench_util.h contract); everything
+// else — counts, checksums, digests — is deterministic and compared.
+#include <algorithm>
+#include <bit>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/bucket_eq.h"
+#include "core/one_round_hash.h"
+#include "core/verification_tree.h"
+#include "hashing/fks.h"
+#include "hashing/mask_hash.h"
+#include "hashing/modmath.h"
+#include "hashing/pairwise.h"
+#include "hashing/primes.h"
+#include "sim/channel.h"
+#include "sim/randomness.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace setint {
+namespace {
+
+// Process CPU time: immune to wall-clock noise from other containers on
+// the host, which is what a 1-core CI box sees.
+double cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+std::string fmt_hex(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+// ---------------------------------------------------------------------------
+// E-CPU.0: bit-identity gate against the golden reference instance.
+// ---------------------------------------------------------------------------
+
+struct GoldenPin {
+  const char* protocol;
+  std::uint64_t bits;
+  std::uint64_t rounds;  // 0 = not pinned
+  std::uint64_t digest;
+};
+
+// Constants mirrored from tests/golden_test.cc — update both together,
+// and only for a deliberate protocol change.
+constexpr GoldenPin kPins[] = {
+    {"verification_tree", 17718, 16, 0x076458b27132f643ull},
+    {"one_round_hash", 27686, 0, 0x9e818e562ca190cfull},
+    {"bucket_eq", 10201, 0, 0xc18884eae55cd105ull},
+};
+
+bool run_identity_gate(bench::Reporter& rep) {
+  auto& t = rep.table("E-CPU.0: transcript bit-identity gate (golden reference)",
+                      {"protocol", "bits", "rounds", "digest", "ok"});
+  bool all_ok = true;
+  for (const GoldenPin& pin : kPins) {
+    // The reference instance is pinned independently of --seed.
+    util::Rng wrng(12345);
+    const util::SetPair pair = util::random_set_pair(wrng, 1u << 24, 512, 256);
+    sim::SharedRandomness shared{777};
+    sim::Channel ch(/*record_transcript=*/true);
+    const std::string name = pin.protocol;
+    if (name == "verification_tree") {
+      core::verification_tree_intersection(ch, shared, 42, 1u << 24, pair.s,
+                                           pair.t, {});
+    } else if (name == "one_round_hash") {
+      core::one_round_hash(ch, shared, 42, 1u << 24, pair.s, pair.t);
+    } else {
+      core::bucket_eq_intersection(ch, shared, 42, 1u << 24, pair.s, pair.t);
+    }
+    const std::uint64_t bits = ch.cost().bits_total;
+    const std::uint64_t rounds = ch.cost().rounds;
+    const std::uint64_t digest = ch.transcript()->digest();
+    const bool ok = bits == pin.bits && digest == pin.digest &&
+                    (pin.rounds == 0 || rounds == pin.rounds);
+    all_ok = all_ok && ok;
+    t.add_row({name, bench::fmt_u64(bits), bench::fmt_u64(rounds),
+               fmt_hex(digest), ok ? "yes" : "NO"});
+  }
+  t.print();
+  return all_ok;
+}
+
+// ---------------------------------------------------------------------------
+// E-CPU.1: substrate microbenchmarks — engine vs plain-division baseline.
+// ---------------------------------------------------------------------------
+
+// Pre-change reference evaluation: the textbook formula with two hardware
+// divisions per element, exactly what PairwiseHash::operator() computed
+// before the Barrett/Montgomery engine.
+std::uint64_t pairwise_reference(const hashing::PairwiseHash& h,
+                                 std::uint64_t x) {
+  const std::uint64_t p = h.prime();
+  const std::uint64_t ax = hashing::mulmod(h.multiplier(), x % p, p);
+  return ((ax + h.offset()) % p) % h.range();
+}
+
+// Pre-change mask_hash: the generic per-word loop without the single-word
+// fast path (copied shape, same Rng draw order — outputs must match).
+std::uint64_t mask_hash_reference(const util::BitBuffer& data, unsigned bits,
+                                  util::Rng stream) {
+  const auto& words = data.words();
+  const std::size_t nbits = data.size_bits();
+  const std::size_t full = nbits / 64;
+  const unsigned tail = static_cast<unsigned>(nbits % 64);
+  const std::uint64_t tail_mask =
+      tail == 0 ? 0
+                : ((tail == 64) ? ~std::uint64_t{0}
+                                : ((std::uint64_t{1} << tail) - 1));
+  std::uint64_t out = 0;
+  for (unsigned b = 0; b < bits; ++b) {
+    unsigned parity = std::popcount(stream.next() & nbits) & 1u;
+    for (std::size_t w = 0; w < full; ++w) {
+      parity ^= std::popcount(stream.next() & words[w]) & 1u;
+    }
+    if (tail != 0) {
+      parity ^= std::popcount(stream.next() & words[full] & tail_mask) & 1u;
+    }
+    out |= static_cast<std::uint64_t>(parity) << b;
+  }
+  return out;
+}
+
+struct MicroResult {
+  std::uint64_t checksum_baseline = 0;
+  std::uint64_t checksum_engine = 0;
+  double baseline_ms = 0;
+  double engine_ms = 0;
+};
+
+void add_micro_row(bench::Table& t, const std::string& op, std::size_t n,
+                   int reps, const MicroResult& r, bool& all_ok) {
+  const bool match = r.checksum_baseline == r.checksum_engine;
+  all_ok = all_ok && match;
+  const double total = static_cast<double>(n) * reps;
+  t.add_row({op, bench::fmt_u64(n), bench::fmt_u64(static_cast<std::uint64_t>(reps)),
+             fmt_hex(r.checksum_engine), match ? "yes" : "NO",
+             bench::fmt_double(r.baseline_ms * 1e6 / total, 2),
+             bench::fmt_double(r.engine_ms * 1e6 / total, 2),
+             bench::fmt_double(r.baseline_ms / std::max(1e-12, r.engine_ms), 2)});
+}
+
+bool run_substrate_micro(bench::Reporter& rep) {
+  const std::size_t n = rep.smoke() ? (1u << 13) : (1u << 17);
+  const int reps = rep.smoke() ? 3 : 10;
+  bool all_ok = true;
+
+  auto& t = rep.table(
+      "E-CPU.1: hashing substrate, batched engine vs division baseline",
+      {"op", "n", "reps", "checksum", "identical",
+       "baseline ns_per_elem (wall_ms)", "engine ns_per_elem (wall_ms)",
+       "speedup (wall_ms ratio)"});
+
+  util::Rng rng(rep.seed_for(0xC0));
+  std::vector<std::uint64_t> xs(n);
+  for (auto& x : xs) x = rng.below(std::uint64_t{1} << 24);
+  std::vector<std::uint64_t> out(n);
+
+  {  // Pairwise Carter-Wegman evaluation.
+    const auto h =
+        hashing::PairwiseHash::sample(rng, std::uint64_t{1} << 24, 512 * 512);
+    MicroResult r;
+    double t0 = cpu_seconds();
+    for (int rep_i = 0; rep_i < reps; ++rep_i) {
+      std::uint64_t acc = 0;
+      for (std::uint64_t x : xs) acc += pairwise_reference(h, x);
+      r.checksum_baseline = acc;
+    }
+    r.baseline_ms = (cpu_seconds() - t0) * 1e3;
+    t0 = cpu_seconds();
+    for (int rep_i = 0; rep_i < reps; ++rep_i) {
+      h.hash_many(xs, out);
+      std::uint64_t acc = 0;
+      for (std::uint64_t v : out) acc += v;
+      r.checksum_engine = acc;
+    }
+    r.engine_ms = (cpu_seconds() - t0) * 1e3;
+    add_micro_row(t, "pairwise_hash", n, reps, r, all_ok);
+  }
+
+  {  // FKS mod-prime compression.
+    const auto fks =
+        hashing::FksCompressor::sample(rng, std::uint64_t{1} << 24, 1024);
+    const std::uint64_t q = fks.range();
+    MicroResult r;
+    double t0 = cpu_seconds();
+    for (int rep_i = 0; rep_i < reps; ++rep_i) {
+      std::uint64_t acc = 0;
+      for (std::uint64_t x : xs) acc += x % q;
+      r.checksum_baseline = acc;
+    }
+    r.baseline_ms = (cpu_seconds() - t0) * 1e3;
+    t0 = cpu_seconds();
+    for (int rep_i = 0; rep_i < reps; ++rep_i) {
+      fks.hash_many(xs, out);
+      std::uint64_t acc = 0;
+      for (std::uint64_t v : out) acc += v;
+      r.checksum_engine = acc;
+    }
+    r.engine_ms = (cpu_seconds() - t0) * 1e3;
+    add_micro_row(t, "fks_mod_prime", n, reps, r, all_ok);
+  }
+
+  {  // GF(2) mask hashing of single-word payloads (the bucket-EQ case).
+    const std::size_t hashes = rep.smoke() ? (1u << 10) : (1u << 14);
+    util::BitBuffer payload;
+    payload.append_bits(rng.next() & ((std::uint64_t{1} << 24) - 1), 24);
+    const util::Rng stream(rep.seed_for(0xAA));
+    MicroResult r;
+    double t0 = cpu_seconds();
+    for (int rep_i = 0; rep_i < reps; ++rep_i) {
+      std::uint64_t acc = 0;
+      for (std::size_t i = 0; i < hashes; ++i) {
+        acc += mask_hash_reference(payload, 16, stream.substream(i));
+      }
+      r.checksum_baseline = acc;
+    }
+    r.baseline_ms = (cpu_seconds() - t0) * 1e3;
+    t0 = cpu_seconds();
+    for (int rep_i = 0; rep_i < reps; ++rep_i) {
+      std::uint64_t acc = 0;
+      for (std::size_t i = 0; i < hashes; ++i) {
+        acc += hashing::mask_hash(payload, 16, stream.substream(i));
+      }
+      r.checksum_engine = acc;
+    }
+    r.engine_ms = (cpu_seconds() - t0) * 1e3;
+    add_micro_row(t, "mask_hash_16b", hashes, reps, r, all_ok);
+  }
+
+  t.print();
+
+  // Prime sampling: cold (empty memo) vs warm (same candidates again).
+  auto& pt = rep.table(
+      "E-CPU.1b: next-prime search, cold vs warm memo table",
+      {"candidates", "checksum", "identical", "cache_entries",
+       "cold us_per_prime (wall_ms)", "warm us_per_prime (wall_ms)",
+       "speedup (wall_ms ratio)"});
+  {
+    const std::size_t m = rep.smoke() ? 64 : 512;
+    util::Rng prng(rep.seed_for(0xF1));
+    std::vector<std::uint64_t> cands(m);
+    for (auto& c : cands) c = (std::uint64_t{1} << 20) + prng.below(1u << 24);
+    hashing::prime_cache_clear();
+    std::uint64_t cold_sum = 0;
+    double t0 = cpu_seconds();
+    for (std::uint64_t c : cands) cold_sum += hashing::next_prime_at_least(c);
+    const double cold_ms = (cpu_seconds() - t0) * 1e3;
+    std::uint64_t warm_sum = 0;
+    t0 = cpu_seconds();
+    for (std::uint64_t c : cands) warm_sum += hashing::next_prime_at_least(c);
+    const double warm_ms = (cpu_seconds() - t0) * 1e3;
+    const bool match = cold_sum == warm_sum;
+    all_ok = all_ok && match;
+    const auto stats = hashing::prime_cache_stats();
+    const double md = static_cast<double>(m);
+    pt.add_row({bench::fmt_u64(m), fmt_hex(warm_sum), match ? "yes" : "NO",
+                bench::fmt_u64(stats.entries),
+                bench::fmt_double(cold_ms * 1e3 / md, 2),
+                bench::fmt_double(warm_ms * 1e3 / md, 2),
+                bench::fmt_double(cold_ms / std::max(1e-12, warm_ms), 1)});
+  }
+  pt.print();
+  return all_ok;
+}
+
+// ---------------------------------------------------------------------------
+// E-CPU.2: end-to-end protocol throughput (sessions/sec, ns/element).
+// ---------------------------------------------------------------------------
+
+void run_protocol_throughput(bench::Reporter& rep) {
+  auto& t = rep.table(
+      "E-CPU.2: protocol session throughput (universe 2^24, |S|=|T|=k)",
+      {"protocol", "k", "trials", "bits_total", "rounds",
+       "sessions_per_sec (wall_ms)", "us_per_session (wall_ms)",
+       "ns_per_elem (wall_ms)"});
+  const std::size_t k = rep.smoke() ? 128 : 512;
+  const int trials = rep.smoke() ? 20 : 200;
+  const std::uint64_t universe = std::uint64_t{1} << 24;
+
+  struct Proto {
+    const char* name;
+    int id;
+  };
+  const Proto protos[] = {
+      {"verification_tree[r=auto]", 0}, {"one_round_hash", 1}, {"bucket_eq", 2}};
+  for (const Proto& proto : protos) {
+    util::Rng wrng(rep.seed_for(0x7E, proto.id));
+    const util::SetPair pair = util::random_set_pair(wrng, universe, k, k / 2);
+    std::uint64_t bits = 0, rounds = 0;
+    const double t0 = cpu_seconds();
+    for (int trial = 0; trial < trials; ++trial) {
+      sim::Channel ch;
+      sim::SharedRandomness shared{rep.seed_for(0x5E, proto.id)};
+      switch (proto.id) {
+        case 0:
+          core::verification_tree_intersection(ch, shared, trial, universe,
+                                               pair.s, pair.t, {});
+          break;
+        case 1:
+          core::one_round_hash(ch, shared, trial, universe, pair.s, pair.t);
+          break;
+        default:
+          core::bucket_eq_intersection(ch, shared, trial, universe, pair.s,
+                                       pair.t);
+          break;
+      }
+      if (trial == 0) {
+        bits = ch.cost().bits_total;
+        rounds = ch.cost().rounds;
+      }
+    }
+    const double secs = cpu_seconds() - t0;
+    const double per_session = secs / trials;
+    t.add_row({proto.name, bench::fmt_u64(k),
+               bench::fmt_u64(static_cast<std::uint64_t>(trials)),
+               bench::fmt_u64(bits), bench::fmt_u64(rounds),
+               bench::fmt_double(1.0 / std::max(1e-12, per_session), 1),
+               bench::fmt_double(per_session * 1e6, 1),
+               bench::fmt_double(per_session * 1e9 /
+                                     static_cast<double>(2 * k), 1)});
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace setint
+
+int main(int argc, char** argv) {
+  using namespace setint;
+  auto rep = bench::Reporter::FromArgs("cpu", argc, argv);
+  bool ok = run_identity_gate(rep);
+  ok = run_substrate_micro(rep) && ok;
+  run_protocol_throughput(rep);
+  if (!ok) {
+    std::fprintf(stderr,
+                 "[exp_cpu] FAIL: engine diverged from the golden transcript "
+                 "or a baseline checksum\n");
+  }
+  return rep.finish(ok ? 0 : 1);
+}

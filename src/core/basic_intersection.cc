@@ -6,6 +6,7 @@
 
 #include "hashing/pairwise.h"
 #include "obs/tracer.h"
+#include "util/arena.h"
 #include "util/bitio.h"
 #include "util/iterated_log.h"
 
@@ -28,21 +29,33 @@ std::uint64_t basic_intersection_range(std::uint64_t total_size,
 
 namespace {
 
-util::Set hashed_image(util::SetView s, const hashing::PairwiseHash& h) {
-  util::Set image;
-  image.reserve(s.size());
-  for (std::uint64_t x : s) image.push_back(h(x));
+// Batched per-instance hash evaluation: hash every element in one pass
+// into arena scratch. The raw (input-order) value array doubles as the
+// lookup table for the final filter; the sorted-unique copy is the image
+// sent on the wire.
+std::span<std::uint64_t> hashed_values(util::SetView s,
+                                       const hashing::PairwiseHash& h,
+                                       util::ScratchArena& arena) {
+  const std::span<std::uint64_t> vals = arena.alloc_u64(s.size());
+  h.hash_many(s, vals);
+  return vals;
+}
+
+std::span<const std::uint64_t> sorted_unique_image(
+    std::span<const std::uint64_t> vals, util::ScratchArena& arena) {
+  const std::span<std::uint64_t> image = arena.alloc_u64(vals.size());
+  std::copy(vals.begin(), vals.end(), image.begin());
   std::sort(image.begin(), image.end());
-  image.erase(std::unique(image.begin(), image.end()), image.end());
-  return image;
+  const auto last = std::unique(image.begin(), image.end());
+  return {image.data(), static_cast<std::size_t>(last - image.begin())};
 }
 
 util::Set filter_by_peer_image(util::SetView own,
-                               const hashing::PairwiseHash& h,
+                               std::span<const std::uint64_t> own_vals,
                                util::SetView peer_image) {
   util::Set out;
-  for (std::uint64_t x : own) {
-    if (util::set_contains(peer_image, h(x))) out.push_back(x);
+  for (std::size_t i = 0; i < own.size(); ++i) {
+    if (util::set_contains(peer_image, own_vals[i])) out.push_back(own[i]);
   }
   return out;
 }
@@ -60,6 +73,9 @@ std::vector<CandidatePair> basic_intersection_batch(
   const std::size_t n = pairs.size();
   std::vector<CandidatePair> result(n);
   if (n == 0) return result;
+
+  util::ScratchArena::Frame scratch_frame(channel.scratch());
+  util::ScratchArena& arena = channel.scratch();
 
   obs::Tracer* tracer = channel.tracer();
   obs::count(tracer, "bi.batches");
@@ -113,7 +129,8 @@ std::vector<CandidatePair> basic_intersection_batch(
   const auto skip = [&pairs](std::size_t j) {
     return pairs[j].first.empty() || pairs[j].second.empty();
   };
-  const auto append_image = [](util::BitBuffer& out, const util::Set& image,
+  const auto append_image = [](util::BitBuffer& out,
+                               std::span<const std::uint64_t> image,
                                std::uint64_t range) {
     out.append_gamma64(image.size());
     const unsigned width = util::ceil_log2(std::max<std::uint64_t>(range, 2));
@@ -134,6 +151,16 @@ std::vector<CandidatePair> basic_intersection_batch(
     return image;
   };
 
+  // Hash every instance's elements once; the raw arrays feed both the
+  // transmitted images and the final filter without re-evaluating h.
+  std::vector<std::span<std::uint64_t>> a_vals(n);
+  std::vector<std::span<std::uint64_t>> b_vals(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (skip(j)) continue;
+    a_vals[j] = hashed_values(pairs[j].first, hashes[j], arena);
+    b_vals[j] = hashed_values(pairs[j].second, hashes[j], arena);
+  }
+
   util::BitBuffer a_msg;
   util::BitBuffer b_msg;
   {
@@ -141,7 +168,7 @@ std::vector<CandidatePair> basic_intersection_batch(
     util::BitBuffer alice_hashes;
     for (std::size_t j = 0; j < n; ++j) {
       if (skip(j)) continue;
-      append_image(alice_hashes, hashed_image(pairs[j].first, hashes[j]),
+      append_image(alice_hashes, sorted_unique_image(a_vals[j], arena),
                    hashes[j].range());
     }
     a_msg = channel.send(sim::PartyId::kAlice, std::move(alice_hashes),
@@ -150,7 +177,7 @@ std::vector<CandidatePair> basic_intersection_batch(
     util::BitBuffer bob_hashes;
     for (std::size_t j = 0; j < n; ++j) {
       if (skip(j)) continue;
-      append_image(bob_hashes, hashed_image(pairs[j].second, hashes[j]),
+      append_image(bob_hashes, sorted_unique_image(b_vals[j], arena),
                    hashes[j].range());
     }
     b_msg = channel.send(sim::PartyId::kBob, std::move(bob_hashes),
@@ -165,9 +192,9 @@ std::vector<CandidatePair> basic_intersection_batch(
     const util::Set peer_for_bob = read_image(a_reader, hashes[j].range());
     const util::Set peer_for_alice = read_image(b_reader, hashes[j].range());
     result[j].s_candidate =
-        filter_by_peer_image(pairs[j].first, hashes[j], peer_for_alice);
+        filter_by_peer_image(pairs[j].first, a_vals[j], peer_for_alice);
     result[j].t_candidate =
-        filter_by_peer_image(pairs[j].second, hashes[j], peer_for_bob);
+        filter_by_peer_image(pairs[j].second, b_vals[j], peer_for_bob);
   }
   return result;
 }

@@ -7,7 +7,9 @@
 #include "eq/amortized_eq.h"
 #include "hashing/pairwise.h"
 #include "obs/tracer.h"
+#include "util/arena.h"
 #include "util/bitio.h"
+#include "util/flat_buckets.h"
 #include "util/iterated_log.h"
 #include "util/rng.h"
 
@@ -35,19 +37,32 @@ IntersectionOutput bucket_eq_intersection(sim::Channel& channel,
   util::Rng bstream = shared.stream("bucket-eq-h", nonce);
   const auto h = hashing::PairwiseHash::sample(bstream, big_n, k);
 
-  // Per-bucket element lists (already sorted since inputs are sorted and we
-  // keep insertion order per bucket; order only needs to be deterministic).
-  std::vector<std::vector<std::uint64_t>> s_buckets(k);
-  std::vector<std::vector<std::uint64_t>> t_buckets(k);
-  for (std::uint64_t x : s) s_buckets[h(big_h(x))].push_back(x);
-  for (std::uint64_t y : t) t_buckets[h(big_h(y))].push_back(y);
+  // Batched bucketing: hash every element through big_h then h in two
+  // array passes (division-free hash_many), then group by counting sort
+  // into CSR bucket tables. Counting sort is stable, so each bucket holds
+  // its elements in input order — exactly the per-bucket order the old
+  // push_back loop produced, keeping the transcript bit-identical.
+  util::ScratchArena::Frame scratch_frame(channel.scratch());
+  util::ScratchArena& arena = channel.scratch();
+  const std::span<std::uint64_t> big_s = arena.alloc_u64(s.size());
+  const std::span<std::uint64_t> big_t = arena.alloc_u64(t.size());
+  big_h.hash_many(s, big_s);
+  big_h.hash_many(t, big_t);
+  const std::span<std::uint64_t> keys_s = arena.alloc_u64(s.size());
+  const std::span<std::uint64_t> keys_t = arena.alloc_u64(t.size());
+  h.hash_many(big_s, keys_s);
+  h.hash_many(big_t, keys_t);
+  // Buckets hold indices into s/t so both the original element and its
+  // big_h image stay one lookup away.
+  const util::FlatBuckets sb = util::build_flat_buckets(keys_s, k, arena);
+  const util::FlatBuckets tb = util::build_flat_buckets(keys_t, k, arena);
 
   obs::Tracer* tracer = channel.tracer();
   obs::Span protocol_span(tracer, "bucket_eq");
   if (tracer != nullptr) {
     for (std::size_t i = 0; i < k; ++i) {
       obs::observe(tracer, "bucket_eq.bucket_size",
-                   s_buckets[i].size() + t_buckets[i].size());
+                   sb.bucket_size(i) + tb.bucket_size(i));
     }
   }
 
@@ -57,11 +72,11 @@ IntersectionOutput bucket_eq_intersection(sim::Channel& channel,
   {
     obs::Span size_span(tracer, "size_exchange");
     util::BitBuffer a_sizes;
-    for (const auto& b : s_buckets) a_sizes.append_gamma64(b.size());
+    for (std::size_t i = 0; i < k; ++i) a_sizes.append_gamma64(sb.bucket_size(i));
     a_sz = channel.send(sim::PartyId::kAlice, std::move(a_sizes),
                         "bucket-sizes-a");
     util::BitBuffer b_sizes;
-    for (const auto& b : t_buckets) b_sizes.append_gamma64(b.size());
+    for (std::size_t i = 0; i < k; ++i) b_sizes.append_gamma64(tb.bucket_size(i));
     b_sz = channel.send(sim::PartyId::kBob, std::move(b_sizes),
                         "bucket-sizes-b");
   }
@@ -84,17 +99,19 @@ IntersectionOutput bucket_eq_intersection(sim::Channel& channel,
   for (std::size_t i = 0; i < k; ++i) {
     const std::uint64_t na = ra.read_gamma64();
     const std::uint64_t nb = rb.read_gamma64();
-    if (na != s_buckets[i].size() || nb != t_buckets[i].size()) {
+    if (na != sb.bucket_size(i) || nb != tb.bucket_size(i)) {
       throw std::logic_error("bucket_eq: size vector mismatch");
     }
+    const std::span<const std::uint64_t> si = sb.bucket(i);
+    const std::span<const std::uint64_t> ti = tb.bucket(i);
     for (std::size_t a = 0; a < na; ++a) {
       for (std::size_t b = 0; b < nb; ++b) {
         refs.push_back(InstanceRef{i, a, b});
         util::BitBuffer xa;
-        xa.append_bits(big_h(s_buckets[i][a]), element_bits);
+        xa.append_bits(big_s[si[a]], element_bits);
         xs.push_back(std::move(xa));
         util::BitBuffer yb;
-        yb.append_bits(big_h(t_buckets[i][b]), element_bits);
+        yb.append_bits(big_t[ti[b]], element_bits);
         ys.push_back(std::move(yb));
       }
     }
@@ -108,8 +125,8 @@ IntersectionOutput bucket_eq_intersection(sim::Channel& channel,
   IntersectionOutput out;
   for (std::size_t j = 0; j < refs.size(); ++j) {
     if (!equal[j]) continue;
-    out.alice.push_back(s_buckets[refs[j].bucket][refs[j].a_index]);
-    out.bob.push_back(t_buckets[refs[j].bucket][refs[j].b_index]);
+    out.alice.push_back(s[sb.bucket(refs[j].bucket)[refs[j].a_index]]);
+    out.bob.push_back(t[tb.bucket(refs[j].bucket)[refs[j].b_index]]);
   }
   std::sort(out.alice.begin(), out.alice.end());
   out.alice.erase(std::unique(out.alice.begin(), out.alice.end()),

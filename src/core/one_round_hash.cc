@@ -6,6 +6,7 @@
 
 #include "hashing/pairwise.h"
 #include "obs/tracer.h"
+#include "util/arena.h"
 #include "util/bitio.h"
 #include "util/iterated_log.h"
 
@@ -29,19 +30,28 @@ IntersectionOutput one_round_hash(sim::Channel& channel,
   util::Rng stream = shared.stream("one-round-hash", nonce);
   const auto h = hashing::PairwiseHash::sample(stream, universe, big_n);
 
-  auto image_of = [&h](util::SetView v) {
-    util::Set image;
-    image.reserve(v.size());
-    for (std::uint64_t x : v) image.push_back(h(x));
+  // Each side hashes its set once in a batched pass; the raw value array
+  // is reused for the final membership filter, the sorted-unique copy
+  // becomes the transmitted image. All scratch lives in the session arena.
+  util::ScratchArena::Frame scratch_frame(channel.scratch());
+  util::ScratchArena& arena = channel.scratch();
+  const std::span<std::uint64_t> s_vals = arena.alloc_u64(s.size());
+  const std::span<std::uint64_t> t_vals = arena.alloc_u64(t.size());
+  h.hash_many(s, s_vals);
+  h.hash_many(t, t_vals);
+  auto image_of = [&arena](std::span<const std::uint64_t> vals) {
+    const std::span<std::uint64_t> image = arena.alloc_u64(vals.size());
+    std::copy(vals.begin(), vals.end(), image.begin());
     std::sort(image.begin(), image.end());
-    image.erase(std::unique(image.begin(), image.end()), image.end());
-    return image;
+    const auto last = std::unique(image.begin(), image.end());
+    return std::span<const std::uint64_t>(
+        image.data(), static_cast<std::size_t>(last - image.begin()));
   };
 
   // Fixed-width hashed values — the paper's "c k log k bits" accounting.
   const unsigned width = util::ceil_log2(big_n);
   const auto append_image = [width](util::BitBuffer& out,
-                                    const util::Set& image) {
+                                    std::span<const std::uint64_t> image) {
     out.append_gamma64(image.size());
     for (std::uint64_t v : image) out.append_bits(v, width);
   };
@@ -60,13 +70,13 @@ IntersectionOutput one_round_hash(sim::Channel& channel,
   obs::Span protocol_span(channel.tracer(), "one_round_hash");
   obs::Span exchange_span(channel.tracer(), "hash_exchange");
 
-  const util::Set a_image = image_of(s);
+  const std::span<const std::uint64_t> a_image = image_of(s_vals);
   util::BitBuffer a_msg;
   append_image(a_msg, a_image);
   const util::BitBuffer a_delivered =
       channel.send(sim::PartyId::kAlice, std::move(a_msg), "hash-image-a");
 
-  const util::Set b_image = image_of(t);
+  const std::span<const std::uint64_t> b_image = image_of(t_vals);
   util::BitBuffer b_msg;
   append_image(b_msg, b_image);
   const util::BitBuffer b_delivered =
@@ -78,11 +88,11 @@ IntersectionOutput one_round_hash(sim::Channel& channel,
   const util::Set peer_for_alice = read_image(rb);
 
   IntersectionOutput out;
-  for (std::uint64_t x : s) {
-    if (util::set_contains(peer_for_alice, h(x))) out.alice.push_back(x);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (util::set_contains(peer_for_alice, s_vals[i])) out.alice.push_back(s[i]);
   }
-  for (std::uint64_t y : t) {
-    if (util::set_contains(peer_for_bob, h(y))) out.bob.push_back(y);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (util::set_contains(peer_for_bob, t_vals[i])) out.bob.push_back(t[i]);
   }
   return out;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "hashing/barrett.h"
 #include "hashing/fks.h"
 #include "obs/tracer.h"
 #include "sim/randomness.h"
@@ -63,11 +64,14 @@ IntersectionOutput private_coin_intersection(
   }
 
   // Compress both sets into [q); injectivity on each side was just checked,
-  // so each party can lift its own candidates back unambiguously.
-  auto compress = [q](util::SetView v) {
+  // so each party can lift its own candidates back unambiguously. One
+  // precomputed reducer serves compression and lifting (same exact values
+  // as `% q`).
+  const hashing::Reducer64 red_q(q);
+  auto compress = [&red_q](util::SetView v) {
     util::Set image;
     image.reserve(v.size());
-    for (std::uint64_t x : v) image.push_back(x % q);
+    for (std::uint64_t x : v) image.push_back(red_q.mod(x));
     std::sort(image.begin(), image.end());
     return image;
   };
@@ -78,10 +82,10 @@ IntersectionOutput private_coin_intersection(
   const IntersectionOutput compressed = verification_tree_intersection(
       channel, derived, /*nonce=*/0x9c, q, cs, ct, params);
 
-  auto lift = [q](util::SetView own, const util::Set& candidates) {
+  auto lift = [&red_q](util::SetView own, const util::Set& candidates) {
     std::unordered_map<std::uint64_t, std::uint64_t> preimage;
     preimage.reserve(own.size() * 2);
-    for (std::uint64_t x : own) preimage.emplace(x % q, x);
+    for (std::uint64_t x : own) preimage.emplace(red_q.mod(x), x);
     util::Set out;
     out.reserve(candidates.size());
     for (std::uint64_t c : candidates) {

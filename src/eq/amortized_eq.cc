@@ -16,16 +16,26 @@ using Group = std::vector<std::size_t>;
 
 // Self-delimiting concatenation of one side's contents for a group:
 // gamma(length) + payload per item, so distinct item tuples encode
-// distinctly.
-util::BitBuffer group_content(const Group& group,
-                              const std::vector<util::BitBuffer>& side) {
-  util::BitBuffer out;
+// distinctly. Appends into a caller-owned buffer so word storage is
+// reused across tests.
+void group_content(const Group& group,
+                   const std::vector<util::BitBuffer>& side,
+                   util::BitBuffer& out) {
+  out.clear();
   for (std::size_t idx : group) {
     out.append_gamma64(side[idx].size_bits());
     out.append_buffer(side[idx]);
   }
-  return out;
 }
+
+// Content-encode scratch shared by every test_groups call in one
+// amortized_equality run: the level-0 test has the most groups, so later
+// (smaller) batches reuse its buffers' word storage instead of
+// re-allocating per call.
+struct ContentScratch {
+  std::vector<util::BitBuffer> a;
+  std::vector<util::BitBuffer> b;
+};
 
 // One batched hash comparison over `groups` with `bits` bits per group.
 // Two rounds. Returns per-group pass flags.
@@ -35,17 +45,19 @@ std::vector<bool> test_groups(sim::Channel& channel,
                               const std::vector<Group>& groups,
                               const std::vector<util::BitBuffer>& xs,
                               const std::vector<util::BitBuffer>& ys,
-                              std::size_t bits) {
-  std::vector<util::BitBuffer> a_contents;
-  std::vector<util::BitBuffer> b_contents;
-  a_contents.reserve(groups.size());
-  b_contents.reserve(groups.size());
-  for (const Group& g : groups) {
-    a_contents.push_back(group_content(g, xs));
-    b_contents.push_back(group_content(g, ys));
+                              std::size_t bits, ContentScratch& scratch) {
+  if (scratch.a.size() < groups.size()) {
+    scratch.a.resize(groups.size());
+    scratch.b.resize(groups.size());
   }
-  return batch_equality_test(channel, shared, batch_nonce, a_contents,
-                             b_contents, bits);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    group_content(groups[g], xs, scratch.a[g]);
+    group_content(groups[g], ys, scratch.b[g]);
+  }
+  return batch_equality_test(
+      channel, shared, batch_nonce,
+      std::span<const util::BitBuffer>(scratch.a.data(), groups.size()),
+      std::span<const util::BitBuffer>(scratch.b.data(), groups.size()), bits);
 }
 
 }  // namespace
@@ -68,6 +80,7 @@ std::vector<bool> amortized_equality(sim::Channel& channel,
   for (std::size_t i = 0; i < k; ++i) groups.push_back(Group{i});
 
   const unsigned max_level = k >= 2 ? util::ceil_log2(k) : 0;
+  ContentScratch scratch;
   AmortizedEqStats local_stats;
   obs::Tracer* tracer = channel.tracer();
   obs::Span protocol_span(tracer, "amortized_eq");
@@ -84,7 +97,7 @@ std::vector<bool> amortized_equality(sim::Channel& channel,
     };
 
     const std::vector<bool> pass = test_groups(
-        channel, shared, batch_nonce(batch++), groups, xs, ys, beta);
+        channel, shared, batch_nonce(batch++), groups, xs, ys, beta, scratch);
 
     std::vector<Group> survivors;
     std::vector<Group> pending;
@@ -111,8 +124,9 @@ std::vector<bool> amortized_equality(sim::Channel& channel,
       local_stats.split_tests += halves.size();
       obs::count(tracer, "eq.split_tests", halves.size());
       obs::Span split_span(tracer, "binary_search");
-      const std::vector<bool> half_pass = test_groups(
-          channel, shared, batch_nonce(batch++), halves, xs, ys, beta);
+      const std::vector<bool> half_pass =
+          test_groups(channel, shared, batch_nonce(batch++), halves, xs, ys,
+                      beta, scratch);
       pending.clear();
       for (std::size_t h = 0; h < halves.size(); ++h) {
         (half_pass[h] ? survivors : pending).push_back(std::move(halves[h]));

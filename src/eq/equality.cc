@@ -1,5 +1,6 @@
 #include "eq/equality.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -40,6 +41,7 @@ std::vector<bool> batch_equality_test(sim::Channel& channel,
 
   // Alice -> Bob: concatenated hashes, one per instance.
   util::BitBuffer alice_msg;
+  alice_msg.reserve_bits(n * bits);
   for (std::size_t i = 0; i < n; ++i) {
     hashing::mask_hash_wide(xa[i], bits, shared.stream("eq", nonce, i),
                             alice_msg);
@@ -63,10 +65,14 @@ std::vector<bool> batch_equality_test(sim::Channel& channel,
     expected->clear();
     hashing::mask_hash_wide(xb[i], bits, shared.stream("eq", nonce, i),
                             *expected);
+    // Word-chunked comparison: same bits consumed from `reader` as the old
+    // bit-by-bit loop, 64 at a time.
     bool match = true;
     util::BitReader er(*expected);
-    for (std::size_t b = 0; b < bits; ++b) {
-      if (reader.read_bit() != er.read_bit()) match = false;
+    for (std::size_t b = 0; b < bits; b += 64) {
+      const unsigned chunk =
+          static_cast<unsigned>(std::min<std::size_t>(64, bits - b));
+      if (reader.read_bits(chunk) != er.read_bits(chunk)) match = false;
     }
     result[i] = match;
     verdicts.append_bit(match);

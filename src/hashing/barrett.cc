@@ -1,0 +1,31 @@
+#include "hashing/barrett.h"
+
+#include <stdexcept>
+
+namespace setint::hashing {
+
+Reducer64::Reducer64(std::uint64_t d) : d_(d) {
+  if (d == 0) throw std::invalid_argument("Reducer64: divisor 0");
+  // ceil(2^128 / d) = floor((2^128 - 1) / d) + 1 for d not a power of two;
+  // for d a power of two the +1 still yields the exact constant because
+  // the discarded low bits of M*a are what the mulhi truncates. For d == 1
+  // the constant wraps to 0 and mod() correctly returns 0 everywhere.
+  m_ = ~static_cast<unsigned __int128>(0) / d + 1;
+}
+
+Montgomery64::Montgomery64(std::uint64_t m) : m_(m) {
+  if ((m & 1) == 0 || m < 3 || m >= (std::uint64_t{1} << 63)) {
+    throw std::invalid_argument("Montgomery64: modulus must be odd, in [3, 2^63)");
+  }
+  // Newton-Hensel iteration: each step doubles the number of correct low
+  // bits of m^-1 mod 2^64; six steps cover all 64.
+  std::uint64_t inv = m;
+  for (int i = 0; i < 6; ++i) inv *= 2 - m * inv;
+  neg_inv_ = ~inv + 1;
+  const std::uint64_t r = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(1) << 64) % m);  // 2^64 mod m
+  r2_ = static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(r) * r % m);  // 2^128 mod m
+}
+
+}  // namespace setint::hashing

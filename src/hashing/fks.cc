@@ -1,8 +1,9 @@
 #include "hashing/fks.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <unordered_set>
+#include <vector>
 
 #include "hashing/primes.h"
 #include "util/iterated_log.h"
@@ -33,13 +34,21 @@ FksCompressor FksCompressor::sample(util::Rng& rng, std::uint64_t universe,
   return FksCompressor(q);
 }
 
-bool FksCompressor::injective_on(util::SetView s) const {
-  std::unordered_set<std::uint64_t> seen;
-  seen.reserve(s.size() * 2);
-  for (std::uint64_t x : s) {
-    if (!seen.insert(x % q_).second) return false;
+void FksCompressor::hash_many(std::span<const std::uint64_t> xs,
+                              std::span<std::uint64_t> out) const {
+  if (out.size() < xs.size()) {
+    throw std::invalid_argument("FksCompressor::hash_many: output too small");
   }
-  return true;
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = red_q_.mod(xs[i]);
+}
+
+bool FksCompressor::injective_on(util::SetView s) const {
+  // Sort-and-scan beats a hash set for the small sets this sees, and does
+  // no per-element allocation.
+  std::vector<std::uint64_t> images(s.size());
+  hash_many(s, images);
+  std::sort(images.begin(), images.end());
+  return std::adjacent_find(images.begin(), images.end()) == images.end();
 }
 
 void FksCompressor::append_seed(util::BitBuffer& out) const {

@@ -4,10 +4,16 @@
 // is injective with probability 1 - 1/poly(k), and the prime costs only
 // O(log k + log log n) bits to communicate — the key to the constructive
 // private-randomness protocol.
+//
+// Evaluation is division-free: the reduction mod q goes through a
+// precomputed Lemire reducer (hashing/barrett.h) with values identical to
+// plain `x % q`.
 #pragma once
 
 #include <cstdint>
+#include <span>
 
+#include "hashing/barrett.h"
 #include "util/bitio.h"
 #include "util/rng.h"
 #include "util/set_util.h"
@@ -22,8 +28,13 @@ class FksCompressor {
   static FksCompressor sample(util::Rng& rng, std::uint64_t universe,
                               std::uint64_t max_elements, int strength = 3);
 
-  std::uint64_t operator()(std::uint64_t x) const { return x % q_; }
+  std::uint64_t operator()(std::uint64_t x) const { return red_q_.mod(x); }
   std::uint64_t range() const { return q_; }
+
+  // Array-batched evaluation: out[i] = xs[i] mod q. Requires out.size()
+  // >= xs.size().
+  void hash_many(std::span<const std::uint64_t> xs,
+                 std::span<std::uint64_t> out) const;
 
   // True iff the map is injective on s (all images distinct).
   bool injective_on(util::SetView s) const;
@@ -33,8 +44,9 @@ class FksCompressor {
   std::size_t seed_bits() const;
 
  private:
-  explicit FksCompressor(std::uint64_t q) : q_(q) {}
+  explicit FksCompressor(std::uint64_t q) : q_(q), red_q_(q) {}
   std::uint64_t q_;
+  Reducer64 red_q_;  // derived from q_, never serialized
 };
 
 }  // namespace setint::hashing

@@ -16,6 +16,19 @@ std::uint64_t mask_hash(const util::BitBuffer& data, unsigned bits,
       tail == 0 ? 0 : ((tail == 64) ? ~std::uint64_t{0}
                                     : ((std::uint64_t{1} << tail) - 1));
   std::uint64_t out = 0;
+  if (nbits > 0 && nbits <= 64) {
+    // Single-word fast path (the common case: bucketed element payloads
+    // fit one word). Exactly two stream draws per hash bit, in the same
+    // order as the generic loop below, so the output is bit-identical.
+    const std::uint64_t word =
+        tail == 0 ? words[0] : (words[0] & tail_mask);
+    for (unsigned b = 0; b < bits; ++b) {
+      unsigned parity = std::popcount(stream.next() & nbits) & 1u;
+      parity ^= std::popcount(stream.next() & word) & 1u;
+      out |= static_cast<std::uint64_t>(parity) << b;
+    }
+    return out;
+  }
   for (unsigned b = 0; b < bits; ++b) {
     // Parity of AND between data and a fresh mask. Length information is
     // folded in via an extra mask word keyed on nbits so that messages that

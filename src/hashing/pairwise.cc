@@ -3,11 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "hashing/modmath.h"
 #include "hashing/primes.h"
 #include "util/iterated_log.h"
 
 namespace setint::hashing {
+
+PairwiseHash::PairwiseHash(std::uint64_t p, std::uint64_t a, std::uint64_t b,
+                           std::uint64_t t)
+    : p_(p), a_(a), b_(b), t_(t), red_p_(p), red_t_(t) {
+  if ((p & 1) != 0 && p >= 3 && p < (std::uint64_t{1} << 63)) {
+    mont_.emplace(p);
+    a_mont_ = mont_->to_mont(a);
+  }
+}
 
 PairwiseHash PairwiseHash::sample(util::Rng& rng, std::uint64_t universe,
                                   std::uint64_t range) {
@@ -23,8 +31,23 @@ PairwiseHash PairwiseHash::sample(util::Rng& rng, std::uint64_t universe,
   return PairwiseHash(p, a, b, range);
 }
 
-std::uint64_t PairwiseHash::operator()(std::uint64_t x) const {
-  return addmod(mulmod(a_, x % p_, p_), b_, p_) % t_;
+void PairwiseHash::hash_many(std::span<const std::uint64_t> xs,
+                             std::span<std::uint64_t> out) const {
+  if (out.size() < xs.size()) {
+    throw std::invalid_argument("PairwiseHash::hash_many: output too small");
+  }
+  if (mont_) {
+    const Montgomery64 mont = *mont_;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const std::uint64_t xr = red_p_.mod(xs[i]);
+      const std::uint64_t ax = mont.mul(a_mont_, xr);
+      const std::uint64_t space = p_ - ax;
+      const std::uint64_t v = b_ >= space ? b_ - space : ax + b_;
+      out[i] = red_t_.mod(v);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (*this)(xs[i]);
 }
 
 void PairwiseHash::append_seed(util::BitBuffer& out) const {

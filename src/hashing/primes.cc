@@ -1,31 +1,98 @@
 #include "hashing/primes.h"
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <limits>
+#include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "hashing/barrett.h"
 #include "hashing/modmath.h"
 
 namespace setint::hashing {
 
 namespace {
 
-bool miller_rabin_witness(std::uint64_t n, std::uint64_t a, std::uint64_t d,
-                          unsigned r) {
+constexpr std::uint64_t kWitnesses[] = {2, 3, 5, 7, 11, 13, 17, 19,
+                                        23, 29, 31, 37};
+
+// Miller-Rabin witness check in the Montgomery domain: all the squarings
+// of the powmod ladder run division-free. Exact for any odd n in [3, 2^63).
+bool miller_rabin_witness_mont(const Montgomery64& mont, std::uint64_t n,
+                               std::uint64_t a, std::uint64_t d, unsigned r) {
+  const std::uint64_t one = mont.to_mont(1);
+  const std::uint64_t minus_one = mont.to_mont(n - 1);
+  std::uint64_t base = mont.to_mont(a % n);
+  std::uint64_t x = one;
+  std::uint64_t exp = d;
+  while (exp > 0) {
+    if (exp & 1) x = mont.mul(x, base);
+    base = mont.mul(base, base);
+    exp >>= 1;
+  }
+  if (x == one || x == minus_one) return false;  // not a witness
+  for (unsigned i = 1; i < r; ++i) {
+    x = mont.mul(x, x);
+    if (x == minus_one) return false;
+  }
+  return true;  // witnesses compositeness
+}
+
+// Reference ladder via u128 `%` for the rare n >= 2^63 (outside the
+// Montgomery domain's modulus range).
+bool miller_rabin_witness_wide(std::uint64_t n, std::uint64_t a,
+                               std::uint64_t d, unsigned r) {
   std::uint64_t x = powmod(a % n, d, n);
-  if (x == 1 || x == n - 1) return false;  // not a witness
+  if (x == 1 || x == n - 1) return false;
   for (unsigned i = 1; i < r; ++i) {
     x = mulmod(x, x, n);
     if (x == n - 1) return false;
   }
-  return true;  // witnesses compositeness
+  return true;
+}
+
+// Next-prime memo, sharded by candidate bit-width (the satellite contract:
+// one thread-safe table per magnitude class, so concurrent batch sessions
+// probing different size regimes never contend on one lock). Bounded per
+// shard; a full shard stops inserting but stays correct.
+struct CacheShard {
+  std::shared_mutex mu;
+  std::unordered_map<std::uint64_t, std::uint64_t> next_prime;
+};
+
+constexpr std::size_t kMaxEntriesPerShard = 1 << 14;
+
+std::array<CacheShard, 64>& cache_shards() {
+  static std::array<CacheShard, 64> shards;
+  return shards;
+}
+
+CacheShard& shard_for(std::uint64_t n) {
+  return cache_shards()[63 - static_cast<unsigned>(std::countl_zero(n | 1))];
+}
+
+std::atomic<std::uint64_t> g_cache_hits{0};
+std::atomic<std::uint64_t> g_cache_misses{0};
+
+std::uint64_t next_prime_uncached(std::uint64_t n) {
+  std::uint64_t c = n | 1;  // first odd >= n
+  while (true) {
+    if (is_prime(c)) return c;
+    if (c > std::numeric_limits<std::uint64_t>::max() - 2) {
+      throw std::overflow_error("next_prime_at_least: no 64-bit prime");
+    }
+    c += 2;
+  }
 }
 
 }  // namespace
 
 bool is_prime(std::uint64_t n) {
   if (n < 2) return false;
-  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
-                          23ull, 29ull, 31ull, 37ull}) {
+  for (std::uint64_t p : kWitnesses) {
     if (n == p) return true;
     if (n % p == 0) return false;
   }
@@ -35,23 +102,40 @@ bool is_prime(std::uint64_t n) {
     d >>= 1;
     ++r;
   }
-  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
-                          23ull, 29ull, 31ull, 37ull}) {
-    if (miller_rabin_witness(n, a, d, r)) return false;
+  if (n < (std::uint64_t{1} << 63)) {
+    // n is odd here (even n were divisible by witness 2 above).
+    const Montgomery64 mont(n);
+    for (std::uint64_t a : kWitnesses) {
+      if (miller_rabin_witness_mont(mont, n, a, d, r)) return false;
+    }
+    return true;
+  }
+  for (std::uint64_t a : kWitnesses) {
+    if (miller_rabin_witness_wide(n, a, d, r)) return false;
   }
   return true;
 }
 
 std::uint64_t next_prime_at_least(std::uint64_t n) {
   if (n <= 2) return 2;
-  std::uint64_t c = n | 1;  // first odd >= n
-  while (true) {
-    if (is_prime(c)) return c;
-    if (c > std::numeric_limits<std::uint64_t>::max() - 2) {
-      throw std::overflow_error("next_prime_at_least: no 64-bit prime");
+  CacheShard& shard = shard_for(n);
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    const auto it = shard.next_prime.find(n);
+    if (it != shard.next_prime.end()) {
+      g_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
     }
-    c += 2;
   }
+  g_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t p = next_prime_uncached(n);
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    if (shard.next_prime.size() < kMaxEntriesPerShard) {
+      shard.next_prime.emplace(n, p);
+    }
+  }
+  return p;
 }
 
 std::uint64_t random_prime_in(util::Rng& rng, std::uint64_t lo,
@@ -66,6 +150,26 @@ std::uint64_t random_prime_in(util::Rng& rng, std::uint64_t lo,
   const std::uint64_t p = next_prime_at_least(lo);
   if (p < hi) return p;
   throw std::invalid_argument("random_prime_in: no prime in range");
+}
+
+PrimeCacheStats prime_cache_stats() {
+  PrimeCacheStats stats;
+  stats.hits = g_cache_hits.load(std::memory_order_relaxed);
+  stats.misses = g_cache_misses.load(std::memory_order_relaxed);
+  for (CacheShard& shard : cache_shards()) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    stats.entries += shard.next_prime.size();
+  }
+  return stats;
+}
+
+void prime_cache_clear() {
+  for (CacheShard& shard : cache_shards()) {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.next_prime.clear();
+  }
+  g_cache_hits.store(0, std::memory_order_relaxed);
+  g_cache_misses.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace setint::hashing

@@ -44,6 +44,7 @@
 #include "sim/adversary.h"
 #include "sim/fault.h"
 #include "sim/transcript.h"
+#include "util/arena.h"
 #include "util/bitio.h"
 
 namespace setint::obs {
@@ -117,6 +118,12 @@ class Channel {
   // thread-affinity contract in docs/OBSERVABILITY.md.
   util::BufferPool& buffer_pool() { return buffer_pool_; }
 
+  // Per-session word-array scratch (hashed images, CSR bucket tables,
+  // counting-sort cursors). Same single-thread, one-session affinity as
+  // buffer_pool(); protocol entry points open a util::ScratchArena::Frame
+  // and everything allocated inside rewinds when the stage returns.
+  util::ScratchArena& scratch() { return scratch_; }
+
  private:
   CostStats cost_;
   bool has_last_direction_ = false;
@@ -127,6 +134,7 @@ class Channel {
   Adversary* adversary_ = nullptr;
   const core::ResourceLimits* limits_ = nullptr;
   util::BufferPool buffer_pool_;
+  util::ScratchArena scratch_;
 };
 
 }  // namespace setint::sim

@@ -1,0 +1,41 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace setint::util {
+
+std::span<std::uint64_t> ScratchArena::alloc_u64(std::size_t n) {
+  ++allocations_;
+  words_in_use_ += n;
+  high_water_words_ = std::max(high_water_words_, words_in_use_);
+  if (n == 0) return {};
+  // Advance through existing blocks (their capacity survives frame
+  // rewinds) before growing a new one.
+  while (current_block_ < blocks_.size()) {
+    Block& block = blocks_[current_block_];
+    if (block.capacity - offset_ >= n) {
+      std::uint64_t* out = block.words.get() + offset_;
+      offset_ += n;
+      return {out, n};
+    }
+    ++current_block_;
+    offset_ = 0;
+  }
+  Block fresh;
+  fresh.capacity = std::max({kMinBlockWords, n,
+                             blocks_.empty() ? 0 : blocks_.back().capacity * 2});
+  fresh.words = std::make_unique_for_overwrite<std::uint64_t[]>(fresh.capacity);
+  blocks_.push_back(std::move(fresh));
+  current_block_ = blocks_.size() - 1;
+  offset_ = n;
+  return {blocks_.back().words.get(), n};
+}
+
+std::span<std::uint64_t> ScratchArena::alloc_u64_zeroed(std::size_t n) {
+  const std::span<std::uint64_t> out = alloc_u64(n);
+  std::memset(out.data(), 0, n * sizeof(std::uint64_t));
+  return out;
+}
+
+}  // namespace setint::util

@@ -1,0 +1,85 @@
+// Session-scoped bump-allocated scratch memory.
+//
+// The hot protocol paths need short-lived uint64 arrays — hashed images,
+// bucket keys, counting-sort tables — whose lifetimes nest exactly like
+// the call stack. ScratchArena extends the util::BufferPool idea (recycle
+// capacity, never give it back to the allocator mid-session) from
+// BitBuffers to raw word arrays: allocation is a pointer bump into
+// chunked blocks, and a Frame rewinds the bump mark on scope exit so
+// nested protocol stages reuse the same storage round after round.
+//
+// Ownership rules (docs/PERFORMANCE.md):
+//   * an arena belongs to exactly ONE protocol session — sim::Channel owns
+//     one per channel, same single-thread affinity as its BufferPool;
+//   * spans handed out are valid until the enclosing Frame is destroyed
+//     (blocks never move or shrink inside a frame);
+//   * protocol entry points open a Frame; helpers borrow the arena but
+//     never hold spans past their caller's frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace setint::util {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  // Uninitialized scratch words, valid until the enclosing Frame closes.
+  std::span<std::uint64_t> alloc_u64(std::size_t n);
+
+  // Same, but zero-filled (counting-sort tables).
+  std::span<std::uint64_t> alloc_u64_zeroed(std::size_t n);
+
+  // Observability: words currently in use / high-water across the session.
+  std::size_t words_in_use() const { return words_in_use_; }
+  std::size_t high_water_words() const { return high_water_words_; }
+  std::uint64_t allocations() const { return allocations_; }
+
+  // RAII rewind mark. Frames nest; destroying a frame invalidates every
+  // span allocated after it was opened.
+  class Frame {
+   public:
+    explicit Frame(ScratchArena& arena)
+        : arena_(&arena),
+          block_(arena.current_block_),
+          offset_(arena.offset_),
+          words_(arena.words_in_use_) {}
+    ~Frame() {
+      arena_->current_block_ = block_;
+      arena_->offset_ = offset_;
+      arena_->words_in_use_ = words_;
+    }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+   private:
+    ScratchArena* arena_;
+    std::size_t block_;
+    std::size_t offset_;
+    std::size_t words_;
+  };
+
+ private:
+  struct Block {
+    std::unique_ptr<std::uint64_t[]> words;
+    std::size_t capacity = 0;
+  };
+
+  static constexpr std::size_t kMinBlockWords = 1024;
+
+  std::vector<Block> blocks_;
+  std::size_t current_block_ = 0;  // index of the block being bumped
+  std::size_t offset_ = 0;         // words used in the current block
+  std::size_t words_in_use_ = 0;
+  std::size_t high_water_words_ = 0;
+  std::uint64_t allocations_ = 0;
+};
+
+}  // namespace setint::util

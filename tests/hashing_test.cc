@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "hashing/barrett.h"
 #include "hashing/fks.h"
 #include "hashing/mask_hash.h"
 #include "hashing/modmath.h"
@@ -316,6 +317,135 @@ TEST(MaskHash, RejectsOverwideSingle) {
   util::BitBuffer data;
   util::Rng stream(1);
   EXPECT_THROW(hashing::mask_hash(data, 65, stream), std::invalid_argument);
+}
+
+// --- The division-free reduction engine (hashing/barrett.h) -----------------
+// Exactness over the full 64-bit domain is the whole contract: these
+// reducers replace `%` inside hash evaluation, and golden transcripts pin
+// that the replacement changes no computed value.
+
+TEST(Reducer64, MatchesHardwareRemainderRandomized) {
+  util::Rng rng(0xbad5eed);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::uint64_t d = rng.next() | 1;  // random odd divisor
+    const std::uint64_t a = rng.next();
+    const hashing::Reducer64 red(d);
+    ASSERT_EQ(red.mod(a), a % d) << "a=" << a << " d=" << d;
+  }
+}
+
+TEST(Reducer64, EdgeDivisorsAndValues) {
+  const std::uint64_t max64 = ~std::uint64_t{0};
+  const std::uint64_t divisors[] = {1,       2,        3,          4,
+                                    5,       (1u << 16), (1ull << 32), (1ull << 62),
+                                    max64 - 1, max64};
+  const std::uint64_t values[] = {0, 1, 2, 3, (1ull << 32) - 1, (1ull << 32),
+                                  (1ull << 63), max64 - 1, max64};
+  for (std::uint64_t d : divisors) {
+    const hashing::Reducer64 red(d);
+    for (std::uint64_t a : values) {
+      ASSERT_EQ(red.mod(a), a % d) << "a=" << a << " d=" << d;
+    }
+  }
+}
+
+TEST(Reducer64, RejectsZeroDivisor) {
+  EXPECT_THROW(hashing::Reducer64(0), std::invalid_argument);
+}
+
+TEST(Montgomery64, MulMatchesMulmodRandomized) {
+  util::Rng rng(0x5ca1ab1e);
+  for (int trial = 0; trial < 20000; ++trial) {
+    // Random odd modulus in [3, 2^63).
+    const std::uint64_t m = (rng.below((std::uint64_t{1} << 62) - 2) * 2) + 3;
+    const std::uint64_t a = rng.below(m);
+    const std::uint64_t b = rng.below(m);
+    const hashing::Montgomery64 mont(m);
+    // Mixed-domain product: mul(to_mont(a), b) == a*b mod m.
+    const std::uint64_t am = mont.to_mont(a);
+    ASSERT_EQ(mont.mul(am, b), hashing::mulmod(a, b, m))
+        << "a=" << a << " b=" << b << " m=" << m;
+    ASSERT_EQ(mont.from_mont(am), a);
+  }
+}
+
+TEST(Montgomery64, RejectsUnusableModuli) {
+  EXPECT_THROW(hashing::Montgomery64(0), std::invalid_argument);
+  EXPECT_THROW(hashing::Montgomery64(1), std::invalid_argument);
+  EXPECT_THROW(hashing::Montgomery64(4), std::invalid_argument);  // even
+  EXPECT_THROW(hashing::Montgomery64(std::uint64_t{1} << 63),
+               std::invalid_argument);
+}
+
+TEST(PairwiseHash, EngineMatchesPlainFormula) {
+  util::Rng rng(7331);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t universe = 2 + rng.below(std::uint64_t{1} << 40);
+    const std::uint64_t range = 2 + rng.below(1u << 20);
+    const auto h = hashing::PairwiseHash::sample(rng, universe, range);
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t x = rng.below(universe);
+      const std::uint64_t p = h.prime();
+      const std::uint64_t expected =
+          (hashing::mulmod(h.multiplier(), x % p, p) + h.offset()) % p %
+          h.range();
+      ASSERT_EQ(h(x), expected) << "x=" << x << " p=" << p;
+    }
+  }
+}
+
+// --- The next-prime memo (hashing/primes.h) ---------------------------------
+
+TEST(PrimeCache, WarmLookupsHitAndAgree) {
+  hashing::prime_cache_clear();
+  const auto before = hashing::prime_cache_stats();
+  EXPECT_EQ(before.entries, 0u);
+  EXPECT_EQ(before.hits, 0u);
+
+  util::Rng rng(99);
+  std::vector<std::uint64_t> candidates(64);
+  for (auto& c : candidates) c = 100 + rng.below(1u << 26);
+
+  std::vector<std::uint64_t> cold;
+  for (std::uint64_t c : candidates) {
+    cold.push_back(hashing::next_prime_at_least(c));
+  }
+  const auto after_cold = hashing::prime_cache_stats();
+  EXPECT_EQ(after_cold.misses, candidates.size());
+  EXPECT_EQ(after_cold.entries, candidates.size());
+
+  std::vector<std::uint64_t> warm;
+  for (std::uint64_t c : candidates) {
+    warm.push_back(hashing::next_prime_at_least(c));
+  }
+  EXPECT_EQ(warm, cold);
+  const auto after_warm = hashing::prime_cache_stats();
+  EXPECT_EQ(after_warm.hits, candidates.size());
+  EXPECT_EQ(after_warm.entries, candidates.size());
+}
+
+TEST(PrimeCache, DoesNotChangeWhichPrimeASessionPicks) {
+  // The satellite contract: caching must preserve seed-determinism of
+  // WHICH prime a session samples — cold and warm runs of the same seeded
+  // stream agree.
+  hashing::prime_cache_clear();
+  std::vector<std::uint64_t> cold_primes;
+  {
+    util::Rng rng(4242);
+    for (int i = 0; i < 32; ++i) {
+      cold_primes.push_back(
+          hashing::random_prime_in(rng, 1u << 16, 1u << 22));
+    }
+  }
+  std::vector<std::uint64_t> warm_primes;
+  {
+    util::Rng rng(4242);
+    for (int i = 0; i < 32; ++i) {
+      warm_primes.push_back(
+          hashing::random_prime_in(rng, 1u << 16, 1u << 22));
+    }
+  }
+  EXPECT_EQ(warm_primes, cold_primes);
 }
 
 }  // namespace

@@ -1,0 +1,167 @@
+// Transcript-digest pins across the whole protocol zoo.
+//
+// tests/golden_test.cc pins three flagship runs at one reference instance;
+// this suite extends the bit-identity net to EVERY core two-party protocol
+// (one digest per protocol/config) and both multiparty variants. It exists
+// so the hot-path compute engine (docs/PERFORMANCE.md) — batched hashing,
+// flat CSR buckets, arena scratch — can keep evolving under a guarantee
+// that it changes how bits are computed, never which bits are sent.
+//
+// The multiparty coordinator/tournament run their two-party sub-protocols
+// on internal channels without transcript recording, so their pins are the
+// network-level cost surface (total bits, rounds, max per-player bits)
+// plus result exactness instead of a payload digest.
+//
+// If a pin moves because of a DELIBERATE protocol change, re-derive the
+// constants (the failure message prints the new values) and say so in the
+// change description.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/basic_intersection.h"
+#include "core/bucket_eq.h"
+#include "core/deterministic_exchange.h"
+#include "core/one_round_hash.h"
+#include "core/private_coin.h"
+#include "core/toy_protocol.h"
+#include "core/verification_tree.h"
+#include "multiparty/coordinator.h"
+#include "multiparty/tournament.h"
+#include "sim/channel.h"
+#include "sim/network.h"
+#include "sim/randomness.h"
+#include "util/rng.h"
+#include "util/set_util.h"
+
+namespace setint {
+namespace {
+
+constexpr std::uint64_t kUniverse = std::uint64_t{1} << 22;
+
+util::SetPair reference_pair() {
+  util::Rng wrng(424242);
+  return util::random_set_pair(wrng, kUniverse, 256, 128);
+}
+
+struct RunPin {
+  std::uint64_t bits;
+  std::uint64_t rounds;
+  std::uint64_t digest;
+};
+
+void expect_pin(const sim::Channel& ch, const RunPin& pin) {
+  EXPECT_EQ(ch.cost().bits_total, pin.bits);
+  EXPECT_EQ(ch.cost().rounds, pin.rounds);
+  EXPECT_EQ(ch.transcript()->digest(), pin.digest);
+}
+
+TEST(TranscriptDigest, DeterministicExchange) {
+  const util::SetPair p = reference_pair();
+  sim::Channel ch(/*record_transcript=*/true);
+  const auto out = core::deterministic_exchange(ch, kUniverse, p.s, p.t);
+  EXPECT_EQ(out.alice, p.expected_intersection);
+  expect_pin(ch, {6137u, 2u, 0xb642797fce970f57ull});
+}
+
+TEST(TranscriptDigest, OneRoundHash) {
+  const util::SetPair p = reference_pair();
+  sim::Channel ch(/*record_transcript=*/true);
+  sim::SharedRandomness sh(31337);
+  const auto out = core::one_round_hash(ch, sh, 7, kUniverse, p.s, p.t);
+  EXPECT_EQ(out.alice, p.expected_intersection);
+  expect_pin(ch, {12322u, 2u, 0x36c9418be963de9dull});
+}
+
+TEST(TranscriptDigest, BucketEq) {
+  const util::SetPair p = reference_pair();
+  sim::Channel ch(/*record_transcript=*/true);
+  sim::SharedRandomness sh(31337);
+  const auto out = core::bucket_eq_intersection(ch, sh, 7, kUniverse, p.s, p.t);
+  EXPECT_EQ(out.alice, p.expected_intersection);
+  expect_pin(ch, {4285u, 46u, 0x86c456de5495ada7ull});
+}
+
+TEST(TranscriptDigest, BasicIntersection) {
+  const util::SetPair p = reference_pair();
+  sim::Channel ch(/*record_transcript=*/true);
+  sim::SharedRandomness sh(31337);
+  const auto cand =
+      core::basic_intersection(ch, sh, 7, kUniverse, p.s, p.t, 0.01);
+  // Lemma 3.3: candidates always contain the true intersection.
+  EXPECT_TRUE(util::is_subset(p.expected_intersection, cand.s_candidate));
+  expect_pin(ch, {12356u, 4u, 0x20c1b15d0918bd46ull});
+}
+
+TEST(TranscriptDigest, ToyProtocol) {
+  const util::SetPair p = reference_pair();
+  sim::Channel ch(/*record_transcript=*/true);
+  sim::SharedRandomness sh(31337);
+  const auto out = core::toy_bucket_intersection(ch, sh, 7, kUniverse, p.s, p.t);
+  EXPECT_EQ(out.alice, p.expected_intersection);
+  expect_pin(ch, {6391u, 12u, 0x8050d4ac26394e88ull});
+}
+
+// One pin per tree depth: r=1 (the one-round base case), r=2 (one real
+// verification stage), r=0 (auto: log* k).
+TEST(TranscriptDigest, VerificationTreeDepths) {
+  const RunPin pins[] = {
+      {12322u, 2u, 0x36c9418be963de9dull},   // r=1
+      {10574u, 8u, 0x2555644ef1bb7fa3ull},   // r=2
+      {8928u, 20u, 0x2cb7e9e0ecbacad5ull},   // r=0 (auto)
+  };
+  const int depths[] = {1, 2, 0};
+  const util::SetPair p = reference_pair();
+  for (int i = 0; i < 3; ++i) {
+    SCOPED_TRACE(testing::Message() << "rounds_r=" << depths[i]);
+    sim::Channel ch(/*record_transcript=*/true);
+    sim::SharedRandomness sh(31337);
+    core::VerificationTreeParams params;
+    params.rounds_r = depths[i];
+    const auto out = core::verification_tree_intersection(ch, sh, 7, kUniverse,
+                                                          p.s, p.t, params);
+    EXPECT_EQ(out.alice, p.expected_intersection);
+    expect_pin(ch, pins[i]);
+  }
+}
+
+TEST(TranscriptDigest, PrivateCoin) {
+  const util::SetPair p = reference_pair();
+  sim::Channel ch(/*record_transcript=*/true);
+  util::Rng priv(2024);
+  const auto out =
+      core::private_coin_intersection(ch, priv, kUniverse, p.s, p.t, {});
+  EXPECT_EQ(out.alice, p.expected_intersection);
+  expect_pin(ch, {8901u, 18u, 0x8a404eecbff2b953ull});
+}
+
+TEST(TranscriptDigest, MultipartyCoordinator) {
+  util::Rng wrng(555);
+  const auto inst =
+      util::random_multi_sets(wrng, std::uint64_t{1} << 20, 9, 64, 16);
+  sim::Network net(9);
+  sim::SharedRandomness sh(99);
+  const auto res =
+      multiparty::coordinator_intersection(net, sh, 1u << 20, inst.sets);
+  EXPECT_EQ(res.intersection, inst.expected_intersection);
+  EXPECT_EQ(net.total_bits(), 20186u);
+  EXPECT_EQ(net.rounds(), 22u);
+  EXPECT_EQ(net.max_player_bits(), 20186u);
+}
+
+TEST(TranscriptDigest, MultipartyTournament) {
+  util::Rng wrng(555);
+  const auto inst =
+      util::random_multi_sets(wrng, std::uint64_t{1} << 20, 9, 64, 16);
+  sim::Network net(9);
+  sim::SharedRandomness sh(99);
+  const auto res =
+      multiparty::tournament_intersection(net, sh, 1u << 20, inst.sets);
+  EXPECT_EQ(res.intersection, inst.expected_intersection);
+  EXPECT_EQ(net.total_bits(), 12086u);
+  EXPECT_EQ(net.rounds(), 46u);
+  EXPECT_EQ(net.max_player_bits(), 4777u);
+}
+
+}  // namespace
+}  // namespace setint

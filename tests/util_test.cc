@@ -3,11 +3,15 @@
 // generators.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/bitio.h"
+#include "util/flat_buckets.h"
 #include "util/iterated_log.h"
 #include "util/rng.h"
 #include "util/set_util.h"
@@ -479,6 +483,140 @@ TEST(RandomMultiSets, PlantsExactIntersection) {
       EXPECT_EQ(s.size(), 64u);
       EXPECT_TRUE(util::is_canonical_set(s));
     }
+  }
+}
+
+// ---------- ScratchArena ----------
+
+TEST(ScratchArena, AllocatesDisjointSpansAndTracksUsage) {
+  util::ScratchArena arena;
+  util::ScratchArena::Frame frame(arena);
+  auto a = arena.alloc_u64(100);
+  auto b = arena.alloc_u64(50);
+  ASSERT_EQ(a.size(), 100u);
+  ASSERT_EQ(b.size(), 50u);
+  std::fill(a.begin(), a.end(), 0xAAu);
+  std::fill(b.begin(), b.end(), 0xBBu);
+  // Writes through one span never land in the other.
+  EXPECT_TRUE(std::all_of(a.begin(), a.end(),
+                          [](std::uint64_t w) { return w == 0xAAu; }));
+  EXPECT_EQ(arena.words_in_use(), 150u);
+  EXPECT_GE(arena.high_water_words(), 150u);
+  EXPECT_EQ(arena.allocations(), 2u);
+}
+
+TEST(ScratchArena, ZeroedAllocationIsZeroEvenWhenRecycled) {
+  util::ScratchArena arena;
+  {
+    util::ScratchArena::Frame frame(arena);
+    auto dirty = arena.alloc_u64(256);
+    std::fill(dirty.begin(), dirty.end(), ~std::uint64_t{0});
+  }
+  util::ScratchArena::Frame frame(arena);
+  auto z = arena.alloc_u64_zeroed(256);
+  EXPECT_TRUE(std::all_of(z.begin(), z.end(),
+                          [](std::uint64_t w) { return w == 0; }));
+}
+
+TEST(ScratchArena, FrameRewindReusesStorageWithoutGrowingHighWater) {
+  util::ScratchArena arena;
+  const std::uint64_t* first_round_ptr = nullptr;
+  {
+    util::ScratchArena::Frame frame(arena);
+    first_round_ptr = arena.alloc_u64(512).data();
+  }
+  EXPECT_EQ(arena.words_in_use(), 0u);
+  const std::size_t high_water = arena.high_water_words();
+  for (int round = 0; round < 10; ++round) {
+    util::ScratchArena::Frame frame(arena);
+    auto span = arena.alloc_u64(512);
+    // Same block, same offset: round-over-round reuse, no fresh heap.
+    EXPECT_EQ(span.data(), first_round_ptr);
+  }
+  EXPECT_EQ(arena.high_water_words(), high_water);
+  EXPECT_EQ(arena.allocations(), 11u);
+}
+
+TEST(ScratchArena, NestedFramesRewindToTheirOwnMarks) {
+  util::ScratchArena arena;
+  util::ScratchArena::Frame outer(arena);
+  auto outer_span = arena.alloc_u64(64);
+  std::fill(outer_span.begin(), outer_span.end(), 7u);
+  {
+    util::ScratchArena::Frame inner(arena);
+    auto inner_span = arena.alloc_u64(4096);  // forces block growth
+    std::fill(inner_span.begin(), inner_span.end(), 9u);
+    EXPECT_EQ(arena.words_in_use(), 64u + 4096u);
+  }
+  // Inner frame rewound its own allocation; the outer span is untouched.
+  EXPECT_EQ(arena.words_in_use(), 64u);
+  EXPECT_TRUE(std::all_of(outer_span.begin(), outer_span.end(),
+                          [](std::uint64_t w) { return w == 7u; }));
+}
+
+// ---------- FlatBuckets ----------
+
+// Reference: the vector-of-vector push_back loop the CSR tables replaced.
+std::vector<std::vector<std::uint64_t>> reference_buckets(
+    std::span<const std::uint64_t> keys, std::span<const std::uint64_t> vals,
+    std::size_t num_buckets) {
+  std::vector<std::vector<std::uint64_t>> out(num_buckets);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    out[keys[i]].push_back(vals[i]);
+  }
+  return out;
+}
+
+TEST(FlatBuckets, MatchesVectorOfVectorReferenceIncludingOrder) {
+  util::Rng rng(0xB0C4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t k = 1 + rng.below(40);
+    const std::size_t n = rng.below(300);
+    std::vector<std::uint64_t> keys(n), vals(n), idx(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = rng.below(k);
+      vals[i] = rng.next();
+      idx[i] = i;
+    }
+    util::ScratchArena arena;
+    util::ScratchArena::Frame frame(arena);
+    const auto by_index = util::build_flat_buckets(keys, k, arena);
+    const auto by_value = util::build_flat_buckets_values(keys, vals, k, arena);
+    const auto ref_idx = reference_buckets(keys, idx, k);
+    const auto ref_val = reference_buckets(keys, vals, k);
+    ASSERT_EQ(by_index.num_buckets(), k);
+    ASSERT_EQ(by_index.size(), n);
+    for (std::size_t b = 0; b < k; ++b) {
+      const auto bi = by_index.bucket(b);
+      const auto bv = by_value.bucket(b);
+      // Stability: exact per-bucket order of the push_back loop.
+      ASSERT_TRUE(std::equal(bi.begin(), bi.end(), ref_idx[b].begin(),
+                             ref_idx[b].end()))
+          << "trial " << trial << " bucket " << b;
+      ASSERT_TRUE(std::equal(bv.begin(), bv.end(), ref_val[b].begin(),
+                             ref_val[b].end()))
+          << "trial " << trial << " bucket " << b;
+      ASSERT_EQ(by_index.bucket_size(b), ref_idx[b].size());
+    }
+  }
+}
+
+TEST(FlatBuckets, HandlesEmptyInputAndEmptyBuckets) {
+  util::ScratchArena arena;
+  util::ScratchArena::Frame frame(arena);
+  const auto empty = util::build_flat_buckets({}, 8, arena);
+  EXPECT_EQ(empty.num_buckets(), 8u);
+  EXPECT_EQ(empty.size(), 0u);
+  for (std::size_t b = 0; b < 8; ++b) EXPECT_EQ(empty.bucket_size(b), 0u);
+
+  // All keys land in one bucket; the other buckets are empty subspans.
+  const std::vector<std::uint64_t> keys(5, 3);
+  const auto one = util::build_flat_buckets(keys, 8, arena);
+  EXPECT_EQ(one.bucket_size(3), 5u);
+  EXPECT_EQ(one.bucket(3)[0], 0u);
+  EXPECT_EQ(one.bucket(3)[4], 4u);
+  for (std::size_t b = 0; b < 8; ++b) {
+    if (b != 3) EXPECT_EQ(one.bucket_size(b), 0u);
   }
 }
 

@@ -8,9 +8,12 @@
 #   3. a longer seeded fuzz run than the in-suite smoke test
 #   4. every bench binary end-to-end at smoke size (each one gates its own
 #      safety/acceptance claims via its exit code)
-#   5. the bench determinism contract (same seed => identical JSON modulo
+#   5. the perf-smoke lane: exp_cpu --smoke, gating ONLY on the
+#      golden-transcript bit-identity exit code and JSON emission (no
+#      timing thresholds — CI containers are 1-core and noisy)
+#   6. the bench determinism contract (same seed => identical JSON modulo
 #      wall_ms)
-#   6. the ThreadSanitizer lane: the concurrency + statistical slices
+#   7. the ThreadSanitizer lane: the concurrency + statistical slices
 #      rebuilt under TSan (build-tsan/) — the batch engine's data-race
 #      gate
 #
@@ -68,6 +71,15 @@ for BIN in "$BUILD_DIR"/bench/exp_*; do
   echo "[ci] $NAME --smoke"
   "$BIN" --smoke --seed=24145 --json="$SMOKE_DIR/$NAME.json" > /dev/null
 done
+
+step "perf smoke: exp_cpu bit-identity gate + JSON emission"
+# No timing thresholds — CI containers are 1-core and noisy. The gate is
+# exp_cpu's exit code (golden-transcript bit identity, engine-vs-baseline
+# checksums) plus the JSON record actually appearing.
+"$BUILD_DIR/bench/exp_cpu" --smoke --seed=24145 \
+    --json="$SMOKE_DIR/perf_smoke_cpu.json" > /dev/null
+[[ -s "$SMOKE_DIR/perf_smoke_cpu.json" ]] || {
+  echo "[ci] FAIL: exp_cpu produced no JSON record" >&2; exit 1; }
 
 step "bench determinism contract"
 tools/check_bench_determinism.sh build/bench/exp_rounds \

@@ -28,12 +28,23 @@ for arg in "$@"; do
   esac
 done
 
-cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --preset release-bench > /dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" > /dev/null
+
+# Refuse to record BENCH JSON from anything but a Release build: committed
+# perf-trajectory numbers (the CPU lane especially) must never mix
+# optimization levels.
+BUILD_TYPE="$(grep -E '^CMAKE_BUILD_TYPE:' "$BUILD_DIR/CMakeCache.txt" \
+              | cut -d= -f2)"
+if [[ "$BUILD_TYPE" != "Release" ]]; then
+  echo "run_benches: $BUILD_DIR is CMAKE_BUILD_TYPE=$BUILD_TYPE, not Release;" \
+       "refusing to record BENCH JSON" >&2
+  exit 1
+fi
 
 EXPERIMENTS=(tradeoff rounds zoo error multiparty_avg multiparty_worst
              applications intersection_size private_coin eqk internals
-             ablation disj_tradeoff skew planner faults adversary batch)
+             ablation disj_tradeoff skew planner faults adversary batch cpu)
 
 for exp in "${EXPERIMENTS[@]}"; do
   if [[ -n "$ONLY" && ",$ONLY," != *",$exp,"* ]]; then
