@@ -33,10 +33,12 @@
 #include <deque>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/export.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "sim/channel.h"
 #include "util/rng.h"
 #include "util/set_util.h"
@@ -45,13 +47,24 @@ namespace setint::bench {
 
 // Version of the BENCH_*.json schema. Bump when renaming top-level keys or
 // changing row encoding; consumers gate on it.
-inline constexpr int kBenchSchemaVersion = 1;
+//
+// v2 (observability PR): adds "environment" (hardware_threads, compiler,
+// build_type, git_sha — so a perf trajectory records what produced it),
+// "robustness" (fault./adversary./retry./degraded./limit. counter totals,
+// always present) and optional "metrics" (full merged MetricsRegistry) and
+// notes.envelope_audit blocks. tools/bench_compare consumes both v1 and
+// v2.
+inline constexpr int kBenchSchemaVersion = 2;
 
 struct Options {
   std::uint64_t seed = 0x5e71;
   bool smoke = false;
   int threads = 1;        // batch parallelism (setint::run_batch sessions)
   std::string json_path;  // empty = human tables only
+  // Hard-fail threshold (percent) for the telemetry-overhead section of
+  // exp_cpu: negative = report only. Timing gates stay opt-in because the
+  // repo's determinism checks must never depend on a clock.
+  double gate_overhead_pct = -1.0;
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -66,17 +79,46 @@ struct Options {
         if (o.threads < 0) {
           throw std::runtime_error("--threads must be >= 0 (0 = auto)");
         }
+      } else if (arg.rfind("--gate-overhead=", 0) == 0) {
+        o.gate_overhead_pct = std::strtod(arg.c_str() + 16, nullptr);
       } else if (arg == "--smoke") {
         o.smoke = true;
       } else {
         throw std::runtime_error(
             "unknown flag: " + arg +
-            " (expected --seed=<u64> --json=<path> --threads=<n> --smoke)");
+            " (expected --seed=<u64> --json=<path> --threads=<n> "
+            "--gate-overhead=<pct> --smoke)");
       }
     }
     return o;
   }
 };
+
+// Build/host fingerprint stamped into every BENCH record so a perf
+// trajectory diff can tell "the code regressed" from "the box changed"
+// (the PR-4 batch numbers were recorded on a 1-core container and looked
+// like a missing speedup until this block existed).
+inline obs::Json environment_json() {
+  obs::Json env = obs::Json::object();
+  env["hardware_threads"] =
+      static_cast<std::uint64_t>(std::thread::hardware_concurrency());
+#if defined(__VERSION__)
+  env["compiler"] = __VERSION__;
+#else
+  env["compiler"] = "unknown";
+#endif
+#if defined(SETINT_BUILD_TYPE)
+  env["build_type"] = SETINT_BUILD_TYPE;
+#else
+  env["build_type"] = "unknown";
+#endif
+#if defined(SETINT_GIT_SHA)
+  env["git_sha"] = SETINT_GIT_SHA;
+#else
+  env["git_sha"] = "unknown";
+#endif
+  return env;
+}
 
 // Picks the full or the smoke-sized variant of a workload parameter list.
 template <typename T>
@@ -188,6 +230,15 @@ class Reporter {
     notes_[key] = std::move(value);
   }
 
+  // Fold one run's (or one batch's) metric registry into the record's
+  // aggregate. The robustness block below is derived from this aggregate,
+  // so every experiment that routes its tracers here gets fault./retry./
+  // degraded./limit./adversary. counters in its JSON for free.
+  void merge_metrics(const obs::MetricsRegistry& metrics) {
+    metrics_.merge(metrics);
+  }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   // Writes the JSON record if --json was given. Returns `exit_code` so
   // main() can end with `return rep.finish(ok ? 0 : 1);`.
   int finish(int exit_code = 0) {
@@ -198,8 +249,11 @@ class Reporter {
     doc["seed"] = opts_.seed;
     doc["smoke"] = opts_.smoke;
     doc["exit_code"] = exit_code;
+    doc["environment"] = environment_json();
+    doc["robustness"] = robustness_json();
     obs::Json& sections = doc["sections"] = obs::Json::array();
     for (const auto& t : tables_) sections.push_back(t.ToJson());
+    if (!metrics_.empty()) doc["metrics"] = metrics_.ToJson();
     if (!notes_.is_null()) doc["notes"] = std::move(notes_);
     // Wall clock goes last, alone on its line (pretty-printed), so the
     // determinism check can strip it with a line filter.
@@ -213,9 +267,33 @@ class Reporter {
   }
 
  private:
+  // Robustness counters grouped by family prefix, always present (all
+  // zeros on a clean run) so bench_compare can diff fault/degradation
+  // activity across two trajectories without schema sniffing.
+  obs::Json robustness_json() const {
+    static constexpr const char* kFamilies[] = {"fault", "adversary", "retry",
+                                                "degraded", "limit"};
+    obs::Json out = obs::Json::object();
+    for (const char* family : kFamilies) {
+      const std::string prefix = std::string(family) + ".";
+      obs::Json& block = out[family] = obs::Json::object();
+      std::uint64_t total = 0;
+      obs::Json counters = obs::Json::object();
+      for (const auto& [name, c] : metrics_.counters()) {
+        if (name.rfind(prefix, 0) != 0) continue;
+        total += c.value();
+        counters[name] = c.value();
+      }
+      block["total"] = total;
+      block["counters"] = std::move(counters);
+    }
+    return out;
+  }
+
   std::string experiment_;
   Options opts_;
   std::deque<Table> tables_;  // deque: stable references from table()
+  obs::MetricsRegistry metrics_;
   obs::Json notes_;
   std::chrono::steady_clock::time_point start_;
 };

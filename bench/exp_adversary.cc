@@ -18,6 +18,7 @@
 #include "core/resource_limits.h"
 #include "multiparty/coordinator.h"
 #include "multiparty/tournament.h"
+#include "obs/tracer.h"
 #include "setint.h"
 #include "sim/adversary.h"
 #include "sim/channel.h"
@@ -43,7 +44,7 @@ struct AdvTally {
   std::uint64_t frames_crafted = 0;
 };
 
-AdvTally run_attack(const bench::Reporter& rep, std::uint64_t salt,
+AdvTally run_attack(bench::Reporter& rep, std::uint64_t salt,
                     int trials, sim::AttackClass attack, double attack_prob,
                     bool limits_on, std::uint64_t universe, std::size_t k) {
   AdvTally tally;
@@ -60,10 +61,12 @@ AdvTally run_attack(const bench::Reporter& rep, std::uint64_t salt,
     spec.seed = rep.seed_for(salt, 0xAD00 + static_cast<std::uint64_t>(t));
     sim::Adversary adversary(spec);
 
+    obs::Tracer tracer;
     IntersectOptions options;
     options.universe = universe;
     options.seed = rep.seed_for(salt, 0x5E00 + static_cast<std::uint64_t>(t));
     options.adversary = &adversary;
+    options.tracer = &tracer;
     if (limits_on) {
       options.limits = core::ResourceLimits::for_workload(universe, k);
     }
@@ -75,8 +78,10 @@ AdvTally run_attack(const bench::Reporter& rep, std::uint64_t salt,
       result = intersect(pair.s, pair.t, options);
     } catch (const std::exception&) {
       tally.escapes += 1;
+      rep.merge_metrics(tracer.metrics());
       continue;
     }
+    rep.merge_metrics(tracer.metrics());
     if (result.verified) tally.verified += 1;
     if (result.degraded) tally.degraded += 1;
     if (!util::is_subset(result.intersection, pair.s)) {
@@ -248,7 +253,9 @@ int main(int argc, char** argv) {
         spec.seed = rep.seed_for(0x310 + static_cast<std::uint64_t>(t),
                                  tournament ? 2 : 1);
         sim::Adversary adversary(spec);
+        obs::Tracer tracer;
         sim::Network network(instance.sets.size());
+        network.set_tracer(&tracer);
         sim::SharedRandomness shared(
             rep.seed_for(0x320 + static_cast<std::uint64_t>(t),
                          tournament ? 2 : 1));
@@ -267,8 +274,10 @@ int main(int argc, char** argv) {
                              network, shared, universe, instance.sets, params);
         } catch (const std::exception&) {
           mp_violations += 1;
+          rep.merge_metrics(tracer.metrics());
           continue;
         }
+        rep.merge_metrics(tracer.metrics());
         if (tournament) {
           if (!util::is_subset(instance.expected_intersection,
                                result.intersection) ||

@@ -149,6 +149,12 @@ int main(int argc, char** argv) {
   env["sessions"] = sessions;
   rep.note("environment", std::move(env));
 
+  // The serial run's merged per-session registry (counters, histograms and
+  // the new hdr family) goes into the record wholesale — the robustness
+  // block stays all-zero on this clean workload, which is itself a useful
+  // pin for bench_compare.
+  rep.merge_metrics(serial.metrics);
+
   std::printf(
       "\nBit-identity across thread counts (results, reports, merged\n"
       "metrics JSON vs the serial run): %s\n",

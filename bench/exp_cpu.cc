@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <bit>
 #include <ctime>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,9 @@
 #include "core/bucket_eq.h"
 #include "core/one_round_hash.h"
 #include "core/verification_tree.h"
+#include "obs/envelope.h"
+#include "obs/recorder.h"
+#include "obs/tracer.h"
 #include "hashing/fks.h"
 #include "hashing/mask_hash.h"
 #include "hashing/modmath.h"
@@ -74,7 +78,7 @@ constexpr GoldenPin kPins[] = {
     {"bucket_eq", 10201, 0, 0xc18884eae55cd105ull},
 };
 
-bool run_identity_gate(bench::Reporter& rep) {
+bool run_identity_gate(bench::Reporter& rep, obs::EnvelopeAuditor& auditor) {
   auto& t = rep.table("E-CPU.0: transcript bit-identity gate (golden reference)",
                       {"protocol", "bits", "rounds", "digest", "ok"});
   bool all_ok = true;
@@ -99,6 +103,7 @@ bool run_identity_gate(bench::Reporter& rep) {
     const bool ok = bits == pin.bits && digest == pin.digest &&
                     (pin.rounds == 0 || rounds == pin.rounds);
     all_ok = all_ok && ok;
+    auditor.add(name, {512, 0, bits, rounds, 1});
     t.add_row({name, bench::fmt_u64(bits), bench::fmt_u64(rounds),
                fmt_hex(digest), ok ? "yes" : "NO"});
   }
@@ -293,7 +298,8 @@ bool run_substrate_micro(bench::Reporter& rep) {
 // E-CPU.2: end-to-end protocol throughput (sessions/sec, ns/element).
 // ---------------------------------------------------------------------------
 
-void run_protocol_throughput(bench::Reporter& rep) {
+void run_protocol_throughput(bench::Reporter& rep,
+                             obs::EnvelopeAuditor& auditor) {
   auto& t = rep.table(
       "E-CPU.2: protocol session throughput (universe 2^24, |S|=|T|=k)",
       {"protocol", "k", "trials", "bits_total", "rounds",
@@ -333,6 +339,9 @@ void run_protocol_throughput(bench::Reporter& rep) {
       if (trial == 0) {
         bits = ch.cost().bits_total;
         rounds = ch.cost().rounds;
+        static constexpr const char* kProtocolNames[] = {
+            "verification_tree", "one_round_hash", "bucket_eq"};
+        auditor.add(kProtocolNames[proto.id], {k, 0, bits, rounds, 1});
       }
     }
     const double secs = cpu_seconds() - t0;
@@ -348,19 +357,140 @@ void run_protocol_throughput(bench::Reporter& rep) {
   t.print();
 }
 
+// ---------------------------------------------------------------------------
+// E-CPU.3: telemetry overhead — the recorder/tracer hooks must not tax the
+// un-instrumented hot path.
+// ---------------------------------------------------------------------------
+
+// Runs the same verification-tree workload with telemetry off, with a
+// flight recorder attached, and with tracer + recorder; reports median-of-3
+// CPU time per config. The bits checksum must be identical across configs
+// (telemetry observes, never alters) — that part is deterministic and
+// always gates. The timing ratio only gates when --gate-overhead=<pct> is
+// given: clocks stay out of default CI verdicts, per the repo's
+// determinism policy.
+bool run_telemetry_overhead(bench::Reporter& rep) {
+  auto& t = rep.table(
+      "E-CPU.3: telemetry overhead (verification_tree, median of 3 passes)",
+      {"config", "trials", "bits_checksum", "identical",
+       "us_per_session (wall_ms)", "overhead_pct (wall_ms)"});
+  const std::size_t k = rep.smoke() ? 128 : 512;
+  const int trials = rep.smoke() ? 10 : 50;
+  const std::uint64_t universe = std::uint64_t{1} << 24;
+  util::Rng wrng(rep.seed_for(0x0B5));
+  const util::SetPair pair = util::random_set_pair(wrng, universe, k, k / 2);
+
+  struct Config {
+    const char* name;
+    bool tracer;
+    bool recorder;
+  };
+  constexpr Config kConfigs[] = {
+      {"off", false, false},
+      {"recorder", false, true},
+      {"tracer+recorder", true, true},
+  };
+  double off_us = 0.0;
+  double recorder_overhead_pct = 0.0;
+  std::uint64_t off_checksum = 0;
+  bool identical = true;
+  for (const Config& cfg : kConfigs) {
+    std::uint64_t checksum = 0;
+    double times[3];
+    for (int pass = 0; pass < 3; ++pass) {
+      checksum = 0;
+      const double t0 = cpu_seconds();
+      for (int trial = 0; trial < trials; ++trial) {
+        std::optional<obs::Tracer> tracer;
+        std::optional<obs::FlightRecorder> recorder;
+        sim::Channel ch;
+        if (cfg.tracer) {
+          tracer.emplace();
+          ch.set_tracer(&*tracer);
+        }
+        if (cfg.recorder) {
+          recorder.emplace();
+          ch.set_recorder(&*recorder);
+        }
+        sim::SharedRandomness shared{rep.seed_for(0x0B6)};
+        core::verification_tree_intersection(ch, shared, trial, universe,
+                                             pair.s, pair.t, {});
+        checksum += ch.cost().bits_total;
+      }
+      times[pass] = cpu_seconds() - t0;
+    }
+    std::sort(times, times + 3);
+    const double us_per_session = times[1] * 1e6 / trials;
+    if (&cfg == &kConfigs[0]) {
+      off_us = us_per_session;
+      off_checksum = checksum;
+    }
+    const bool match = checksum == off_checksum;
+    identical = identical && match;
+    const double overhead_pct =
+        off_us > 0.0 ? (us_per_session / off_us - 1.0) * 100.0 : 0.0;
+    if (cfg.recorder && !cfg.tracer) recorder_overhead_pct = overhead_pct;
+    t.add_row({cfg.name, bench::fmt_u64(static_cast<std::uint64_t>(trials)),
+               bench::fmt_u64(checksum), match ? "yes" : "NO",
+               bench::fmt_double(us_per_session, 1),
+               bench::fmt_double(overhead_pct, 1)});
+  }
+  t.print();
+
+  bool ok = identical;
+  if (!identical) {
+    std::fprintf(stderr,
+                 "[exp_cpu] FAIL: telemetry changed the bits a run sends\n");
+  }
+  const double gate = rep.options().gate_overhead_pct;
+  if (gate >= 0.0) {
+    const bool within = recorder_overhead_pct <= gate;
+    std::printf("\nOverhead gate: recorder path %+.1f%% vs off (cap %.1f%%): %s\n",
+                recorder_overhead_pct, gate, within ? "PASS" : "FAIL");
+    ok = ok && within;
+  }
+  return ok;
+}
+
+// Envelope audit table shared by main (the auditor collects samples from
+// E-CPU.0 and E-CPU.2).
+bool report_envelope(bench::Reporter& rep,
+                     const obs::EnvelopeAuditor& auditor) {
+  auto& t = rep.table("E-CPU.4: envelope audit over measured protocol runs",
+                      {"protocol", "samples", "fitted c", "c bound", "slack",
+                       "rounds violations", "within"});
+  for (const obs::EnvelopeAudit& a : auditor.audit()) {
+    t.add_row({a.protocol, bench::fmt_u64(a.samples),
+               bench::fmt_double(a.fitted_c), bench::fmt_double(a.c_bound),
+               bench::fmt_double(a.slack), bench::fmt_u64(a.rounds_violations),
+               a.within() ? "YES" : "NO"});
+  }
+  t.print();
+  rep.note("envelope_audit", auditor.ToJson());
+  const bool ok = auditor.all_within();
+  std::printf("\nEnvelope audit: %s\n", ok ? "ALL WITHIN" : "VIOLATED");
+  return ok;
+}
+
 }  // namespace
 }  // namespace setint
 
 int main(int argc, char** argv) {
   using namespace setint;
   auto rep = bench::Reporter::FromArgs("cpu", argc, argv);
-  bool ok = run_identity_gate(rep);
+  obs::EnvelopeAuditor auditor;
+  auditor.expect("verification_tree");
+  auditor.expect("one_round_hash");
+  auditor.expect("bucket_eq");
+  bool ok = run_identity_gate(rep, auditor);
   ok = run_substrate_micro(rep) && ok;
-  run_protocol_throughput(rep);
+  run_protocol_throughput(rep, auditor);
+  ok = run_telemetry_overhead(rep) && ok;
+  ok = report_envelope(rep, auditor) && ok;
   if (!ok) {
     std::fprintf(stderr,
-                 "[exp_cpu] FAIL: engine diverged from the golden transcript "
-                 "or a baseline checksum\n");
+                 "[exp_cpu] FAIL: engine diverged from the golden transcript, "
+                 "a baseline checksum, an envelope, or the overhead gate\n");
   }
   return rep.finish(ok ? 0 : 1);
 }

@@ -13,6 +13,7 @@
 #include "bench_util.h"
 #include "multiparty/coordinator.h"
 #include "multiparty/tournament.h"
+#include "obs/tracer.h"
 #include "setint.h"
 #include "sim/fault.h"
 #include "sim/network.h"
@@ -36,8 +37,10 @@ struct TwoPartyTally {
 
 // Runs `trials` seeded facade calls, each with a fresh FaultPlan so the
 // fault stream is independent per trial but fully determined by the
-// reporter seed.
-TwoPartyTally run_two_party(const bench::Reporter& rep, std::uint64_t salt,
+// reporter seed. Each trial carries its own tracer; the merged fault./
+// retry./degraded./limit. counters land in the reporter's robustness
+// block (schema v2).
+TwoPartyTally run_two_party(bench::Reporter& rep, std::uint64_t salt,
                             int trials, sim::FaultSpec spec,
                             const core::RetryPolicy& retry,
                             std::uint64_t universe, std::size_t k) {
@@ -48,12 +51,15 @@ TwoPartyTally run_two_party(const bench::Reporter& rep, std::uint64_t salt,
     const util::SetPair pair = util::random_set_pair(wrng, universe, k, k / 4);
     spec.seed = rep.seed_for(salt, 0xFA00 + static_cast<std::uint64_t>(t));
     sim::FaultPlan plan(spec);
+    obs::Tracer tracer;
     IntersectOptions options;
     options.universe = universe;
     options.seed = rep.seed_for(salt, 0x5E00 + static_cast<std::uint64_t>(t));
     options.fault_plan = &plan;
     options.retry = retry;
+    options.tracer = &tracer;
     const IntersectResult result = intersect(pair.s, pair.t, options);
+    rep.merge_metrics(tracer.metrics());
     if (result.verified) tally.verified += 1;
     if (result.degraded) tally.degraded += 1;
     if (!result.degraded &&
@@ -228,7 +234,9 @@ int main(int argc, char** argv) {
         spec.seed = rep.seed_for(0x410 + static_cast<std::uint64_t>(t),
                                  tournament ? 2 : 1);
         sim::FaultPlan plan(spec);
+        obs::Tracer tracer;
         sim::Network network(instance.sets.size());
+        network.set_tracer(&tracer);
         network.set_fault_plan(&plan);
         sim::SharedRandomness shared(
             rep.seed_for(0x420 + static_cast<std::uint64_t>(t),
@@ -253,6 +261,7 @@ int main(int argc, char** argv) {
         if (result.degraded) degraded_runs += 1;
         total_bits += network.total_bits();
         degraded_pairs += result.degraded_pairs;
+        rep.merge_metrics(tracer.metrics());
       }
       violations += mp_violations;
       table.add_row(

@@ -5,6 +5,7 @@
 
 #include "bench_util.h"
 #include "core/verification_tree.h"
+#include "obs/envelope.h"
 #include "sim/channel.h"
 #include "sim/randomness.h"
 #include "util/rng.h"
@@ -21,6 +22,10 @@ int main(int argc, char** argv) {
   auto& table =
       rep.table("E2: measured rounds vs the 6r bound (Theorem 1.1)",
                 {"k", "r", "rounds (worst of 5)", "6r bound", "messages"});
+  // Every per-trial run also feeds the conformance auditor, so this
+  // binary cross-checks the bit envelope alongside its round budgets.
+  obs::EnvelopeAuditor auditor;
+  auditor.expect("verification_tree");
   bool all_within = true;
   for (std::size_t k : ks) {
     util::Rng wrng(rep.seed_for(k));
@@ -40,6 +45,8 @@ int main(int argc, char** argv) {
                                              p.t, params);
         worst_rounds = std::max(worst_rounds, ch.cost().rounds);
         worst_messages = std::max(worst_messages, ch.cost().messages);
+        auditor.add("verification_tree",
+                    {k, r, ch.cost().bits_total, ch.cost().rounds, 1});
       }
       all_within &= worst_rounds <= static_cast<std::uint64_t>(6 * r);
       table.add_row({bench::fmt_u64(k), bench::fmt_u64(r),
@@ -52,5 +59,26 @@ int main(int argc, char** argv) {
   std::printf("\nAll runs within the 6r budget: %s\n",
               all_within ? "YES" : "NO");
   rep.note("all_within_budget", all_within);
-  return rep.finish(all_within ? 0 : 1);
+
+  // Envelope audit over every per-trial sample (worst-case fit, not the
+  // table's worst-of-trials aggregation).
+  bool envelope_ok = true;
+  {
+    auto& audit_table = rep.table(
+        "E2b: envelope audit  (bits <= c * k * (log^(r) k + r), rounds <= 6r)",
+        {"protocol", "samples", "fitted c", "c bound", "slack",
+         "rounds violations", "within"});
+    for (const obs::EnvelopeAudit& a : auditor.audit()) {
+      audit_table.add_row(
+          {a.protocol, bench::fmt_u64(a.samples), bench::fmt_double(a.fitted_c),
+           bench::fmt_double(a.c_bound), bench::fmt_double(a.slack),
+           bench::fmt_u64(a.rounds_violations), a.within() ? "YES" : "NO"});
+    }
+    audit_table.print();
+    envelope_ok = auditor.all_within();
+    rep.note("envelope_audit", auditor.ToJson());
+    std::printf("\nEnvelope audit: %s\n",
+                envelope_ok ? "ALL WITHIN" : "VIOLATED");
+  }
+  return rep.finish(all_within && envelope_ok ? 0 : 1);
 }

@@ -15,6 +15,7 @@
 
 #include "bench_util.h"
 #include "core/verification_tree.h"
+#include "obs/envelope.h"
 #include "obs/tracer.h"
 #include "sim/channel.h"
 #include "sim/randomness.h"
@@ -49,6 +50,12 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> ks = bench::sizes<std::size_t>(
       rep.options(), {256, 1024, 4096, 16384, 65536}, {256, 1024});
 
+  // Every measured (k, r) point below also feeds the theory-conformance
+  // auditor: measured bits must stay within c_bound * k * (log^(r) k + r)
+  // and rounds within 6r, or the binary exits non-zero (E1e).
+  obs::EnvelopeAuditor auditor;
+  auditor.expect("verification_tree");
+
   {
     auto& table = rep.table(
         "E1a: bits per element vs r  (Theorem 1.1: O(k log^(r) k))",
@@ -66,12 +73,16 @@ int main(int argc, char** argv) {
         });
         row.push_back(bench::fmt_double(
             static_cast<double>(cost.bits_total) / static_cast<double>(k)));
+        auditor.add("verification_tree",
+                    {k, r, cost.bits_total, cost.rounds, 1});
       }
       const int rstar = util::log_star(static_cast<double>(k));
       const sim::CostStats cost = bench::average_cost(trials, [&](int t) {
         return run_tree(rep.seed_for(static_cast<std::uint64_t>(t) * 13 + k),
                         universe, p, rstar);
       });
+      auditor.add("verification_tree",
+                  {k, rstar, cost.bits_total, cost.rounds, 1});
       row.push_back(bench::fmt_double(static_cast<double>(cost.bits_total) /
                                       static_cast<double>(k)) +
                     " (r=" + std::to_string(rstar) + ")");
@@ -109,6 +120,8 @@ int main(int argc, char** argv) {
         return run_tree(rep.seed_for(static_cast<std::uint64_t>(t) + k),
                         universe, p, rstar);
       });
+      auditor.add("verification_tree",
+                  {k, rstar, cost.bits_total, cost.rounds, 1});
       table.add_row({bench::fmt_u64(k), bench::fmt_u64(cost.bits_total),
                      bench::fmt_double(static_cast<double>(cost.bits_total) /
                                        static_cast<double>(k)),
@@ -159,6 +172,7 @@ int main(int argc, char** argv) {
                      bench::fmt_u64(cost.bits_total),
                      bench::fmt_u64(level_bits), bench::fmt_u64(levels),
                      exact ? "YES" : "NO"});
+      rep.merge_metrics(tracer.metrics());
 
       obs::Json entry = obs::Json::object();
       entry["r"] = r;
@@ -174,5 +188,26 @@ int main(int argc, char** argv) {
         attribution_exact ? "EXACT" : "VIOLATED");
   }
 
-  return rep.finish(attribution_exact ? 0 : 1);
+  // E1e: theory-conformance envelope over every sample measured above.
+  bool envelope_ok = true;
+  {
+    auto& table = rep.table(
+        "E1e: envelope audit  (bits <= c * k * (log^(r) k + r), rounds <= 6r)",
+        {"protocol", "samples", "fitted c", "c bound", "slack",
+         "rounds violations", "within"});
+    for (const obs::EnvelopeAudit& a : auditor.audit()) {
+      table.add_row({a.protocol, bench::fmt_u64(a.samples),
+                     bench::fmt_double(a.fitted_c), bench::fmt_double(a.c_bound),
+                     bench::fmt_double(a.slack),
+                     bench::fmt_u64(a.rounds_violations),
+                     a.within() ? "YES" : "NO"});
+    }
+    table.print();
+    envelope_ok = auditor.all_within();
+    rep.note("envelope_audit", auditor.ToJson());
+    std::printf("\nEnvelope audit: %s\n",
+                envelope_ok ? "ALL WITHIN" : "VIOLATED");
+  }
+
+  return rep.finish(attribution_exact && envelope_ok ? 0 : 1);
 }

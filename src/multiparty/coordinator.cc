@@ -6,6 +6,7 @@
 #include "core/basic_intersection.h"
 #include "core/deterministic_exchange.h"
 #include "eq/equality.h"
+#include "obs/recorder.h"
 #include "sim/channel.h"
 #include "util/bitio.h"
 #include "util/rng.h"
@@ -18,10 +19,11 @@ VerifiedRunResult verified_two_party_intersection(
     const core::VerificationTreeParams& params, std::size_t k_bound,
     obs::Tracer* tracer, const core::RetryPolicy& retry,
     sim::FaultPlan* faults, sim::Adversary* adversary,
-    const core::ResourceLimits* limits) {
+    const core::ResourceLimits* limits, obs::FlightRecorder* recorder) {
   if (k_bound == 0) k_bound = std::max<std::size_t>({s.size(), t.size(), 2});
   sim::Channel channel;
   channel.set_tracer(tracer);
+  channel.set_recorder(recorder);
   channel.set_fault_plan(faults);
   channel.set_adversary(adversary);
   if (limits != nullptr && limits->enabled()) channel.set_limits(limits);
@@ -31,7 +33,13 @@ VerifiedRunResult verified_two_party_intersection(
   VerifiedRunResult result;
   for (std::uint64_t rep = 0; rep < max_attempts; ++rep) {
     result.repetitions = rep + 1;
-    if (rep > 0) obs::count(tracer, "retry.attempts");
+    if (rep > 0) {
+      obs::count(tracer, "retry.attempts");
+      if (recorder != nullptr) {
+        recorder->record(obs::FlightEventKind::kRetry,
+                         "attempt " + std::to_string(rep + 1));
+      }
+    }
     try {
       // Inside the try: with limits installed the backoff charge itself
       // can breach max_rounds, which burns the attempt like any failure.
@@ -81,6 +89,10 @@ VerifiedRunResult verified_two_party_intersection(
     // Reliable channel: only hash collisions (or limit breaches) can get
     // here, and the deterministic backstop is exact.
     obs::count(tracer, "mp.backstops");
+    if (recorder != nullptr) {
+      recorder->record(obs::FlightEventKind::kBackstop,
+                       "deterministic exchange");
+    }
     try {
       const core::IntersectionOutput exact =
           core::deterministic_exchange(channel, universe, s, t);
@@ -105,6 +117,10 @@ VerifiedRunResult verified_two_party_intersection(
   // disqualify a run).
   obs::Span degraded_span(tracer, "degraded");
   obs::count(tracer, "degraded.runs");
+  if (recorder != nullptr) {
+    recorder->record(obs::FlightEventKind::kDegrade, "superset answer");
+    recorder->incident("degraded: retry budget exhausted");
+  }
   result.verified = false;
   result.degraded = true;
   // An attempt only counts as a clean superset if neither the stochastic

@@ -25,6 +25,10 @@
 #include "sim/randomness.h"
 #include "util/set_util.h"
 
+namespace setint::obs {
+class FlightRecorder;
+}  // namespace setint::obs
+
 namespace setint::multiparty {
 
 // Two-party intersection amplified to success 1 - 2^-Theta(k): runs the
@@ -49,7 +53,11 @@ struct VerifiedRunResult {
 // phase spans and metrics from the whole certified run — including
 // repetitions and the certificate — are attributed under the caller's
 // current span. `faults` (optional, not owned) makes that channel
-// unreliable. `adversary` (optional, not owned) makes one PARTY Byzantine
+// unreliable. `recorder` (optional, not owned) is the flight recorder
+// (obs/recorder.h) installed on the internal channel; besides the
+// channel's own events it receives kRetry/kBackstop/kDegrade markers from
+// this recovery layer, and a degradation fires
+// FlightRecorder::incident(). `adversary` (optional, not owned) makes one PARTY Byzantine
 // (sim/adversary.h); because a Byzantine peer could feed the
 // deterministic-exchange backstop lying bytes, an enabled adversary —
 // like an enabled fault plan — routes budget exhaustion into the honest
@@ -62,7 +70,8 @@ VerifiedRunResult verified_two_party_intersection(
     const core::VerificationTreeParams& params, std::size_t k_bound,
     obs::Tracer* tracer = nullptr, const core::RetryPolicy& retry = {},
     sim::FaultPlan* faults = nullptr, sim::Adversary* adversary = nullptr,
-    const core::ResourceLimits* limits = nullptr);
+    const core::ResourceLimits* limits = nullptr,
+    obs::FlightRecorder* recorder = nullptr);
 
 struct MultipartyParams {
   core::VerificationTreeParams tree;  // two-party sub-protocol parameters

@@ -35,6 +35,16 @@ void write_metrics_jsonl(const MetricsRegistry& metrics, std::ostream& os) {
     }
     os << line.dump() << '\n';
   }
+  for (const auto& [name, h] : metrics.hdrs()) {
+    Json line = h.ToJson();
+    // Prepend-style ordering is not available on the insertion-ordered
+    // Json, so build a fresh record with metric/type first.
+    Json record = Json::object();
+    record["metric"] = name;
+    record["type"] = "hdr";
+    for (const auto& [key, value] : line.object_items()) record[key] = value;
+    os << record.dump() << '\n';
+  }
 }
 
 namespace {

@@ -1,0 +1,91 @@
+#include "obs/hdr_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace setint::obs {
+
+int HdrHistogram::bin_of(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const int exponent = 63 - std::countl_zero(value);  // >= kSubBucketBits
+  const int sub = static_cast<int>(
+      (value >> (exponent - kSubBucketBits)) & (kSubBuckets - 1));
+  return kSubBuckets + (exponent - kSubBucketBits) * kSubBuckets + sub;
+}
+
+std::uint64_t HdrHistogram::bin_lower(int bin) {
+  if (bin < kSubBuckets) return static_cast<std::uint64_t>(bin);
+  const int exponent = kSubBucketBits + (bin - kSubBuckets) / kSubBuckets;
+  const int sub = (bin - kSubBuckets) % kSubBuckets;
+  return (std::uint64_t{kSubBuckets} + static_cast<std::uint64_t>(sub))
+         << (exponent - kSubBucketBits);
+}
+
+std::uint64_t HdrHistogram::bin_upper(int bin) {
+  if (bin < kSubBuckets) return static_cast<std::uint64_t>(bin);
+  const int exponent = kSubBucketBits + (bin - kSubBuckets) / kSubBuckets;
+  const std::uint64_t width = std::uint64_t{1} << (exponent - kSubBucketBits);
+  return bin_lower(bin) + (width - 1);
+}
+
+void HdrHistogram::observe(std::uint64_t value, std::uint64_t weight) {
+  if (weight == 0) return;
+  bins_[bin_of(value)] += weight;
+  count_ += weight;
+  sum_ += value * weight;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void HdrHistogram::merge(const HdrHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int b = 0; b < kBins; ++b) bins_[b] += other.bins_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+std::uint64_t HdrHistogram::value_at_percentile(double percentile) const {
+  if (count_ == 0) return 0;
+  const double p = std::clamp(percentile, 0.0, 100.0);
+  // Rank of the target observation (1-based, at least 1 so p=0 returns the
+  // minimum's bin).
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBins; ++b) {
+    seen += bins_[b];
+    if (seen >= target) {
+      // Never report beyond the true maximum (the top bin's upper bound
+      // can overshoot it by up to 6.25%).
+      return std::min(bin_upper(b), max_);
+    }
+  }
+  return max_;
+}
+
+Json HdrHistogram::ToJson() const {
+  Json out = Json::object();
+  out["count"] = count_;
+  out["sum"] = sum_;
+  out["min"] = min();
+  out["max"] = max_;
+  out["mean"] = mean();
+  out["p50"] = p50();
+  out["p90"] = p90();
+  out["p99"] = p99();
+  Json& bins = out["bins"] = Json::array();
+  for (int b = 0; b < kBins; ++b) {
+    if (bins_[b] == 0) continue;
+    Json entry = Json::object();
+    entry["le"] = bin_upper(b);
+    entry["count"] = bins_[b];
+    bins.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace setint::obs

@@ -1,0 +1,83 @@
+// Log-bucketed high-dynamic-range histogram with bounded relative error.
+//
+// The power-of-two obs::Histogram answers "what order of magnitude", which
+// is enough for bucket-size distributions but too coarse for latency-style
+// quantities (bits per run, rounds per run, CPU-ns per session) where a
+// p99 that is 2x the p50 must be visible. HdrHistogram refines every
+// power-of-two octave into 2^kSubBucketBits linear sub-buckets, so any
+// recorded value is representable within a relative error of
+// 2^-kSubBucketBits (6.25%) while still covering the whole uint64 range
+// with a fixed, allocation-free bin array.
+//
+// Like the coarse histogram, merging is EXACT, commutative and
+// associative: bins add, count/sum/min/max combine, so folding N
+// per-session histograms in any order equals observing all N value
+// streams directly. This is the same contract MetricsRegistry::merge
+// relies on (docs/OBSERVABILITY.md § merging), extended to the hdr
+// family; pinned by tests/hdr_histogram_test.cc.
+//
+// Nothing here reads clocks or allocates after construction, so two
+// identical observation streams always serialize to identical JSON.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/json.h"
+
+namespace setint::obs {
+
+class HdrHistogram {
+ public:
+  // Sub-bucket resolution: each octave [2^e, 2^(e+1)) splits into
+  // 2^kSubBucketBits linear bins. Values below 2^kSubBucketBits are
+  // recorded exactly (one bin per value).
+  static constexpr int kSubBucketBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 16
+  // Exact linear region + 16 bins per octave for exponents 4..63.
+  static constexpr int kBins = kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
+
+  void observe(std::uint64_t value, std::uint64_t weight = 1);
+
+  // Exact accumulation of another histogram (bin-wise sum). merge(a);
+  // merge(b) equals merge(b); merge(a) and equals observing both streams.
+  void merge(const HdrHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  std::uint64_t bin_count(int bin) const { return bins_[bin]; }
+
+  // Smallest recorded-bin upper bound V such that at least
+  // ceil(percentile/100 * count) observations are <= V. Deterministic:
+  // depends only on the observation multiset. Returns 0 on an empty
+  // histogram. `percentile` is clamped to [0, 100].
+  std::uint64_t value_at_percentile(double percentile) const;
+  std::uint64_t p50() const { return value_at_percentile(50.0); }
+  std::uint64_t p90() const { return value_at_percentile(90.0); }
+  std::uint64_t p99() const { return value_at_percentile(99.0); }
+
+  // Bin index of `value`; inverse bounds of a bin. For any value v,
+  // bin_lower(bin_of(v)) <= v <= bin_upper(bin_of(v)) and
+  // bin_upper - bin_lower < 2^-kSubBucketBits * v (the resolution claim).
+  static int bin_of(std::uint64_t value);
+  static std::uint64_t bin_lower(int bin);
+  static std::uint64_t bin_upper(int bin);
+
+  // {"count", "sum", "min", "max", "mean", "p50", "p90", "p99",
+  //  "bins": [{le, count}, ... nonzero only]}
+  Json ToJson() const;
+
+ private:
+  std::uint64_t bins_[kBins] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace setint::obs

@@ -56,6 +56,242 @@ Json Json::from_cell(const std::string& cell) {
   return Json(cell);
 }
 
+namespace {
+
+// Recursive-descent parser over a string_view; positions reported in the
+// exception message are byte offsets into the original text.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("Json::parse: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Json(parse_string());
+    if (consume("true")) return Json(true);
+    if (consume("false")) return Json(false);
+    if (consume("null")) return Json();
+    return parse_number();
+  }
+
+  Json parse_object() {
+    ++pos_;  // '{'
+    Json out = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      if (peek() != ':') fail("expected ':'");
+      ++pos_;
+      out[key] = parse_value();
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == '}') {
+        ++pos_;
+        return out;
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  Json parse_array() {
+    ++pos_;  // '['
+    Json out = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(parse_value());
+      skip_ws();
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      if (next == ']') {
+        ++pos_;
+        return out;
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The writer only emits \u for control characters; decode the
+          // BMP code point as UTF-8 and keep it simple (no surrogates).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      if (token[0] == '-') {
+        char* end = nullptr;
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (end == token.c_str() + token.size()) {
+          return Json(static_cast<std::int64_t>(v));
+        }
+      } else {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (end == token.c_str() + token.size()) {
+          return Json(static_cast<std::uint64_t>(v));
+        }
+      }
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number '" + token + "'");
+    return Json(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+double Json::as_double() const {
+  switch (type_) {
+    case Type::kUint: return static_cast<double>(uint_);
+    case Type::kInt: return static_cast<double>(int_);
+    case Type::kDouble: return double_;
+    default: throw std::logic_error("Json: as_double on a non-number");
+  }
+}
+
+double Json::number_or(double fallback) const {
+  return is_number() ? as_double() : fallback;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) {
+    throw std::logic_error("Json: as_string on a non-string");
+  }
+  return string_;
+}
+
+const std::vector<Json>& Json::array_items() const {
+  static const std::vector<Json> kEmpty;
+  return type_ == Type::kArray ? array_ : kEmpty;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::object_items() const {
+  static const std::vector<std::pair<std::string, Json>> kEmpty;
+  return type_ == Type::kObject ? object_ : kEmpty;
+}
+
 Json& Json::push_back(Json v) {
   if (type_ == Type::kNull) type_ = Type::kArray;
   if (type_ != Type::kArray) throw std::logic_error("Json: push_back on non-array");

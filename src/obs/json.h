@@ -1,11 +1,15 @@
-// Minimal JSON document builder for the observability exporters and the
+// Minimal JSON document model for the observability exporters and the
 // bench pipeline.
 //
-// Deliberately tiny: build-and-serialize only (no parsing), with ordered
-// objects so that a given construction order always serializes to the
-// same bytes — the bench determinism test diffs raw files. Doubles are
-// rendered with std::to_chars (shortest round-trip form), so equal values
-// always print identically.
+// Deliberately tiny, with ordered objects so that a given construction
+// order always serializes to the same bytes — the bench determinism test
+// diffs raw files. Doubles are rendered with std::to_chars (shortest
+// round-trip form), so equal values always print identically.
+//
+// parse() exists for the bench-comparison tooling (tools/bench_compare)
+// that consumes the BENCH_*.json records this class produced; it accepts
+// standard JSON (no comments, no trailing commas) and preserves object
+// key order.
 #pragma once
 
 #include <cstdint>
@@ -47,8 +51,33 @@ class Json {
   // typed JSON without each caller tracking cell types.
   static Json from_cell(const std::string& cell);
 
+  // Parses a JSON document; throws std::runtime_error with a byte offset
+  // on malformed input. Integral numbers come back kUint (non-negative)
+  // or kInt, everything else kDouble.
+  static Json parse(std::string_view text);
+
   Type type() const { return type_; }
   bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const {
+    return type_ == Type::kUint || type_ == Type::kInt ||
+           type_ == Type::kDouble;
+  }
+
+  // Typed reads for parsed documents. as_double/as_string throw
+  // std::logic_error on a type mismatch; number_or returns `fallback`
+  // for non-numbers.
+  double as_double() const;
+  double number_or(double fallback) const;
+  const std::string& as_string() const;
+  bool as_bool() const { return type_ == Type::kBool && bool_; }
+
+  // Parsed-document iteration (empty for other types).
+  const std::vector<Json>& array_items() const;
+  const std::vector<std::pair<std::string, Json>>& object_items() const;
+  const Json& at(std::size_t index) const { return array_.at(index); }
 
   // Array append. Converts a null value to an empty array first.
   Json& push_back(Json v);

@@ -29,6 +29,7 @@ void Histogram::merge(const Histogram& other) {
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, c] : other.counters_) counter(name).merge(c);
   for (const auto& [name, h] : other.histograms_) histogram(name).merge(h);
+  for (const auto& [name, h] : other.hdrs_) hdr(name).merge(h);
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
@@ -43,6 +44,14 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+HdrHistogram& MetricsRegistry::hdr(std::string_view name) {
+  auto it = hdrs_.find(name);
+  if (it == hdrs_.end()) {
+    it = hdrs_.emplace(std::string(name), HdrHistogram{}).first;
   }
   return it->second;
 }
@@ -71,6 +80,10 @@ Json MetricsRegistry::ToJson() const {
       entry["count"] = h.bucket_count(b);
       buckets.push_back(std::move(entry));
     }
+  }
+  if (!hdrs_.empty()) {
+    Json& hdr = out["hdr"] = Json::object();
+    for (const auto& [name, h] : hdrs_) hdr[name] = h.ToJson();
   }
   return out;
 }

@@ -17,6 +17,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/hdr_histogram.h"
 #include "obs/json.h"
 
 namespace setint::obs {
@@ -73,6 +74,10 @@ class MetricsRegistry {
  public:
   Counter& counter(std::string_view name);
   Histogram& histogram(std::string_view name);
+  // High-dynamic-range family (obs/hdr_histogram.h): log-bucketed with
+  // 6.25% relative resolution and deterministic percentiles — for
+  // bits/rounds/CPU-ns style distributions where p99 matters.
+  HdrHistogram& hdr(std::string_view name);
 
   const std::map<std::string, Counter, std::less<>>& counters() const {
     return counters_;
@@ -80,8 +85,13 @@ class MetricsRegistry {
   const std::map<std::string, Histogram, std::less<>>& histograms() const {
     return histograms_;
   }
+  const std::map<std::string, HdrHistogram, std::less<>>& hdrs() const {
+    return hdrs_;
+  }
 
-  bool empty() const { return counters_.empty() && histograms_.empty(); }
+  bool empty() const {
+    return counters_.empty() && histograms_.empty() && hdrs_.empty();
+  }
 
   // Accumulates every metric of `other` into this registry (creating
   // missing names). Counters and histograms merge exactly, so folding N
@@ -93,12 +103,16 @@ class MetricsRegistry {
 
   // {"counters": {name: value, ...},
   //  "histograms": {name: {count, sum, min, max, mean,
-  //                        buckets: [{le, count}, ...nonzero only]}, ...}}
+  //                        buckets: [{le, count}, ...nonzero only]}, ...},
+  //  "hdr": {name: HdrHistogram::ToJson(), ...}}  -- key present only
+  // when at least one hdr metric is registered, so pre-hdr dumps are
+  // byte-stable.
   Json ToJson() const;
 
  private:
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, HdrHistogram, std::less<>> hdrs_;
 };
 
 }  // namespace setint::obs

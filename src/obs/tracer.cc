@@ -153,6 +153,7 @@ Json RunReport::ToJson() const {
   c["rounds"] = cost.rounds;
   out["phases"] = rows_to_json(phases);
   out["metrics"] = metrics;
+  if (!envelope.is_null()) out["envelope"] = envelope;
   return out;
 }
 

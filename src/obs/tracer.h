@@ -169,6 +169,11 @@ struct RunReport {
   sim::CostStats cost;
   std::vector<PhaseRow> phases;
   Json metrics;  // MetricsRegistry::ToJson() snapshot
+  // Theory-conformance audit of this run against the protocol's cost
+  // envelope (obs/envelope.h, audit_single_run). Null — and absent from
+  // ToJson(), keeping pre-envelope dumps byte-stable — when the run was
+  // degraded, faulted, or otherwise outside the clean-protocol model.
+  Json envelope;
 
   Json ToJson() const;
 };

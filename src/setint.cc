@@ -6,6 +6,7 @@
 
 #include "core/verification_tree.h"
 #include "multiparty/coordinator.h"
+#include "obs/envelope.h"
 #include "runtime/batch.h"
 #include "sim/randomness.h"
 #include "util/rng.h"
@@ -55,7 +56,8 @@ IntersectResult intersect(util::SetView s, util::SetView t,
       multiparty::verified_two_party_intersection(
           shared, options.seed, universe, s, t, params, k, options.tracer,
           options.retry, options.fault_plan, options.adversary,
-          options.limits.enabled() ? &options.limits : nullptr);
+          options.limits.enabled() ? &options.limits : nullptr,
+          options.recorder);
   IntersectResult result;
   result.intersection = run.intersection;
   result.bits = run.cost.bits_total;
@@ -67,7 +69,27 @@ IntersectResult intersect(util::SetView s, util::SetView t,
   result.verified = run.verified;
   result.degraded = run.degraded;
   if (options.tracer != nullptr) {
+    // HDR distributions of the run's headline costs — deterministic (no
+    // clocks), so the batch engine's serial-vs-parallel byte-equality
+    // contract extends to them.
+    options.tracer->metrics().hdr("run.bits").observe(run.cost.bits_total);
+    options.tracer->metrics().hdr("run.rounds").observe(run.cost.rounds);
     result.report = obs::make_run_report(run.cost, *options.tracer);
+    // Theory-conformance audit of the clean-protocol path. Degraded,
+    // faulted or Byzantine runs are outside the Theorem 3.6 cost model
+    // (injected duplicates and crafted frames bill real bits), so they
+    // carry no envelope rather than a misleading one.
+    if (!run.degraded && options.fault_plan == nullptr &&
+        options.adversary == nullptr) {
+      obs::EnvelopeSample sample;
+      sample.k = k;
+      sample.r = options.rounds_r;
+      sample.bits = run.cost.bits_total;
+      sample.rounds = run.cost.rounds;
+      sample.repetitions = run.repetitions;
+      result.report.envelope =
+          obs::audit_single_run("verified_intersection", sample);
+    }
   } else {
     result.report.cost = run.cost;
   }
@@ -84,11 +106,11 @@ std::uint64_t batch_session_seed(std::uint64_t master_seed,
 BatchResult run_batch(const IntersectOptions& options,
                       std::span<const Instance> instances,
                       const BatchOptions& batch) {
-  if (options.tracer != nullptr || options.fault_plan != nullptr ||
-      options.adversary != nullptr) {
+  if (options.tracer != nullptr || options.recorder != nullptr ||
+      options.fault_plan != nullptr || options.adversary != nullptr) {
     throw std::invalid_argument(
-        "run_batch: tracer/fault_plan/adversary are single-session stateful "
-        "objects and cannot be shared across batch sessions; use "
+        "run_batch: tracer/recorder/fault_plan/adversary are single-session "
+        "stateful objects and cannot be shared across batch sessions; use "
         "BatchOptions::trace for per-session tracing");
   }
 

@@ -56,6 +56,7 @@
 
 #include "core/resource_limits.h"
 #include "core/retry.h"
+#include "obs/recorder.h"
 #include "obs/tracer.h"
 #include "sim/adversary.h"
 #include "sim/fault.h"
@@ -72,6 +73,11 @@ struct IntersectOptions {
   // Optional phase/metric sink (not owned). When set, the returned
   // IntersectResult::report carries the full phase breakdown.
   obs::Tracer* tracer = nullptr;
+  // Optional flight recorder (not owned, single-session like the tracer):
+  // a last-N ring of protocol events that auto-dumps a JSONL post-mortem
+  // when an integrity failure, limit breach or degradation fires — see
+  // obs/recorder.h and docs/OBSERVABILITY.md § flight recorder.
+  obs::FlightRecorder* recorder = nullptr;
   // Optional unreliable-transport model (not owned, stateful).
   sim::FaultPlan* fault_plan = nullptr;
   // Optional Byzantine-peer model (not owned, stateful): one party's

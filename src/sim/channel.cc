@@ -1,5 +1,6 @@
 #include "sim/channel.h"
 
+#include "obs/recorder.h"
 #include "obs/tracer.h"
 
 namespace setint::sim {
@@ -54,6 +55,11 @@ util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
   if (tracer_ != nullptr) {
     tracer_->on_message(from, sent_bits, new_round, label);
   }
+  if (recorder_ != nullptr) {
+    recorder_->record(obs::FlightEventKind::kMessage, label, index(from),
+                      static_cast<std::uint32_t>(sent_bits),
+                      cost_.bits_total);
+  }
 
   // Resource limits fire after metering: the bandwidth was spent (the
   // attacker pays for its frame like everyone else) but the receiver
@@ -62,6 +68,11 @@ util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
     if (limits_->max_message_bits > 0 &&
         sent_bits > limits_->max_message_bits) {
       obs::count(tracer_, "limit.message_bits_breaches");
+      if (recorder_ != nullptr) {
+        recorder_->record(obs::FlightEventKind::kLimitBreach, label,
+                          index(from), 0, cost_.bits_total);
+        recorder_->incident("limit: max_message_bits");
+      }
       throw core::ResourceLimitError(
           "max_message_bits: frame of " + std::to_string(sent_bits) +
           " bits exceeds the " + std::to_string(limits_->max_message_bits) +
@@ -70,6 +81,11 @@ util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
     if (limits_->max_total_bits > 0 &&
         cost_.bits_total > limits_->max_total_bits) {
       obs::count(tracer_, "limit.total_bits_breaches");
+      if (recorder_ != nullptr) {
+        recorder_->record(obs::FlightEventKind::kLimitBreach, label,
+                          index(from), 0, cost_.bits_total);
+        recorder_->incident("limit: max_total_bits");
+      }
       throw core::ResourceLimitError(
           "max_total_bits: run total of " + std::to_string(cost_.bits_total) +
           " bits exceeds the " + std::to_string(limits_->max_total_bits) +
@@ -77,6 +93,11 @@ util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
     }
     if (limits_->max_rounds > 0 && cost_.rounds > limits_->max_rounds) {
       obs::count(tracer_, "limit.rounds_breaches");
+      if (recorder_ != nullptr) {
+        recorder_->record(obs::FlightEventKind::kLimitBreach, label,
+                          index(from), 0, cost_.bits_total);
+        recorder_->incident("limit: max_rounds");
+      }
       throw core::ResourceLimitError(
           "max_rounds: round " + std::to_string(cost_.rounds) +
           " exceeds the " + std::to_string(limits_->max_rounds) +
@@ -103,6 +124,17 @@ util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
       }
     }
     if (f.delay_rounds > 0) charge_extra_rounds(f.delay_rounds);
+    if (recorder_ != nullptr && f.events() > 0) {
+      std::string what;
+      if (f.bits_flipped > 0) what += "flip ";
+      if (f.truncated_bits > 0) what += "trunc ";
+      if (f.dropped) what += "drop ";
+      if (f.duplicated) what += "dup ";
+      if (f.delay_rounds > 0) what += "delay ";
+      what.pop_back();
+      recorder_->record(obs::FlightEventKind::kFault, what, index(from), 0,
+                        cost_.bits_total);
+    }
     if (tracer_ != nullptr) {
       obs::count(tracer_, "fault.injected", f.events());
       if (f.bits_flipped > 0) {
@@ -121,6 +153,11 @@ util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
     // truncation, a drop — fails here with probability 1 - 2^-32.
     if (payload.size_bits() < kChecksumBits) {
       obs::count(tracer_, "fault.integrity_failures");
+      if (recorder_ != nullptr) {
+        recorder_->record(obs::FlightEventKind::kIntegrityFailure, label,
+                          index(from), 0, cost_.bits_total);
+        recorder_->incident("integrity: frame lost");
+      }
       throw ChannelIntegrityError("channel: frame lost in flight (" + label +
                                   ")");
     }
@@ -135,6 +172,11 @@ util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
     payload.truncate(body_bits);
     if (delivered_sum != checksum_of(payload)) {
       obs::count(tracer_, "fault.integrity_failures");
+      if (recorder_ != nullptr) {
+        recorder_->record(obs::FlightEventKind::kIntegrityFailure, label,
+                          index(from), 0, cost_.bits_total);
+        recorder_->incident("integrity: checksum mismatch");
+      }
       throw ChannelIntegrityError("channel: frame checksum mismatch (" +
                                   label + ")");
     }
@@ -155,6 +197,11 @@ void Channel::charge_extra_rounds(std::uint64_t rounds) {
   if (limits_ != nullptr && limits_->max_rounds > 0 &&
       cost_.rounds > limits_->max_rounds) {
     obs::count(tracer_, "limit.rounds_breaches");
+    if (recorder_ != nullptr) {
+      recorder_->record(obs::FlightEventKind::kLimitBreach, "latency charge",
+                        -1, 0, cost_.bits_total);
+      recorder_->incident("limit: max_rounds (latency)");
+    }
     throw core::ResourceLimitError(
         "max_rounds: latency charge brings the run to " +
         std::to_string(cost_.rounds) + " rounds, cap " +

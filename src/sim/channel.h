@@ -48,6 +48,7 @@
 #include "util/bitio.h"
 
 namespace setint::obs {
+class FlightRecorder;
 class Tracer;
 }  // namespace setint::obs
 
@@ -81,6 +82,15 @@ class Channel {
   // channel's sends.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() const { return tracer_; }
+
+  // Install (or clear) a flight recorder (obs/recorder.h); not owned. Every
+  // metered send, injected fault, integrity failure and limit breach is
+  // recorded into the ring at O(1) cost; integrity failures and breaches
+  // also trigger FlightRecorder::incident(), which auto-dumps the last-N
+  // window if a dump path is configured. Same single-thread session
+  // affinity as the tracer.
+  void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+  obs::FlightRecorder* recorder() const { return recorder_; }
 
   // Install (or clear) a fault plan; not owned. The plan is stateful (its
   // Rng advances per message), so sharing one plan across channels is how
@@ -130,6 +140,7 @@ class Channel {
   PartyId last_direction_ = PartyId::kAlice;
   std::unique_ptr<Transcript> transcript_;
   obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
   FaultPlan* fault_plan_ = nullptr;
   Adversary* adversary_ = nullptr;
   const core::ResourceLimits* limits_ = nullptr;

@@ -1,0 +1,207 @@
+// Tests for the log-bucketed HDR histogram (obs/hdr_histogram.h): the
+// exact linear region, the 6.25% relative-resolution claim of the bin
+// geometry, deterministic percentiles, and the exact/commutative/
+// associative merge contract the MetricsRegistry hdr family extends to
+// (docs/OBSERVABILITY.md § merging).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/hdr_histogram.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace setint {
+namespace {
+
+using obs::HdrHistogram;
+
+// ---------- bin geometry ----------
+
+TEST(HdrHistogram, LinearRegionIsExact) {
+  for (std::uint64_t v = 0; v < HdrHistogram::kSubBuckets; ++v) {
+    const int bin = HdrHistogram::bin_of(v);
+    EXPECT_EQ(bin, static_cast<int>(v));
+    EXPECT_EQ(HdrHistogram::bin_lower(bin), v);
+    EXPECT_EQ(HdrHistogram::bin_upper(bin), v);
+  }
+}
+
+TEST(HdrHistogram, BinBoundsBracketTheValue) {
+  util::Rng rng(0x4D2);
+  std::vector<std::uint64_t> values = {16,         17,     255,  256,
+                                       257,        1u << 20, ~std::uint64_t{0},
+                                       (1ull << 63) + 12345};
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(rng.next() >> (i % 60));
+  }
+  for (std::uint64_t v : values) {
+    const int bin = HdrHistogram::bin_of(v);
+    ASSERT_GE(bin, 0);
+    ASSERT_LT(bin, HdrHistogram::kBins);
+    EXPECT_LE(HdrHistogram::bin_lower(bin), v) << v;
+    EXPECT_GE(HdrHistogram::bin_upper(bin), v) << v;
+    // Resolution: the bin's width never exceeds 2^-4 of the value, so any
+    // statistic read back from bins is within 6.25% of the truth.
+    const std::uint64_t width =
+        HdrHistogram::bin_upper(bin) - HdrHistogram::bin_lower(bin);
+    EXPECT_LE(width, v / HdrHistogram::kSubBuckets) << v;
+  }
+}
+
+TEST(HdrHistogram, BinIndicesAreMonotone) {
+  // Bin boundaries tile the axis: each bin's lower bound is exactly one
+  // past the previous bin's upper bound.
+  for (int bin = 1; bin < HdrHistogram::kBins; ++bin) {
+    ASSERT_EQ(HdrHistogram::bin_lower(bin),
+              HdrHistogram::bin_upper(bin - 1) + 1)
+        << bin;
+  }
+}
+
+// ---------- moments ----------
+
+TEST(HdrHistogram, MomentsAreExact) {
+  HdrHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.value_at_percentile(50), 0u);  // empty -> 0
+
+  h.observe(100);
+  h.observe(7, 3);  // weighted
+  h.observe(100000);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 100u + 3 * 7 + 100000);
+  EXPECT_EQ(h.min(), 7u);
+  EXPECT_EQ(h.max(), 100000u);
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(h.sum()) / 5.0);
+  h.observe(50, 0);  // zero weight is a no-op
+  EXPECT_EQ(h.count(), 5u);
+}
+
+// ---------- percentiles ----------
+
+TEST(HdrHistogram, PercentilesWithinRelativeError) {
+  HdrHistogram h;
+  util::Rng rng(0xBEEF);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = 1 + rng.below(1u << 20);
+    values.push_back(v);
+    h.observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {1.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::max<double>(1.0, std::ceil(p / 100.0 * values.size())));
+    const double exact = static_cast<double>(values[rank - 1]);
+    const double reported = static_cast<double>(h.value_at_percentile(p));
+    // Reported value is the bin's upper bound: never below the true
+    // order statistic, and at most 6.25% above it.
+    EXPECT_GE(reported, exact) << p;
+    EXPECT_LE(reported, exact * (1.0 + 1.0 / HdrHistogram::kSubBuckets)) << p;
+  }
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+  EXPECT_LE(h.p99(), h.max());
+}
+
+TEST(HdrHistogram, PercentileNeverExceedsObservedMax) {
+  HdrHistogram h;
+  h.observe(1000);  // bin upper bound overshoots 1000
+  EXPECT_EQ(h.p99(), 1000u);
+  EXPECT_EQ(h.value_at_percentile(100), 1000u);
+}
+
+// ---------- merge contract ----------
+
+HdrHistogram observe_all(const std::vector<std::uint64_t>& values) {
+  HdrHistogram h;
+  for (std::uint64_t v : values) h.observe(v);
+  return h;
+}
+
+TEST(HdrHistogram, MergeIsCommutativeAssociativeAndExact) {
+  util::Rng rng(0x1234);
+  std::vector<std::uint64_t> sa, sb, sc, all;
+  for (int i = 0; i < 700; ++i) sa.push_back(rng.next() >> (i % 50));
+  for (int i = 0; i < 300; ++i) sb.push_back(1 + rng.below(1u << 10));
+  for (int i = 0; i < 500; ++i) sc.push_back(rng.below(1u << 30));
+  for (auto* s : {&sa, &sb, &sc}) all.insert(all.end(), s->begin(), s->end());
+
+  const HdrHistogram a = observe_all(sa);
+  const HdrHistogram b = observe_all(sb);
+  const HdrHistogram c = observe_all(sc);
+
+  // (a + b) + c
+  HdrHistogram left = a;
+  left.merge(b);
+  left.merge(c);
+  // a + (b + c)  — associativity
+  HdrHistogram bc = b;
+  bc.merge(c);
+  HdrHistogram right = a;
+  right.merge(bc);
+  // c + b + a  — commutativity
+  HdrHistogram reversed = c;
+  reversed.merge(b);
+  reversed.merge(a);
+  // One histogram observing every stream directly — exactness.
+  const HdrHistogram direct = observe_all(all);
+
+  const std::string expected = direct.ToJson().dump();
+  EXPECT_EQ(left.ToJson().dump(), expected);
+  EXPECT_EQ(right.ToJson().dump(), expected);
+  EXPECT_EQ(reversed.ToJson().dump(), expected);
+}
+
+TEST(HdrHistogram, MergeWithEmptyIsIdentity) {
+  HdrHistogram h;
+  h.observe(42);
+  const std::string before = h.ToJson().dump();
+  HdrHistogram empty;
+  h.merge(empty);
+  EXPECT_EQ(h.ToJson().dump(), before);
+  HdrHistogram target;
+  target.merge(h);
+  EXPECT_EQ(target.ToJson().dump(), before);
+}
+
+// ---------- registry integration ----------
+
+TEST(MetricsRegistry, HdrFamilyMergesLikeDirectObservation) {
+  obs::MetricsRegistry r1, r2, direct;
+  r1.hdr("run.bits").observe(1000);
+  r1.hdr("run.bits").observe(2000);
+  r2.hdr("run.bits").observe(3000);
+  r2.hdr("run.rounds").observe(8);
+  direct.hdr("run.bits").observe(1000);
+  direct.hdr("run.bits").observe(2000);
+  direct.hdr("run.bits").observe(3000);
+  direct.hdr("run.rounds").observe(8);
+
+  obs::MetricsRegistry merged;
+  merged.merge(r2);
+  merged.merge(r1);  // order must not matter
+  EXPECT_EQ(merged.ToJson().dump(), direct.ToJson().dump());
+  EXPECT_EQ(merged.hdrs().size(), 2u);
+}
+
+TEST(MetricsRegistry, HdrKeyAbsentUntilUsed) {
+  // Byte-stability of pre-hdr dumps: the "hdr" key only appears once an
+  // hdr metric exists.
+  obs::MetricsRegistry plain;
+  plain.counter("x").add();
+  EXPECT_EQ(plain.ToJson().dump().find("\"hdr\""), std::string::npos);
+  obs::MetricsRegistry with;
+  with.counter("x").add();
+  with.hdr("run.bits").observe(1);
+  EXPECT_NE(with.ToJson().dump().find("\"hdr\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace setint

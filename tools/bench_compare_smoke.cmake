@@ -1,0 +1,32 @@
+# ctest driver for bench_compare: self-compare must pass, and comparing
+# against an --inject'ed copy must fail with exit code 1 (the comparator
+# has to be able to go red to be a gate). Run as
+#   cmake -DBENCH_COMPARE=... -DRECORD=... -DSCRATCH=... -P this_file
+foreach(var BENCH_COMPARE RECORD SCRATCH)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${SCRATCH}")
+
+execute_process(COMMAND "${BENCH_COMPARE}" "${RECORD}" "${RECORD}"
+                RESULT_VARIABLE SELF_RC)
+if(NOT SELF_RC EQUAL 0)
+  message(FATAL_ERROR "self-compare of ${RECORD} failed (rc=${SELF_RC})")
+endif()
+
+execute_process(COMMAND "${BENCH_COMPARE}" --inject "${RECORD}"
+                        "${SCRATCH}/injected.json"
+                RESULT_VARIABLE INJECT_RC)
+if(NOT INJECT_RC EQUAL 0)
+  message(FATAL_ERROR "--inject failed (rc=${INJECT_RC})")
+endif()
+
+execute_process(COMMAND "${BENCH_COMPARE}" "${RECORD}" "${SCRATCH}/injected.json"
+                RESULT_VARIABLE REGRESSION_RC)
+if(NOT REGRESSION_RC EQUAL 1)
+  message(FATAL_ERROR
+          "comparator did not flag the injected cost regression "
+          "(rc=${REGRESSION_RC}, expected 1)")
+endif()

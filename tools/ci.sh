@@ -5,20 +5,24 @@
 #   2. the robustness slice by label (fault injection, Byzantine adversary,
 #      fuzz smoke) — redundant with (1) but printed separately so a
 #      robustness regression is named, not buried
-#   3. a longer seeded fuzz run than the in-suite smoke test
-#   4. every bench binary end-to-end at smoke size (each one gates its own
+#   3. the observability slice by label (flight recorder, HDR histograms,
+#      conformance envelopes, bench_compare smoke)
+#   4. a longer seeded fuzz run than the in-suite smoke test
+#   5. every bench binary end-to-end at smoke size (each one gates its own
 #      safety/acceptance claims via its exit code)
-#   5. the perf-smoke lane: exp_cpu --smoke, gating ONLY on the
+#   6. the perf-smoke lane: exp_cpu --smoke, gating ONLY on the
 #      golden-transcript bit-identity exit code and JSON emission (no
 #      timing thresholds — CI containers are 1-core and noisy)
-#   6. the bench determinism contract (same seed => identical JSON modulo
+#   7. the telemetry-overhead gate (exp_cpu --gate-overhead=50) and the
+#      bench_compare self-diff + injected-regression check
+#   8. the bench determinism contract (same seed => identical JSON modulo
 #      wall_ms)
-#   7. the ThreadSanitizer lane: the concurrency + statistical slices
+#   9. the ThreadSanitizer lane: the concurrency + statistical slices
 #      rebuilt under TSan (build-tsan/) — the batch engine's data-race
 #      gate
 #
 # Usage: tools/ci.sh [--fast]
-#   --fast  skip steps 3-6 (inner-loop edit/test cycles)
+#   --fast  skip steps 4-8 (inner-loop edit/test cycles)
 #
 # The ASan/UBSan gate is a separate entry point (it needs its own build
 # tree): tools/run_sanitized_tests.sh.
@@ -49,6 +53,11 @@ step "tier-1: full ctest suite"
 step "robustness slice (ctest -L robustness)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -L robustness -j "$JOBS")
 
+step "observability slice (ctest -L observability)"
+# Flight recorder, HDR histograms, conformance envelopes, bench_compare
+# smoke — cheap enough to keep inside the --fast inner loop.
+(cd "$BUILD_DIR" && ctest --output-on-failure -L observability -j "$JOBS")
+
 if [[ -n "$FAST" ]]; then
   echo
   echo "[ci] --fast: skipping extended fuzz, bench smoke, determinism, TSan"
@@ -64,7 +73,7 @@ step "bench pipeline at smoke size (safety gates live in the exit codes)"
 # Into a scratch dir — the committed BENCH_*.json records at the repo root
 # are full-size and only regenerated deliberately via tools/run_benches.sh.
 SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
+trap 'rm -rf "$SMOKE_DIR" "$SMOKE_DIR-injected"' EXIT
 for BIN in "$BUILD_DIR"/bench/exp_*; do
   [[ -x "$BIN" ]] || continue
   NAME="$(basename "$BIN")"
@@ -80,6 +89,25 @@ step "perf smoke: exp_cpu bit-identity gate + JSON emission"
     --json="$SMOKE_DIR/perf_smoke_cpu.json" > /dev/null
 [[ -s "$SMOKE_DIR/perf_smoke_cpu.json" ]] || {
   echo "[ci] FAIL: exp_cpu produced no JSON record" >&2; exit 1; }
+
+step "telemetry overhead gate (exp_cpu --gate-overhead=50)"
+# The recorder hook may cost at most 50% on the un-instrumented hot path
+# at smoke size. Generous on purpose: a 1-core CI box is noisy and the
+# point is catching an accidental O(n) in the hook, not a few percent.
+"$BUILD_DIR/bench/exp_cpu" --smoke --seed=24145 --gate-overhead=50 \
+    --json="$SMOKE_DIR/overhead_gate_cpu.json" > /dev/null
+
+step "bench_compare: identity pass + injected-regression detection"
+# Same records vs themselves must be clean; an injected +25% cost cell
+# must flip the exit code — proves the trajectory gate can actually fail.
+"$BUILD_DIR/tools/bench_compare" "$SMOKE_DIR" "$SMOKE_DIR"
+"$BUILD_DIR/tools/bench_compare" --inject "$SMOKE_DIR" "$SMOKE_DIR-injected"
+if "$BUILD_DIR/tools/bench_compare" "$SMOKE_DIR" "$SMOKE_DIR-injected" \
+    > /dev/null; then
+  echo "[ci] FAIL: bench_compare missed an injected cost regression" >&2
+  exit 1
+fi
+rm -rf "$SMOKE_DIR-injected"
 
 step "bench determinism contract"
 tools/check_bench_determinism.sh build/bench/exp_rounds \
