@@ -271,8 +271,9 @@ class Reporter {
   // zeros on a clean run) so bench_compare can diff fault/degradation
   // activity across two trajectories without schema sniffing.
   obs::Json robustness_json() const {
-    static constexpr const char* kFamilies[] = {"fault", "adversary", "retry",
-                                                "degraded", "limit"};
+    static constexpr const char* kFamilies[] = {
+        "fault", "adversary", "retry", "degraded",
+        "limit", "chaos",     "checkpoint"};
     obs::Json out = obs::Json::object();
     for (const char* family : kFamilies) {
       const std::string prefix = std::string(family) + ".";

@@ -66,7 +66,7 @@ std::vector<CandidatePair> basic_intersection_batch(
     sim::Channel& channel, const sim::SharedRandomness& shared,
     std::uint64_t nonce, std::uint64_t universe,
     std::span<const std::pair<util::SetView, util::SetView>> pairs,
-    double target_failure) {
+    double target_failure, Checkpoint* ckpt) {
   if (!(target_failure > 0.0) || !(target_failure < 1.0)) {
     throw std::invalid_argument("basic_intersection: failure must be in (0,1)");
   }
@@ -81,36 +81,65 @@ std::vector<CandidatePair> basic_intersection_batch(
   obs::count(tracer, "bi.batches");
   obs::count(tracer, "bi.instances", n);
 
-  // Rounds 1 and 2: sizes in both directions.
-  util::BitBuffer alice_sizes;
-  for (const auto& [s, t] : pairs) {
-    (void)t;
-    alice_sizes.append_gamma64(s.size());
-  }
-  util::BitBuffer a_sz;
-  util::BitBuffer b_sz;
-  {
-    obs::Span size_span(tracer, "size_exchange");
-    a_sz = channel.send(sim::PartyId::kAlice, std::move(alice_sizes),
-                        "bi-sizes-a");
-    util::BitBuffer bob_sizes;
-    for (const auto& [s, t] : pairs) {
-      (void)s;
-      bob_sizes.append_gamma64(t.size());
+  // Crash resume (tag "bi"): phase 1 = sizes exchanged, phase 2 = sizes +
+  // Alice's images exchanged. The snapshot carries the agreed m_j values;
+  // everything else is recomputed locally, so only the not-yet-delivered
+  // messages are replayed on the channel.
+  std::uint64_t start_phase = 0;
+  std::vector<std::uint64_t> m(n);
+  if (ckpt != nullptr && ckpt->has("bi")) {
+    util::BitReader rd(ckpt->state());
+    const std::uint64_t saved_n = rd.read_gamma64();
+    if (saved_n != n) {
+      throw std::logic_error("basic_intersection: checkpoint batch size "
+                             "mismatch");
     }
-    b_sz = channel.send(sim::PartyId::kBob, std::move(bob_sizes),
-                        "bi-sizes-b");
+    for (std::size_t j = 0; j < n; ++j) m[j] = rd.read_gamma64();
+    start_phase = ckpt->phase();
+    ckpt->note_restore();
   }
 
-  // Both parties now know every m_j and can derive identical hash
-  // functions from shared randomness. Readers carry the channel's
-  // resource limits so crafted length prefixes are charged against
-  // max_decoded_items (docs/ROBUSTNESS.md).
-  util::BitReader ra = channel.reader(a_sz);
-  util::BitReader rb = channel.reader(b_sz);
-  std::vector<std::uint64_t> m(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    m[j] = ra.read_gamma64() + rb.read_gamma64();
+  const auto snapshot_m = [&]() {
+    util::BitBuffer blob;
+    blob.append_gamma64(n);
+    for (std::size_t j = 0; j < n; ++j) blob.append_gamma64(m[j]);
+    return blob;
+  };
+
+  if (start_phase == 0) {
+    // Rounds 1 and 2: sizes in both directions.
+    util::BitBuffer alice_sizes;
+    for (const auto& [s, t] : pairs) {
+      (void)t;
+      alice_sizes.append_gamma64(s.size());
+    }
+    util::BitBuffer a_sz;
+    util::BitBuffer b_sz;
+    {
+      obs::Span size_span(tracer, "size_exchange");
+      a_sz = channel.send(sim::PartyId::kAlice, std::move(alice_sizes),
+                          "bi-sizes-a");
+      util::BitBuffer bob_sizes;
+      for (const auto& [s, t] : pairs) {
+        (void)s;
+        bob_sizes.append_gamma64(t.size());
+      }
+      b_sz = channel.send(sim::PartyId::kBob, std::move(bob_sizes),
+                          "bi-sizes-b");
+    }
+
+    // Both parties now know every m_j and can derive identical hash
+    // functions from shared randomness. Readers carry the channel's
+    // resource limits so crafted length prefixes are charged against
+    // max_decoded_items (docs/ROBUSTNESS.md).
+    util::BitReader ra = channel.reader(a_sz);
+    util::BitReader rb = channel.reader(b_sz);
+    for (std::size_t j = 0; j < n; ++j) {
+      m[j] = ra.read_gamma64() + rb.read_gamma64();
+    }
+    if (ckpt != nullptr) {
+      ckpt->save("bi", 1, snapshot_m(), channel.cost().bits_total);
+    }
   }
 
   std::vector<hashing::PairwiseHash> hashes;
@@ -171,8 +200,18 @@ std::vector<CandidatePair> basic_intersection_batch(
       append_image(alice_hashes, sorted_unique_image(a_vals[j], arena),
                    hashes[j].range());
     }
-    a_msg = channel.send(sim::PartyId::kAlice, std::move(alice_hashes),
-                         "bi-hashes-a");
+    if (start_phase >= 2) {
+      // Alice's images were already delivered before the crash; the
+      // delivered copy is recomputed locally instead of re-sent (a
+      // successful framed send means it arrived intact).
+      a_msg = std::move(alice_hashes);
+    } else {
+      a_msg = channel.send(sim::PartyId::kAlice, std::move(alice_hashes),
+                           "bi-hashes-a");
+      if (ckpt != nullptr) {
+        ckpt->save("bi", 2, snapshot_m(), channel.cost().bits_total);
+      }
+    }
 
     util::BitBuffer bob_hashes;
     for (std::size_t j = 0; j < n; ++j) {
@@ -203,12 +242,12 @@ CandidatePair basic_intersection(sim::Channel& channel,
                                  const sim::SharedRandomness& shared,
                                  std::uint64_t nonce, std::uint64_t universe,
                                  util::SetView s, util::SetView t,
-                                 double target_failure) {
+                                 double target_failure, Checkpoint* ckpt) {
   util::validate_set(s, universe);
   util::validate_set(t, universe);
   const std::pair<util::SetView, util::SetView> one[] = {{s, t}};
   return basic_intersection_batch(channel, shared, nonce, universe, one,
-                                  target_failure)[0];
+                                  target_failure, ckpt)[0];
 }
 
 }  // namespace setint::core

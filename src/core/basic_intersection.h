@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "sim/channel.h"
 #include "sim/randomness.h"
 #include "util/set_util.h"
@@ -33,12 +34,16 @@ struct CandidatePair {
 };
 
 // Single instance. `nonce` keys the shared hash; re-runs must use fresh
-// nonces. target_failure in (0, 1).
+// nonces. target_failure in (0, 1). With a Checkpoint installed the
+// protocol snapshots after each delivered round pair (tag "bi": phase 1 =
+// sizes exchanged, phase 2 = Alice's images exchanged) and resumes from
+// there after a crash, replaying only the undelivered messages.
 CandidatePair basic_intersection(sim::Channel& channel,
                                  const sim::SharedRandomness& shared,
                                  std::uint64_t nonce, std::uint64_t universe,
                                  util::SetView s, util::SetView t,
-                                 double target_failure);
+                                 double target_failure,
+                                 Checkpoint* ckpt = nullptr);
 
 // Deterministic hash-range derivation from the exchanged sizes; shared by
 // the driver implementation and the separated-party endpoints
@@ -52,6 +57,6 @@ std::vector<CandidatePair> basic_intersection_batch(
     sim::Channel& channel, const sim::SharedRandomness& shared,
     std::uint64_t nonce, std::uint64_t universe,
     std::span<const std::pair<util::SetView, util::SetView>> pairs,
-    double target_failure);
+    double target_failure, Checkpoint* ckpt = nullptr);
 
 }  // namespace setint::core

@@ -21,7 +21,8 @@ IntersectionOutput bucket_eq_intersection(sim::Channel& channel,
                                           std::uint64_t universe,
                                           util::SetView s, util::SetView t,
                                           int strength,
-                                          BucketEqStats* stats) {
+                                          BucketEqStats* stats,
+                                          Checkpoint* ckpt) {
   validate_instance(universe, s, t);
   if (strength < 3) throw std::invalid_argument("bucket_eq: strength < 3");
   const std::uint64_t k = std::max<std::uint64_t>({s.size(), t.size(), 2});
@@ -66,10 +67,17 @@ IntersectionOutput bucket_eq_intersection(sim::Channel& channel,
     }
   }
 
+  // Crash resume: with either snapshot present the size vectors were
+  // already delivered in the interrupted run, so they are not re-sent —
+  // the bucket tables above were just recomputed locally from the inputs,
+  // and the amortized-equality stage resumes from its own snapshot.
+  const bool sizes_done =
+      ckpt != nullptr && (ckpt->has("bucket_eq") || ckpt->has("amortized_eq"));
+
   // Rounds 1-2: bucket-size vectors (sum <= k, so gamma coding is O(k)).
   util::BitBuffer a_sz;
   util::BitBuffer b_sz;
-  {
+  if (!sizes_done) {
     obs::Span size_span(tracer, "size_exchange");
     util::BitBuffer a_sizes;
     for (std::size_t i = 0; i < k; ++i) a_sizes.append_gamma64(sb.bucket_size(i));
@@ -79,6 +87,17 @@ IntersectionOutput bucket_eq_intersection(sim::Channel& channel,
     for (std::size_t i = 0; i < k; ++i) b_sizes.append_gamma64(tb.bucket_size(i));
     b_sz = channel.send(sim::PartyId::kBob, std::move(b_sizes),
                         "bucket-sizes-b");
+    if (ckpt != nullptr) {
+      // The blob is empty: both parties rebuild the instance collection
+      // from their inputs and the (already agreed) size vectors.
+      ckpt->save("bucket_eq", 1, util::BitBuffer{}, channel.cost().bits_total);
+    }
+  } else {
+    // Rebuild the delivered size vectors locally; the driver sees both
+    // sides, and a successful framed delivery means they arrived intact.
+    for (std::size_t i = 0; i < k; ++i) a_sz.append_gamma64(sb.bucket_size(i));
+    for (std::size_t i = 0; i < k; ++i) b_sz.append_gamma64(tb.bucket_size(i));
+    if (ckpt->has("bucket_eq")) ckpt->note_restore();
   }
 
   util::BitReader ra = channel.reader(a_sz);
@@ -120,7 +139,7 @@ IntersectionOutput bucket_eq_intersection(sim::Channel& channel,
   obs::count(tracer, "bucket_eq.instances", refs.size());
   eq::AmortizedEqStats eq_stats;
   const std::vector<bool> equal = eq::amortized_equality(
-      channel, shared, util::mix64(nonce, 0xBEEF), xs, ys, &eq_stats);
+      channel, shared, util::mix64(nonce, 0xBEEF), xs, ys, &eq_stats, ckpt);
 
   IntersectionOutput out;
   for (std::size_t j = 0; j < refs.size(); ++j) {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "core/checkpoint.h"
 #include "core/protocol.h"
 #include "sim/channel.h"
 #include "sim/randomness.h"
@@ -26,13 +27,19 @@ struct BucketEqStats {
   std::uint64_t levels = 0;     // amortized-equality tree levels
 };
 
+// With a Checkpoint installed, the size exchange is one phase boundary
+// (tag "bucket_eq") and the amortized-equality stage checkpoints per
+// level (tag "amortized_eq", see eq/amortized_eq.h) — so a crashed
+// session resumes mid-equality-tree instead of re-bucketing and
+// re-sending everything.
 IntersectionOutput bucket_eq_intersection(sim::Channel& channel,
                                           const sim::SharedRandomness& shared,
                                           std::uint64_t nonce,
                                           std::uint64_t universe,
                                           util::SetView s, util::SetView t,
                                           int strength = 3,
-                                          BucketEqStats* stats = nullptr);
+                                          BucketEqStats* stats = nullptr,
+                                          Checkpoint* ckpt = nullptr);
 
 class BucketEqProtocol final : public IntersectionProtocol {
  public:

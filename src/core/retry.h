@@ -35,6 +35,17 @@ struct RetryPolicy {
   // own input set — the one superset that needs no communication — is
   // returned instead.
   std::uint64_t degraded_attempts = 4;
+
+  // Chaos recovery (sim/chaos.h). Crash/partition blocks within one
+  // certified attempt are waited out and resumed (from the last phase
+  // checkpoint when one is installed) up to this many times per session
+  // before the peer is declared lost and the run degrades.
+  std::uint64_t max_restarts = 16;
+
+  // A restart is only waited for if the blocked link heals within this
+  // many latency rounds (charged to the channel like backoff_rounds);
+  // longer outages are treated as a lost peer.
+  std::uint64_t max_resume_wait_rounds = 4096;
 };
 
 }  // namespace setint::core

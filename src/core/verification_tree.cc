@@ -95,11 +95,29 @@ std::vector<std::vector<Range>> verification_tree_layout(std::size_t leaves,
   return *layout_cached(leaves, rounds_r);
 }
 
+namespace {
+
+// Snapshot blob for the "vt" checkpoint: bucket count (sanity), then the
+// per-leaf candidate assignments, gamma-delta coded like any wire set.
+util::BitBuffer encode_vt_state(std::size_t k,
+                                const std::vector<util::SetView>& sa,
+                                const std::vector<util::SetView>& tb) {
+  util::BitBuffer blob;
+  blob.append_gamma64(k);
+  for (std::size_t u = 0; u < k; ++u) {
+    util::append_set(blob, sa[u]);
+    util::append_set(blob, tb[u]);
+  }
+  return blob;
+}
+
+}  // namespace
+
 IntersectionOutput verification_tree_intersection(
     sim::Channel& channel, const sim::SharedRandomness& shared,
     std::uint64_t nonce, std::uint64_t universe, util::SetView s,
     util::SetView t, const VerificationTreeParams& params,
-    VerificationTreeDiag* diag) {
+    VerificationTreeDiag* diag, Checkpoint* ckpt) {
   validate_instance(universe, s, t);
   const std::size_t k =
       params.bucket_count != 0
@@ -120,36 +138,59 @@ IntersectionOutput verification_tree_intersection(
     return one_round_hash(channel, shared, nonce, universe, s, t);
   }
 
-  // Bucket partition (the leaves' initial assignments S^(-1), T^(-1)):
-  // batched hashing, then one stable counting sort into a CSR table per
-  // side. Inputs are sorted and counting sort preserves input order, so
-  // every bucket comes out sorted — the explicit per-bucket sort the old
-  // vector-of-vector code needed is now a structural guarantee.
-  util::Rng bucket_stream = shared.stream("vt-buckets", nonce);
-  const auto h = hashing::PairwiseHash::sample(bucket_stream, universe, k);
   util::ScratchArena::Frame scratch_frame(channel.scratch());
   util::ScratchArena& arena = channel.scratch();
-  const std::span<std::uint64_t> keys_s = arena.alloc_u64(s.size());
-  const std::span<std::uint64_t> keys_t = arena.alloc_u64(t.size());
-  h.hash_many(s, keys_s);
-  h.hash_many(t, keys_t);
-  const util::FlatBuckets sb_init =
-      util::build_flat_buckets_values(keys_s, s, k, arena);
-  const util::FlatBuckets tb_init =
-      util::build_flat_buckets_values(keys_t, t, k, arena);
   // Per-leaf candidate assignments are views: initially into the CSR data,
   // and after a Basic-Intersection re-run into `cand_store` (a deque, so
   // stored candidates never move when later stages append).
   std::vector<util::SetView> sa(k);
   std::vector<util::SetView> tb(k);
-  for (std::size_t u = 0; u < k; ++u) {
-    sa[u] = sb_init.bucket(u);
-    tb[u] = tb_init.bucket(u);
-  }
   std::deque<CandidatePair> cand_store;
-  if (tracer != nullptr) {
+  int start_stage = 0;
+  if (ckpt != nullptr && ckpt->has("vt")) {
+    // Crash resume: the per-leaf assignments at the last completed stage
+    // boundary come out of the snapshot; the bucket partition is not
+    // recomputed (it is subsumed by the stage-0 state).
+    util::BitReader rd(ckpt->state());
+    const std::uint64_t saved_k = rd.read_gamma64();
+    if (saved_k != k) {
+      throw std::logic_error("verification_tree: checkpoint bucket count "
+                             "mismatch");
+    }
     for (std::size_t u = 0; u < k; ++u) {
-      obs::observe(tracer, "vt.bucket_size", sa[u].size() + tb[u].size());
+      CandidatePair cp;
+      cp.s_candidate = util::read_set(rd);
+      cp.t_candidate = util::read_set(rd);
+      cand_store.push_back(std::move(cp));
+      sa[u] = cand_store.back().s_candidate;
+      tb[u] = cand_store.back().t_candidate;
+    }
+    start_stage = static_cast<int>(ckpt->phase());
+    ckpt->note_restore();
+  } else {
+    // Bucket partition (the leaves' initial assignments S^(-1), T^(-1)):
+    // batched hashing, then one stable counting sort into a CSR table per
+    // side. Inputs are sorted and counting sort preserves input order, so
+    // every bucket comes out sorted — the explicit per-bucket sort the old
+    // vector-of-vector code needed is now a structural guarantee.
+    util::Rng bucket_stream = shared.stream("vt-buckets", nonce);
+    const auto h = hashing::PairwiseHash::sample(bucket_stream, universe, k);
+    const std::span<std::uint64_t> keys_s = arena.alloc_u64(s.size());
+    const std::span<std::uint64_t> keys_t = arena.alloc_u64(t.size());
+    h.hash_many(s, keys_s);
+    h.hash_many(t, keys_t);
+    const util::FlatBuckets sb_init =
+        util::build_flat_buckets_values(keys_s, s, k, arena);
+    const util::FlatBuckets tb_init =
+        util::build_flat_buckets_values(keys_t, t, k, arena);
+    for (std::size_t u = 0; u < k; ++u) {
+      sa[u] = sb_init.bucket(u);
+      tb[u] = tb_init.bucket(u);
+    }
+    if (tracer != nullptr) {
+      for (std::size_t u = 0; u < k; ++u) {
+        obs::observe(tracer, "vt.bucket_size", sa[u].size() + tb[u].size());
+      }
     }
   }
 
@@ -176,7 +217,7 @@ IntersectionOutput verification_tree_intersection(
   std::vector<util::BitBuffer> ca;
   std::vector<util::BitBuffer> cb;
 
-  for (int stage = 0; stage < r; ++stage) {
+  for (int stage = start_stage; stage < r; ++stage) {
     obs::Span stage_span(tracer, "level=" + std::to_string(stage));
     // Failure target 1/(log^(r-i-1) k)^4 for this stage's equality tests
     // and Basic-Intersection re-runs (Algorithm 1).
@@ -259,6 +300,15 @@ IntersectionOutput verification_tree_intersection(
           deterministic_exchange(channel, universe, s, t);
       if (diag != nullptr) *diag = local;
       return exact;
+    }
+
+    // Phase boundary: stage complete, assignments consistent on both
+    // sides. A crash after this point resumes at stage + 1 (phase == r
+    // means "all stages done": only the final concatenation — which sends
+    // nothing — remains).
+    if (ckpt != nullptr) {
+      ckpt->save("vt", static_cast<std::uint64_t>(stage) + 1,
+                 encode_vt_state(k, sa, tb), channel.cost().bits_total);
     }
   }
 

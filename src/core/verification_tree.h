@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/protocol.h"
 #include "sim/channel.h"
 #include "sim/randomness.h"
@@ -65,11 +66,18 @@ struct VerificationTreeDiag {
   bool fallback_used = false;
 };
 
+// With a Checkpoint (core/checkpoint.h) installed, the protocol saves a
+// snapshot (tag "vt") of the per-leaf candidate assignments after every
+// completed stage and, on re-entry after a crash, restores it and resumes
+// from the first unfinished stage — the transcript from that point on is
+// bit-identical to an uninterrupted run, because every stage draws from an
+// independent nonce substream. nullptr disables checkpointing (no
+// serialization cost on the clean path).
 IntersectionOutput verification_tree_intersection(
     sim::Channel& channel, const sim::SharedRandomness& shared,
     std::uint64_t nonce, std::uint64_t universe, util::SetView s,
     util::SetView t, const VerificationTreeParams& params = {},
-    VerificationTreeDiag* diag = nullptr);
+    VerificationTreeDiag* diag = nullptr, Checkpoint* ckpt = nullptr);
 
 class VerificationTreeProtocol final : public IntersectionProtocol {
  public:

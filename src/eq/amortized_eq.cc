@@ -67,7 +67,8 @@ std::vector<bool> amortized_equality(sim::Channel& channel,
                                      std::uint64_t nonce,
                                      const std::vector<util::BitBuffer>& xs,
                                      const std::vector<util::BitBuffer>& ys,
-                                     AmortizedEqStats* stats) {
+                                     AmortizedEqStats* stats,
+                                     core::Checkpoint* ckpt) {
   if (xs.size() != ys.size()) {
     throw std::invalid_argument("amortized_equality: size mismatch");
   }
@@ -76,8 +77,32 @@ std::vector<bool> amortized_equality(sim::Channel& channel,
   if (k == 0) return equal;
 
   std::vector<Group> groups;
-  groups.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) groups.push_back(Group{i});
+  unsigned start_level = 0;
+  if (ckpt != nullptr && ckpt->has("amortized_eq")) {
+    // Crash resume: resolved verdicts and surviving groups come out of the
+    // snapshot; the protocol continues at the first unfinished level.
+    util::BitReader rd(ckpt->state());
+    const std::uint64_t saved_k = rd.read_gamma64();
+    if (saved_k != k) {
+      throw std::logic_error("amortized_equality: checkpoint instance count "
+                             "mismatch");
+    }
+    for (std::size_t i = 0; i < k; ++i) equal[i] = rd.read_bit();
+    const std::uint64_t ngroups = rd.read_gamma64();
+    groups.reserve(ngroups);
+    for (std::uint64_t g = 0; g < ngroups; ++g) {
+      Group group(rd.read_gamma64());
+      for (std::size_t& idx : group) {
+        idx = static_cast<std::size_t>(rd.read_gamma64());
+      }
+      groups.push_back(std::move(group));
+    }
+    start_level = static_cast<unsigned>(ckpt->phase());
+    ckpt->note_restore();
+  } else {
+    groups.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) groups.push_back(Group{i});
+  }
 
   const unsigned max_level = k >= 2 ? util::ceil_log2(k) : 0;
   ContentScratch scratch;
@@ -86,7 +111,7 @@ std::vector<bool> amortized_equality(sim::Channel& channel,
   obs::Span protocol_span(tracer, "amortized_eq");
   obs::count(tracer, "eq.amortized_instances", k);
 
-  for (unsigned level = 0; level <= max_level + 16; ++level) {
+  for (unsigned level = start_level; level <= max_level + 16; ++level) {
     obs::Span level_span(tracer, "level=" + std::to_string(level));
     const auto beta = static_cast<std::size_t>(
         std::max(1.0, std::round(std::pow(2.0, level / 2.0))));
@@ -148,6 +173,22 @@ std::vector<bool> amortized_equality(sim::Channel& channel,
     }
     if (groups.size() % 2 == 1) merged.push_back(std::move(groups.back()));
     groups = std::move(merged);
+
+    // Phase boundary: level complete, both parties agree on the verdicts
+    // so far and the merged survivor groups. (Not reached when the run
+    // finished above, so a restored snapshot always has live groups.)
+    if (ckpt != nullptr) {
+      util::BitBuffer blob;
+      blob.append_gamma64(k);
+      for (std::size_t i = 0; i < k; ++i) blob.append_bit(equal[i]);
+      blob.append_gamma64(groups.size());
+      for (const Group& g : groups) {
+        blob.append_gamma64(g.size());
+        for (std::size_t idx : g) blob.append_gamma64(idx);
+      }
+      ckpt->save("amortized_eq", level + 1, std::move(blob),
+                 channel.cost().bits_total);
+    }
   }
 
   obs::observe(tracer, "eq.levels", local_stats.levels);

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "sim/channel.h"
 #include "sim/randomness.h"
 #include "util/bitio.h"
@@ -33,12 +34,18 @@ struct AmortizedEqStats {
 };
 
 // Instance i compares xs[i] (Alice) with ys[i] (Bob). Returns per-instance
-// verdicts known to both parties; fills *stats if non-null.
+// verdicts known to both parties; fills *stats if non-null. With a
+// Checkpoint installed (tag "amortized_eq"), a snapshot of the resolved
+// verdicts and surviving groups is saved after every completed level, and
+// a crashed session resumes at the first unfinished level — each level
+// draws from an independent nonce substream, so the resumed transcript is
+// bit-identical to an uninterrupted one.
 std::vector<bool> amortized_equality(sim::Channel& channel,
                                      const sim::SharedRandomness& shared,
                                      std::uint64_t nonce,
                                      const std::vector<util::BitBuffer>& xs,
                                      const std::vector<util::BitBuffer>& ys,
-                                     AmortizedEqStats* stats = nullptr);
+                                     AmortizedEqStats* stats = nullptr,
+                                     core::Checkpoint* ckpt = nullptr);
 
 }  // namespace setint::eq

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/basic_intersection.h"
+#include "core/checkpoint.h"
 #include "core/deterministic_exchange.h"
 #include "eq/equality.h"
 #include "obs/recorder.h"
@@ -17,22 +18,91 @@ VerifiedRunResult verified_two_party_intersection(
     const sim::SharedRandomness& shared, std::uint64_t nonce,
     std::uint64_t universe, util::SetView s, util::SetView t,
     const core::VerificationTreeParams& params, std::size_t k_bound,
-    obs::Tracer* tracer, const core::RetryPolicy& retry,
-    sim::FaultPlan* faults, sim::Adversary* adversary,
-    const core::ResourceLimits* limits, obs::FlightRecorder* recorder) {
+    const core::RetryPolicy& retry, const SessionHooks& hooks) {
   if (k_bound == 0) k_bound = std::max<std::size_t>({s.size(), t.size(), 2});
+  obs::Tracer* tracer = hooks.tracer;
+  sim::FaultPlan* faults = hooks.faults;
+  sim::Adversary* adversary = hooks.adversary;
+  obs::FlightRecorder* recorder = hooks.recorder;
+  sim::ChaosPlan* chaos =
+      hooks.chaos != nullptr && hooks.chaos->enabled() ? hooks.chaos : nullptr;
   sim::Channel channel;
   channel.set_tracer(tracer);
   channel.set_recorder(recorder);
   channel.set_fault_plan(faults);
   channel.set_adversary(adversary);
-  if (limits != nullptr && limits->enabled()) channel.set_limits(limits);
+  if (hooks.limits != nullptr && hooks.limits->enabled()) {
+    channel.set_limits(hooks.limits);
+  }
+  if (chaos != nullptr) {
+    channel.set_chaos(chaos, hooks.player_a, hooks.player_b);
+  }
   obs::Span verified_span(tracer, "verified_intersection");
+
+  // Phase-boundary checkpoint store, shared by every attempt. It only
+  // earns its keep under chaos: iid faults corrupt single messages (the
+  // retry loop is the right tool), while crash/partition blocks lose
+  // whole half-finished sessions that a snapshot can rescue.
+  core::Checkpoint ckpt_store;
+  core::Checkpoint* ckpt =
+      chaos != nullptr && hooks.checkpoint ? &ckpt_store : nullptr;
+
   const std::uint64_t max_attempts =
       std::max<std::uint64_t>(1, retry.max_attempts);
   VerifiedRunResult result;
-  for (std::uint64_t rep = 0; rep < max_attempts; ++rep) {
+  std::uint64_t restarts_used = 0;
+  std::uint64_t attempt_start_bits = 0;
+  const auto finish = [&]() -> VerifiedRunResult& {
+    result.cost = channel.cost();
+    if (ckpt != nullptr) {
+      obs::count(tracer, "checkpoint.snapshots", ckpt->snapshots());
+      obs::count(tracer, "checkpoint.restores", ckpt->restores());
+    }
+    return result;
+  };
+
+  // Waits out one crash/partition block: charges the outage as latency
+  // rounds and advances the chaos clock past it. Returns false when the
+  // peer should be declared lost instead (budget or wait cap exhausted,
+  // or the wait itself breaches the round limit).
+  const auto wait_out_block = [&](std::uint64_t resume_tick,
+                                  const char* what) {
+    // Bits sent since the last phase boundary — or since the attempt
+    // began, when no snapshot exists yet — are lost and will be re-sent.
+    const std::uint64_t boundary = ckpt != nullptr && !ckpt->empty()
+                                       ? ckpt->bits_at_boundary()
+                                       : attempt_start_bits;
+    const std::uint64_t lost = channel.cost().bits_total - boundary;
+    result.bits_replayed += lost;
+    obs::count(tracer, "checkpoint.bits_replayed", lost);
+    restarts_used += 1;
+    if (restarts_used > retry.max_restarts) return false;
+    const std::uint64_t now = chaos->now();
+    const std::uint64_t wait = resume_tick > now ? resume_tick - now : 1;
+    if (wait > retry.max_resume_wait_rounds) return false;
+    try {
+      channel.charge_extra_rounds(wait);
+    } catch (const core::ResourceLimitError&) {
+      obs::count(tracer, "limit.breaches");
+      return false;
+    }
+    chaos->advance_to(resume_tick);
+    result.restarts += 1;
+    obs::count(tracer, "chaos.restarts");
+    if (recorder != nullptr) {
+      recorder->record(obs::FlightEventKind::kRestart, what, -1, wait,
+                       channel.cost().bits_total);
+    }
+    return true;
+  };
+
+  for (std::uint64_t rep = 0; rep < max_attempts && !result.peer_lost;
+       ++rep) {
     result.repetitions = rep + 1;
+    attempt_start_bits = channel.cost().bits_total;
+    // Attempts draw fresh randomness, so a snapshot from a previous
+    // attempt describes a transcript that no longer exists.
+    if (ckpt != nullptr) ckpt->clear();
     if (rep > 0) {
       obs::count(tracer, "retry.attempts");
       if (recorder != nullptr) {
@@ -40,51 +110,86 @@ VerifiedRunResult verified_two_party_intersection(
                          "attempt " + std::to_string(rep + 1));
       }
     }
-    try {
-      // Inside the try: with limits installed the backoff charge itself
-      // can breach max_rounds, which burns the attempt like any failure.
-      if (rep > 0) channel.charge_extra_rounds(retry.backoff_rounds);
-      const core::IntersectionOutput out =
-          core::verification_tree_intersection(
-              channel, shared, util::mix64(nonce, rep), universe, s, t,
-              params);
-      // 2k-bit certificate (Section 4): candidates are subsets of the
-      // inputs and supersets of the intersection, so equality implies
-      // exactness.
-      util::BitBuffer ca;
-      util::append_set(ca, out.alice);
-      util::BitBuffer cb;
-      util::append_set(cb, out.bob);
-      obs::Span certificate_span(tracer, "certificate");
-      const bool certified = eq::equality_test(
-          channel, shared, util::mix64(nonce, util::mix64(0xCE27, rep)), ca,
-          cb, 2 * k_bound);
-      if (certified) {
-        obs::count(tracer, "mp.verified_runs");
-        obs::count(tracer, "mp.repetitions", result.repetitions);
-        result.intersection = out.alice;
-        result.cost = channel.cost();
-        return result;
+    bool backoff_due = rep > 0;
+    // Inner recovery loop: a crash or partition inside the attempt is
+    // waited out and the attempt resumes — from its last phase checkpoint
+    // when one is installed, from scratch otherwise — under the SAME
+    // nonce, so the replayed transcript is deterministic.
+    bool attempt_live = true;
+    while (attempt_live) {
+      try {
+        // Inside the try: with limits installed the backoff charge itself
+        // can breach max_rounds, which burns the attempt like any failure.
+        if (backoff_due) {
+          backoff_due = false;
+          channel.charge_extra_rounds(retry.backoff_rounds);
+        }
+        const core::IntersectionOutput out =
+            core::verification_tree_intersection(
+                channel, shared, util::mix64(nonce, rep), universe, s, t,
+                params, /*diag=*/nullptr, ckpt);
+        // 2k-bit certificate (Section 4): candidates are subsets of the
+        // inputs and supersets of the intersection, so equality implies
+        // exactness.
+        util::BitBuffer ca;
+        util::append_set(ca, out.alice);
+        util::BitBuffer cb;
+        util::append_set(cb, out.bob);
+        obs::Span certificate_span(tracer, "certificate");
+        const bool certified = eq::equality_test(
+            channel, shared, util::mix64(nonce, util::mix64(0xCE27, rep)), ca,
+            cb, 2 * k_bound);
+        if (certified) {
+          obs::count(tracer, "mp.verified_runs");
+          obs::count(tracer, "mp.repetitions", result.repetitions);
+          if (ckpt != nullptr && ckpt->restores() > 0) {
+            obs::count(tracer, "checkpoint.resume_successes");
+          }
+          result.intersection = out.alice;
+          return finish();
+        }
+        attempt_live = false;  // failed certificate: fresh attempt
+      } catch (const sim::PlayerCrashError& e) {
+        obs::count(tracer, "chaos.crashes");
+        if (e.permanent || !wait_out_block(e.revive_tick, "crash")) {
+          result.peer_lost = true;
+          break;
+        }
+        // Without a checkpoint the wait still happened (the link is only
+        // usable again after the outage) but the attempt burns.
+        if (ckpt == nullptr) attempt_live = false;
+      } catch (const sim::LinkPartitionedError& e) {
+        obs::count(tracer, "chaos.partitions");
+        if (!wait_out_block(e.heal_tick, "partition")) {
+          result.peer_lost = true;
+          break;
+        }
+        if (ckpt == nullptr) attempt_live = false;
+      } catch (const core::ResourceLimitError&) {
+        // A frame or a decode blew past a resource cap — the signature
+        // move of a Byzantine peer. Burn the attempt like any decode
+        // failure (an unlucky honest run near the cap retries too).
+        obs::count(tracer, "limit.breaches");
+        obs::count(tracer, "retry.decode_failures");
+        attempt_live = false;
+      } catch (const std::exception&) {
+        // A corrupted message failed to decode (the hardened decoders
+        // throw on damaged length prefixes and short reads). Same remedy
+        // as a failed certificate: fresh randomness, next attempt.
+        obs::count(tracer, "retry.decode_failures");
+        attempt_live = false;
       }
-    } catch (const core::ResourceLimitError&) {
-      // A frame or a decode blew past a resource cap — the signature move
-      // of a Byzantine peer. Burn the attempt like any decode failure
-      // (an unlucky honest run near the cap retries too).
-      obs::count(tracer, "limit.breaches");
-      obs::count(tracer, "retry.decode_failures");
-    } catch (const std::exception&) {
-      // A corrupted message failed to decode (the hardened decoders throw
-      // on damaged length prefixes and short reads). Same remedy as a
-      // failed certificate: fresh randomness, next attempt.
-      obs::count(tracer, "retry.decode_failures");
     }
   }
 
   // The deterministic backstop trusts every byte the peer sends, so it is
   // only sound against an unreliable-but-honest transport. A Byzantine
-  // peer (enabled adversary) would simply lie to it; degrade instead.
+  // peer (enabled adversary) would simply lie to it; degrade instead. A
+  // chaos plan counts as hostile too: the backstop has no recovery layer
+  // of its own, so a mid-exchange crash would escape it.
   const bool hostile = (faults != nullptr && faults->enabled()) ||
-                       (adversary != nullptr && adversary->enabled());
+                       (adversary != nullptr && adversary->enabled()) ||
+                       chaos != nullptr;
   if (!hostile) {
     // Reliable channel: only hash collisions (or limit breaches) can get
     // here, and the deterministic backstop is exact.
@@ -97,8 +202,7 @@ VerifiedRunResult verified_two_party_intersection(
       const core::IntersectionOutput exact =
           core::deterministic_exchange(channel, universe, s, t);
       result.intersection = exact.alice;
-      result.cost = channel.cost();
-      return result;
+      return finish();
     } catch (const core::ResourceLimitError&) {
       // Limits tight enough that even the deterministic exchange breaches
       // them: fall through to the degraded superset path rather than let
@@ -119,7 +223,8 @@ VerifiedRunResult verified_two_party_intersection(
   obs::count(tracer, "degraded.runs");
   if (recorder != nullptr) {
     recorder->record(obs::FlightEventKind::kDegrade, "superset answer");
-    recorder->incident("degraded: retry budget exhausted");
+    recorder->incident(result.peer_lost ? "degraded: peer lost"
+                                        : "degraded: retry budget exhausted");
   }
   result.verified = false;
   result.degraded = true;
@@ -127,17 +232,22 @@ VerifiedRunResult verified_two_party_intersection(
   // plan damaged content NOR the adversary substituted a frame during it —
   // a crafted frame that decodes cleanly can still lie, and a lie can
   // knock true elements out of the candidate (no superset guarantee).
-  const auto content_faults = [faults, adversary] {
+  // Bursty chaos corruption counts for the same reason.
+  const auto content_faults = [faults, adversary, chaos] {
     std::uint64_t events = 0;
     if (faults != nullptr) {
       const sim::FaultStats& st = faults->stats();
       events += st.bits_flipped + st.truncated_bits + st.dropped_messages;
     }
     if (adversary != nullptr) events += adversary->stats().frames_crafted;
+    if (chaos != nullptr) events += chaos->stats().content_events;
     return events;
   };
+  // A lost peer cannot answer Basic-Intersection either: go straight to
+  // the input fallback instead of burning attempts against a dead link.
   const std::uint64_t degraded_attempts =
-      std::max<std::uint64_t>(1, retry.degraded_attempts);
+      result.peer_lost ? 0
+                       : std::max<std::uint64_t>(1, retry.degraded_attempts);
   for (std::uint64_t d = 0; d < degraded_attempts; ++d) {
     const std::uint64_t before = content_faults();
     try {
@@ -147,19 +257,17 @@ VerifiedRunResult verified_two_party_intersection(
       if (content_faults() == before) {
         obs::count(tracer, "degraded.clean_supersets");
         result.intersection = cand.s_candidate;
-        result.cost = channel.cost();
-        return result;
+        return finish();
       }
     } catch (const std::exception&) {
       // Fault-touched attempt; fall through to the next one.
     }
   }
-  // Every degraded attempt was corrupted: the caller's own input is the
-  // one superset that survives any fault rate.
+  // Every degraded attempt was corrupted (or the peer is gone): the
+  // caller's own input is the one superset that survives any fault rate.
   obs::count(tracer, "degraded.input_fallbacks");
   result.intersection.assign(s.begin(), s.end());
-  result.cost = channel.cost();
-  return result;
+  return finish();
 }
 
 MultipartyResult coordinator_intersection(sim::Network& network,
@@ -192,6 +300,9 @@ MultipartyResult coordinator_intersection(sim::Network& network,
                                : network.fault_plan();
   const core::ResourceLimits* limits =
       params.limits.enabled() ? &params.limits : nullptr;
+  sim::ChaosPlan* chaos =
+      params.chaos != nullptr ? params.chaos : network.chaos_plan();
+  if (chaos != nullptr && !chaos->enabled()) chaos = nullptr;
 
   while (active.size() > 1) {
     obs::Span level_span(tracer, "level=" + std::to_string(result.levels));
@@ -204,6 +315,18 @@ MultipartyResult coordinator_intersection(sim::Network& network,
       util::Set acc = current[coord];
       for (std::size_t j = lo + 1; j < hi; ++j) {
         const std::size_t member = active[j];
+        // A permanently dead player cannot run its pairwise session at
+        // all; skipping it leaves the accumulator unchanged — still a
+        // superset of the m-way intersection, honestly flagged.
+        if (chaos != nullptr &&
+            (chaos->player_dead(coord) || chaos->player_dead(member))) {
+          result.dead_player_skips += 1;
+          result.degraded_pairs += 1;
+          result.degraded = true;
+          obs::count(tracer, "chaos.dead_player_skips");
+          obs::count(tracer, "mp.degraded_pairs");
+          continue;
+        }
         const std::uint64_t nonce = util::mix64(
             util::mix64(result.levels, coord), util::mix64(member, 0xC0));
         // Bind the Byzantine player (if any) to the channel role it holds
@@ -218,15 +341,24 @@ MultipartyResult coordinator_intersection(sim::Network& network,
             pair_adversary = params.adversary;
           }
         }
+        SessionHooks hooks;
+        hooks.faults = faults;
+        hooks.adversary = pair_adversary;
+        hooks.limits = limits;
+        hooks.chaos = chaos;
+        hooks.player_a = coord;
+        hooks.player_b = member;
+        hooks.checkpoint = params.checkpoint;
         VerifiedRunResult vr = verified_two_party_intersection(
             shared, nonce, universe, current[coord], current[member],
-            params.tree, k, /*tracer=*/nullptr, params.retry, faults,
-            pair_adversary, limits);
+            params.tree, k, params.retry, hooks);
         if (pair_adversary != nullptr) {
           obs::count(tracer, "mp.byzantine_pairs");
         }
         network.bill_pairwise_in_batch(coord, member, vr.cost);
         result.total_repetitions += vr.repetitions;
+        result.total_restarts += vr.restarts;
+        result.total_bits_replayed += vr.bits_replayed;
         obs::count(tracer, "mp.pairwise_runs");
         obs::count(tracer, "mp.repetitions", vr.repetitions);
         if (vr.degraded) {

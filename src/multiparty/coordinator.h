@@ -20,6 +20,7 @@
 #include "core/verification_tree.h"
 #include "obs/tracer.h"
 #include "sim/adversary.h"
+#include "sim/chaos.h"
 #include "sim/fault.h"
 #include "sim/network.h"
 #include "sim/randomness.h"
@@ -47,31 +48,55 @@ struct VerifiedRunResult {
   std::uint64_t repetitions = 1;  // certified attempts consumed
   bool verified = true;   // certificate (or exact backstop) vouches for it
   bool degraded = false;  // superset-only answer after budget exhaustion
+
+  // Chaos recovery accounting (zero without an installed ChaosPlan).
+  std::uint64_t restarts = 0;       // crash/partition blocks waited out
+  std::uint64_t bits_replayed = 0;  // bits re-sent past the last checkpoint
+  bool peer_lost = false;  // peer never came back; degraded without retries
 };
 
-// `tracer` (optional, not owned) is installed on the internal channel, so
-// phase spans and metrics from the whole certified run — including
-// repetitions and the certificate — are attributed under the caller's
-// current span. `faults` (optional, not owned) makes that channel
-// unreliable. `recorder` (optional, not owned) is the flight recorder
-// (obs/recorder.h) installed on the internal channel; besides the
-// channel's own events it receives kRetry/kBackstop/kDegrade markers from
-// this recovery layer, and a degradation fires
-// FlightRecorder::incident(). `adversary` (optional, not owned) makes one PARTY Byzantine
-// (sim/adversary.h); because a Byzantine peer could feed the
-// deterministic-exchange backstop lying bytes, an enabled adversary —
-// like an enabled fault plan — routes budget exhaustion into the honest
-// degraded path instead. `limits` (optional, not owned) is installed on
-// the internal channel; breaches burn a retry attempt like any decode
-// failure.
+// Environment for one certified session. None of the pointers are owned.
+//
+//   tracer    — installed on the internal channel, so phase spans and
+//               metrics from the whole certified run (repetitions,
+//               certificate, recovery) land under the caller's span.
+//   faults    — iid fault plan (sim/fault.h); makes the channel unreliable.
+//   adversary — makes one PARTY Byzantine (sim/adversary.h); because a
+//               Byzantine peer could feed the deterministic-exchange
+//               backstop lying bytes, an enabled adversary — like an
+//               enabled fault plan or chaos plan — routes budget
+//               exhaustion into the honest degraded path instead.
+//   limits    — resource caps installed on the channel; breaches burn a
+//               retry attempt like any decode failure.
+//   recorder  — flight recorder (obs/recorder.h); besides the channel's
+//               own events it receives kRetry/kBackstop/kDegrade/kRestart
+//               markers from this recovery layer, and a degradation fires
+//               FlightRecorder::incident().
+//   chaos     — crash/partition/burst schedule (sim/chaos.h) driving the
+//               session clock; player_a/player_b name this pair's global
+//               player ids inside the plan. A crash or partition mid-
+//               attempt is waited out (retry.max_resume_wait_rounds) and
+//               the attempt resumes from its last phase checkpoint — or
+//               from scratch when `checkpoint` is false — up to
+//               retry.max_restarts times; a permanently dead peer yields
+//               peer_lost + the degraded input-fallback superset.
+struct SessionHooks {
+  obs::Tracer* tracer = nullptr;
+  sim::FaultPlan* faults = nullptr;
+  sim::Adversary* adversary = nullptr;
+  const core::ResourceLimits* limits = nullptr;
+  obs::FlightRecorder* recorder = nullptr;
+  sim::ChaosPlan* chaos = nullptr;
+  std::size_t player_a = 0;
+  std::size_t player_b = 1;
+  bool checkpoint = true;  // phase-boundary resume (core/checkpoint.h)
+};
+
 VerifiedRunResult verified_two_party_intersection(
     const sim::SharedRandomness& shared, std::uint64_t nonce,
     std::uint64_t universe, util::SetView s, util::SetView t,
     const core::VerificationTreeParams& params, std::size_t k_bound,
-    obs::Tracer* tracer = nullptr, const core::RetryPolicy& retry = {},
-    sim::FaultPlan* faults = nullptr, sim::Adversary* adversary = nullptr,
-    const core::ResourceLimits* limits = nullptr,
-    obs::FlightRecorder* recorder = nullptr);
+    const core::RetryPolicy& retry = {}, const SessionHooks& hooks = {});
 
 struct MultipartyParams {
   core::VerificationTreeParams tree;  // two-party sub-protocol parameters
@@ -103,6 +128,16 @@ struct MultipartyParams {
   // Resource limits installed on every internal pairwise channel. Default
   // (all zero) is disabled and free.
   core::ResourceLimits limits;
+
+  // Per-call chaos plan override (not owned); when null the Network's
+  // installed plan (sim::Network::set_chaos_plan) is used, if any. Pairs
+  // are addressed inside the plan by their global player indices; a pair
+  // with a permanently dead player is skipped (the accumulator keeps the
+  // superset invariant) and counted in dead_player_skips.
+  sim::ChaosPlan* chaos = nullptr;
+
+  // Phase-boundary checkpointing for chaos recovery (core/checkpoint.h).
+  bool checkpoint = true;
 };
 
 struct MultipartyResult {
@@ -118,6 +153,11 @@ struct MultipartyResult {
   // intersection, but may be strict.
   std::uint64_t degraded_pairs = 0;
   bool degraded = false;
+
+  // Chaos recovery accounting across all pairwise sub-runs.
+  std::uint64_t total_restarts = 0;
+  std::uint64_t total_bits_replayed = 0;
+  std::uint64_t dead_player_skips = 0;
 };
 
 // Computes the m-way intersection of `sets` (each a subset of [universe)).

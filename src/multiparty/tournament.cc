@@ -29,7 +29,7 @@ std::vector<std::size_t> advance_bracket(
     std::uint64_t universe, std::vector<util::Set>& current,
     const std::vector<std::size_t>& level,
     const MultipartyParams& params, std::size_t k, std::uint64_t level_nonce,
-    sim::FaultPlan* faults, MultipartyResult* result) {
+    sim::FaultPlan* faults, sim::ChaosPlan* chaos, MultipartyResult* result) {
   std::vector<std::size_t> next;
   obs::Tracer* tracer = network.tracer();
   const core::ResourceLimits* limits =
@@ -53,6 +53,19 @@ std::vector<std::size_t> advance_bracket(
   for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
     const std::size_t left = level[i];
     const std::size_t right = level[i + 1];
+    // Dead players can't play: the match is skipped and the left player
+    // advances unchanged, preserving the carried-superset invariant.
+    if (chaos != nullptr &&
+        (chaos->player_dead(left) || chaos->player_dead(right))) {
+      result->degraded_pairs += 1;
+      result->degraded = true;
+      result->dead_player_skips += 1;
+      obs::count(tracer, "chaos.dead_player_skips");
+      obs::count(tracer, "mp.degraded_pairs");
+      obs::count(tracer, "mp.skipped_matches");
+      next.push_back(left);
+      continue;
+    }
     const std::uint64_t nonce =
         util::mix64(level_nonce, util::mix64(left, right));
     sim::Adversary* match_adversary = bind_adversary(left, right);
@@ -60,12 +73,21 @@ std::vector<std::size_t> advance_bracket(
     if (final_level) {
       // Root match: certified — exactness for the whole bracket follows
       // from the subset/superset invariants (see header).
+      SessionHooks hooks;
+      hooks.faults = faults;
+      hooks.adversary = match_adversary;
+      hooks.limits = limits;
+      hooks.chaos = chaos;
+      hooks.player_a = left;
+      hooks.player_b = right;
+      hooks.checkpoint = params.checkpoint;
       VerifiedRunResult vr = verified_two_party_intersection(
           shared, nonce, universe, current[left], current[right], params.tree,
-          k, /*tracer=*/nullptr, params.retry, faults, match_adversary,
-          limits);
+          k, params.retry, hooks);
       network.bill_pairwise_in_batch(left, right, vr.cost);
       result->total_repetitions += vr.repetitions;
+      result->total_restarts += vr.restarts;
+      result->total_bits_replayed += vr.bits_replayed;
       obs::count(tracer, "mp.pairwise_runs");
       obs::count(tracer, "mp.repetitions", vr.repetitions);
       if (vr.degraded) {
@@ -84,6 +106,10 @@ std::vector<std::size_t> advance_bracket(
         channel.set_fault_plan(faults);
         channel.set_adversary(match_adversary);
         channel.set_limits(limits);
+        // Crash/partition blocks in an uncertified match surface as plain
+        // exceptions below: the attempt burns and the match may end up
+        // skipped — honest degradation without a per-match recovery loop.
+        if (chaos != nullptr) channel.set_chaos(chaos, left, right);
         // Duplicates and delays cost bandwidth but never corrupt content,
         // so only content-damaging fault classes disqualify the match
         // (the channel's integrity framing throws on most of them; this
@@ -177,6 +203,9 @@ MultipartyResult tournament_intersection(sim::Network& network,
   sim::FaultPlan* faults = params.fault_plan != nullptr
                                ? params.fault_plan
                                : network.fault_plan();
+  sim::ChaosPlan* chaos =
+      params.chaos != nullptr ? params.chaos : network.chaos_plan();
+  if (chaos != nullptr && !chaos->enabled()) chaos = nullptr;
 
   while (active.size() > 1) {
     obs::Span level_span(tracer, "level=" + std::to_string(result.levels));
@@ -197,7 +226,8 @@ MultipartyResult tournament_intersection(sim::Network& network,
         const std::uint64_t level_nonce = util::mix64(
             0x7031, util::mix64(result.levels, util::mix64(depth, bracket[0])));
         bracket = advance_bracket(network, shared, universe, current, bracket,
-                                  params, k, level_nonce, faults, &result);
+                                  params, k, level_nonce, faults, chaos,
+                                  &result);
       }
       network.end_batch();
       ++depth;

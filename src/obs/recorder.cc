@@ -20,6 +20,9 @@ const char* flight_event_kind_name(FlightEventKind kind) {
     case FlightEventKind::kBackstop: return "backstop";
     case FlightEventKind::kDegrade: return "degrade";
     case FlightEventKind::kIncident: return "incident";
+    case FlightEventKind::kCrash: return "crash";
+    case FlightEventKind::kPartition: return "partition";
+    case FlightEventKind::kRestart: return "restart";
   }
   return "unknown";
 }
@@ -56,6 +59,27 @@ void FlightRecorder::set_dump_path(std::string prefix,
   max_dumps_ = max_dumps;
 }
 
+void FlightRecorder::set_context(std::string_view key,
+                                 std::string_view value) {
+  for (auto& [k, v] : context_) {
+    if (k == key) {
+      v.assign(value);
+      return;
+    }
+  }
+  context_.emplace_back(std::string(key), std::string(value));
+}
+
+void FlightRecorder::mix_payload(std::uint64_t fingerprint) {
+  // splitmix64-style fold: order-sensitive, cheap, and stable across
+  // platforms (the digest is compared across separate process runs).
+  std::uint64_t x = transcript_digest_ ^
+                    (fingerprint + 0x9e3779b97f4a7c15ull +
+                     (transcript_digest_ << 6) + (transcript_digest_ >> 2));
+  transcript_digest_ = x;
+  deliveries_ += 1;
+}
+
 void FlightRecorder::incident(std::string_view reason) {
   record(FlightEventKind::kIncident, reason);
   incidents_ += 1;
@@ -90,6 +114,15 @@ void FlightRecorder::dump_jsonl(std::ostream& os,
     meta["overwritten"] = overwritten();
     meta["capacity"] = static_cast<std::uint64_t>(capacity_);
     meta["incidents"] = incidents_;
+    // Decimal strings: the digest is a full 64-bit value and must survive
+    // a JSON round-trip exactly (parsers may go through double).
+    meta["transcript_digest"] = std::to_string(transcript_digest_);
+    meta["deliveries"] = deliveries_;
+    if (!context_.empty()) {
+      Json ctx = Json::object();
+      for (const auto& [k, v] : context_) ctx[k] = v;
+      meta["context"] = std::move(ctx);
+    }
     os << meta.dump() << '\n';
   }
   for (const FlightEvent& e : events) {

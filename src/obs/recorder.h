@@ -43,6 +43,9 @@ enum class FlightEventKind : std::uint8_t {
   kBackstop,         // fell back to the deterministic exchange
   kDegrade,          // retry budget exhausted; degraded superset answer
   kIncident,         // explicit incident marker (dumps the ring)
+  kCrash,            // chaos: a send hit a crashed/dead endpoint
+  kPartition,        // chaos: a send hit a partitioned link
+  kRestart,          // recovery layer resumed after a crash/partition wait
 };
 
 // Stable lowercase name ("message", "integrity_failure", ...).
@@ -84,6 +87,25 @@ class FlightRecorder {
   // files one recorder will write (retry storms fire many incidents).
   void set_dump_path(std::string prefix, std::uint64_t max_dumps = 8);
 
+  // Replay context: string key/value pairs emitted under "context" in the
+  // dump meta line. The facade records everything tools/replay needs to
+  // re-execute the session (seeds, inputs, fault/chaos specs) so every
+  // incident dump is a self-contained reproduction recipe. Setting an
+  // existing key overwrites it. Not on the hot path.
+  void set_context(std::string_view key, std::string_view value);
+  const std::vector<std::pair<std::string, std::string>>& context() const {
+    return context_;
+  }
+
+  // Folds one delivered payload fingerprint into the running transcript
+  // digest (called by sim::Channel per successful delivery). Order- and
+  // content-sensitive: two sessions have equal digests iff they delivered
+  // the same bodies in the same order (modulo fingerprint collisions) —
+  // the bit-for-bit assertion behind tools/replay.
+  void mix_payload(std::uint64_t fingerprint);
+  std::uint64_t transcript_digest() const { return transcript_digest_; }
+  std::uint64_t deliveries() const { return deliveries_; }
+
   // Newest-to-oldest ordering is chronological: events are returned
   // oldest first, at most capacity() of them.
   std::vector<FlightEvent> snapshot() const;
@@ -114,6 +136,9 @@ class FlightRecorder {
   std::string dump_prefix_;
   std::uint64_t max_dumps_ = 0;
   std::vector<std::string> dump_files_;
+  std::vector<std::pair<std::string, std::string>> context_;
+  std::uint64_t transcript_digest_ = 0;
+  std::uint64_t deliveries_ = 0;
 };
 
 }  // namespace setint::obs

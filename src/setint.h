@@ -59,6 +59,7 @@
 #include "obs/recorder.h"
 #include "obs/tracer.h"
 #include "sim/adversary.h"
+#include "sim/chaos.h"
 #include "sim/fault.h"
 #include "util/set_util.h"
 
@@ -87,8 +88,18 @@ struct IntersectOptions {
   // (all zero) is disabled and free; ResourceLimits::for_workload(u, k)
   // derives generous caps an honest run never hits.
   core::ResourceLimits limits;
-  // Retry budget + backoff cost + degradation budget.
+  // Retry budget + backoff cost + degradation budget (plus the chaos
+  // restart/resume-wait budgets).
   core::RetryPolicy retry;
+  // Optional crash/partition/burst schedule (not owned, stateful): player
+  // crash-restart, link partition windows and Gilbert-Elliott bursty loss
+  // (sim/chaos.h). Crashed sessions wait out the outage and resume from
+  // their last phase checkpoint; a peer that never returns degrades the
+  // run honestly (docs/ROBUSTNESS.md § crash faults).
+  sim::ChaosPlan* chaos_plan = nullptr;
+  // Phase-boundary checkpointing (core/checkpoint.h) for chaos recovery.
+  // Off = a crash burns the whole attempt and replays it from scratch.
+  bool checkpoint = true;
 };
 
 struct IntersectResult {
@@ -101,6 +112,11 @@ struct IntersectResult {
   // fallback) rather than the exact intersection.
   bool degraded = false;
   std::uint64_t repetitions = 1;  // certified attempts consumed
+  // Chaos recovery accounting (zero without an installed chaos plan):
+  // crash/partition outages waited out, and bits re-sent past the last
+  // phase checkpoint while doing so.
+  std::uint64_t restarts = 0;
+  std::uint64_t bits_replayed = 0;
   // Cost + phase breakdown + metrics. Phases/metrics are populated only
   // when options.tracer was set; cost is always filled.
   obs::RunReport report;

@@ -32,8 +32,34 @@ util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
                  std::string("adversary.") + attack_class_name(attack));
     }
   }
+  // Chaos gate: a crashed endpoint or partitioned link refuses the send
+  // BEFORE metering — the frame never left the sender, so no bits are
+  // charged. The recovery layer catches, waits out the outage, and
+  // resumes from the last checkpoint.
+  const bool chaotic = chaos_ != nullptr && chaos_->enabled();
+  if (chaotic) {
+    try {
+      chaos_->on_send_attempt(chaos_a_, chaos_b_);
+    } catch (const PlayerCrashError& e) {
+      obs::count(tracer_, "chaos.crash_blocks");
+      if (recorder_ != nullptr) {
+        recorder_->record(obs::FlightEventKind::kCrash, label,
+                          static_cast<int>(e.player), 0, cost_.bits_total);
+      }
+      throw;
+    } catch (const LinkPartitionedError&) {
+      obs::count(tracer_, "chaos.partition_blocks");
+      if (recorder_ != nullptr) {
+        recorder_->record(obs::FlightEventKind::kPartition, label,
+                          index(from), 0, cost_.bits_total);
+      }
+      throw;
+    }
+  }
   const bool faulty = fault_plan_ != nullptr && fault_plan_->enabled();
-  if (faulty) {
+  const bool framed =
+      faulty || (chaotic && chaos_->corrupts_links());
+  if (framed) {
     // Integrity frame: body + 32-bit checksum, transmitted (and billed)
     // like any other bits.
     payload.append_bits(checksum_of(payload), kChecksumBits);
@@ -105,10 +131,22 @@ util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
     }
   }
 
-  if (faulty) {
-    // The sender's transmission is metered above; the plan now decides
+  if (framed) {
+    // The sender's transmission is metered above; the plans now decide
     // what the receiver observes and what extra cost the link charges.
-    const AppliedFaults f = fault_plan_->apply(payload);
+    // Order is load-bearing for bit-identity: the iid fault plan draws
+    // first (exactly as before the chaos layer existed), then the chaos
+    // plan's link-level damage lands on top.
+    AppliedFaults plan_faults;
+    if (faulty) plan_faults = fault_plan_->apply(payload);
+    AppliedFaults chaos_faults;
+    if (chaotic) chaos_faults = chaos_->corrupt(chaos_a_, chaos_b_, payload);
+    AppliedFaults f = plan_faults;
+    f.bits_flipped += chaos_faults.bits_flipped;
+    f.truncated_bits += chaos_faults.truncated_bits;
+    f.dropped = f.dropped || chaos_faults.dropped;
+    f.duplicated = f.duplicated || chaos_faults.duplicated;
+    f.delay_rounds += chaos_faults.delay_rounds;
     if (f.duplicated) {
       // The same frame crosses the link twice. The receiver's decode API
       // sees one copy, but the bandwidth is spent and billed.
@@ -136,16 +174,28 @@ util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
                         cost_.bits_total);
     }
     if (tracer_ != nullptr) {
-      obs::count(tracer_, "fault.injected", f.events());
-      if (f.bits_flipped > 0) {
-        obs::count(tracer_, "fault.flipped_bits", f.bits_flipped);
+      // fault.* stays attributed to the iid plan alone (pre-chaos metric
+      // meanings are pinned by tests); chaos link damage gets its own
+      // family.
+      obs::count(tracer_, "fault.injected", plan_faults.events());
+      if (plan_faults.bits_flipped > 0) {
+        obs::count(tracer_, "fault.flipped_bits", plan_faults.bits_flipped);
       }
-      if (f.truncated_bits > 0) obs::count(tracer_, "fault.truncations");
-      if (f.dropped) obs::count(tracer_, "fault.drops");
-      if (f.duplicated) obs::count(tracer_, "fault.duplicates");
-      if (f.delay_rounds > 0) {
-        obs::count(tracer_, "fault.delay_rounds", f.delay_rounds);
+      if (plan_faults.truncated_bits > 0) {
+        obs::count(tracer_, "fault.truncations");
       }
+      if (plan_faults.dropped) obs::count(tracer_, "fault.drops");
+      if (plan_faults.duplicated) obs::count(tracer_, "fault.duplicates");
+      if (plan_faults.delay_rounds > 0) {
+        obs::count(tracer_, "fault.delay_rounds", plan_faults.delay_rounds);
+      }
+      if (chaos_faults.events() > 0) {
+        obs::count(tracer_, "chaos.link_faults", chaos_faults.events());
+      }
+      if (chaos_faults.bits_flipped > 0) {
+        obs::count(tracer_, "chaos.flipped_bits", chaos_faults.bits_flipped);
+      }
+      if (chaos_faults.dropped) obs::count(tracer_, "chaos.drops");
     }
 
     // Delivery-side integrity check: strip the checksum and verify it
@@ -182,6 +232,10 @@ util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
     }
   }
 
+  // Fold every delivered body into the recorder's running transcript
+  // digest — the bit-for-bit equality tools/replay asserts between an
+  // incident's original session and its re-execution.
+  if (recorder_ != nullptr) recorder_->mix_payload(payload.fingerprint());
   if (transcript_) transcript_->record(from, payload, std::move(label));
   return payload;
 }

@@ -42,6 +42,7 @@
 
 #include "core/resource_limits.h"
 #include "sim/adversary.h"
+#include "sim/chaos.h"
 #include "sim/fault.h"
 #include "sim/transcript.h"
 #include "util/arena.h"
@@ -104,6 +105,21 @@ class Channel {
   void set_adversary(Adversary* adversary) { adversary_ = adversary; }
   Adversary* adversary() const { return adversary_; }
 
+  // Install (or clear) a chaos plan (sim/chaos.h); not owned, stateful and
+  // shared across channels like a fault plan. (a, b) are this channel's
+  // endpoints in the plan's topology. Every send first asks the plan
+  // whether the link is usable — a crashed endpoint or partitioned link
+  // throws PlayerCrashError / LinkPartitionedError BEFORE any bits are
+  // metered (the frame never left the sender) — and link-level corruption
+  // from the plan merges with the iid fault plan under the same integrity
+  // framing.
+  void set_chaos(ChaosPlan* plan, std::size_t a = 0, std::size_t b = 1) {
+    chaos_ = plan;
+    chaos_a_ = a;
+    chaos_b_ = b;
+  }
+  ChaosPlan* chaos() const { return chaos_; }
+
   // Install (or clear) resource limits; not owned, must outlive the run.
   // Disabled or absent limits are free (one branch per send).
   void set_limits(const core::ResourceLimits* limits) { limits_ = limits; }
@@ -143,6 +159,9 @@ class Channel {
   obs::FlightRecorder* recorder_ = nullptr;
   FaultPlan* fault_plan_ = nullptr;
   Adversary* adversary_ = nullptr;
+  ChaosPlan* chaos_ = nullptr;
+  std::size_t chaos_a_ = 0;
+  std::size_t chaos_b_ = 1;
   const core::ResourceLimits* limits_ = nullptr;
   util::BufferPool buffer_pool_;
   util::ScratchArena scratch_;

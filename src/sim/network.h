@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/chaos.h"
 #include "sim/fault.h"
 #include "sim/transcript.h"
 
@@ -66,6 +67,14 @@ class Network {
   void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
   FaultPlan* fault_plan() const { return fault_plan_; }
 
+  // Optional topology-level chaos model (not owned): crash/restart
+  // schedules, partition windows, bursty links (sim/chaos.h). Installed on
+  // every internal two-party Channel with the real player ids as
+  // endpoints, so one deterministic chaos stream covers the whole m-party
+  // run and a crashed player affects every pair it appears in.
+  void set_chaos_plan(ChaosPlan* plan) { chaos_plan_ = plan; }
+  ChaosPlan* chaos_plan() const { return chaos_plan_; }
+
  private:
   void check_ids(std::size_t a, std::size_t b) const;
 
@@ -77,6 +86,7 @@ class Network {
   std::uint64_t batch_max_rounds_ = 0;
   obs::Tracer* tracer_ = nullptr;
   FaultPlan* fault_plan_ = nullptr;
+  ChaosPlan* chaos_plan_ = nullptr;
 };
 
 }  // namespace setint::sim

@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "core/basic_intersection.h"
+#include "core/checkpoint.h"
 #include "core/bucket_eq.h"
 #include "core/deterministic_exchange.h"
 #include "core/one_round_hash.h"
@@ -133,6 +134,66 @@ TEST(TranscriptDigest, PrivateCoin) {
       core::private_coin_intersection(ch, priv, kUniverse, p.s, p.t, {});
   EXPECT_EQ(out.alice, p.expected_intersection);
   expect_pin(ch, {8901u, 18u, 0x8a404eecbff2b953ull});
+}
+
+// Checkpoint determinism (docs/ROBUSTNESS.md § checkpoint granularity):
+// interrupting at a phase boundary and resuming ON THE SAME CHANNEL must
+// reproduce the uninterrupted transcript bit-for-bit, so the pins above
+// double as resume pins. interrupt_after stores the snapshot before
+// throwing, which is exactly the crash-at-boundary case the recovery
+// layer replays from.
+
+TEST(TranscriptDigest, BasicIntersectionResumesToSamePin) {
+  const util::SetPair p = reference_pair();
+  sim::Channel ch(/*record_transcript=*/true);
+  sim::SharedRandomness sh(31337);
+  core::Checkpoint ckpt;
+  ckpt.interrupt_after("bi", 1);  // crash after the size exchange
+  EXPECT_THROW(
+      core::basic_intersection(ch, sh, 7, kUniverse, p.s, p.t, 0.01, &ckpt),
+      core::CheckpointInterrupt);
+  const auto cand =
+      core::basic_intersection(ch, sh, 7, kUniverse, p.s, p.t, 0.01, &ckpt);
+  EXPECT_TRUE(util::is_subset(p.expected_intersection, cand.s_candidate));
+  EXPECT_EQ(ckpt.restores(), 1u);
+  expect_pin(ch, {12356u, 4u, 0x20c1b15d0918bd46ull});
+}
+
+TEST(TranscriptDigest, VerificationTreeResumesToSamePin) {
+  const util::SetPair p = reference_pair();
+  sim::Channel ch(/*record_transcript=*/true);
+  sim::SharedRandomness sh(31337);
+  core::VerificationTreeParams params;
+  params.rounds_r = 2;
+  core::Checkpoint ckpt;
+  ckpt.interrupt_after("vt", 1);  // crash after the first tree stage
+  EXPECT_THROW(core::verification_tree_intersection(
+                   ch, sh, 7, kUniverse, p.s, p.t, params, nullptr, &ckpt),
+               core::CheckpointInterrupt);
+  const auto out = core::verification_tree_intersection(
+      ch, sh, 7, kUniverse, p.s, p.t, params, nullptr, &ckpt);
+  EXPECT_EQ(out.alice, p.expected_intersection);
+  EXPECT_EQ(ckpt.restores(), 1u);
+  expect_pin(ch, {10574u, 8u, 0x2555644ef1bb7fa3ull});
+}
+
+TEST(TranscriptDigest, BucketEqResumesToSamePin) {
+  const util::SetPair p = reference_pair();
+  sim::Channel ch(/*record_transcript=*/true);
+  sim::SharedRandomness sh(31337);
+  core::Checkpoint ckpt;
+  // Crash inside the amortized-EQ ladder (after its second level), two
+  // protocols deep: bucket_eq restores its size exchange from the nested
+  // snapshot's existence, amortized_eq restores the level state.
+  ckpt.interrupt_after("amortized_eq", 2);
+  EXPECT_THROW(core::bucket_eq_intersection(ch, sh, 7, kUniverse, p.s, p.t, 3,
+                                            nullptr, &ckpt),
+               core::CheckpointInterrupt);
+  const auto out = core::bucket_eq_intersection(ch, sh, 7, kUniverse, p.s, p.t,
+                                                3, nullptr, &ckpt);
+  EXPECT_EQ(out.alice, p.expected_intersection);
+  EXPECT_GE(ckpt.restores(), 1u);
+  expect_pin(ch, {4285u, 46u, 0x86c456de5495ada7ull});
 }
 
 TEST(TranscriptDigest, MultipartyCoordinator) {

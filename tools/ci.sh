@@ -7,22 +7,25 @@
 #      robustness regression is named, not buried
 #   3. the observability slice by label (flight recorder, HDR histograms,
 #      conformance envelopes, bench_compare smoke)
-#   4. a longer seeded fuzz run than the in-suite smoke test
-#   5. every bench binary end-to-end at smoke size (each one gates its own
+#   4. the chaos slice by label (crash/restart + partition recovery,
+#      checkpoint/resume transcript pins, exp_chaos safety gates) plus an
+#      incident-replay round-trip through the tools/replay CLI
+#   5. a longer seeded fuzz run than the in-suite smoke test
+#   6. every bench binary end-to-end at smoke size (each one gates its own
 #      safety/acceptance claims via its exit code)
-#   6. the perf-smoke lane: exp_cpu --smoke, gating ONLY on the
+#   7. the perf-smoke lane: exp_cpu --smoke, gating ONLY on the
 #      golden-transcript bit-identity exit code and JSON emission (no
 #      timing thresholds — CI containers are 1-core and noisy)
-#   7. the telemetry-overhead gate (exp_cpu --gate-overhead=50) and the
+#   8. the telemetry-overhead gate (exp_cpu --gate-overhead=50) and the
 #      bench_compare self-diff + injected-regression check
-#   8. the bench determinism contract (same seed => identical JSON modulo
+#   9. the bench determinism contract (same seed => identical JSON modulo
 #      wall_ms)
-#   9. the ThreadSanitizer lane: the concurrency + statistical slices
+#  10. the ThreadSanitizer lane: the concurrency + statistical slices
 #      rebuilt under TSan (build-tsan/) — the batch engine's data-race
 #      gate
 #
 # Usage: tools/ci.sh [--fast]
-#   --fast  skip steps 4-8 (inner-loop edit/test cycles)
+#   --fast  skip steps 5-9 (inner-loop edit/test cycles)
 #
 # The ASan/UBSan gate is a separate entry point (it needs its own build
 # tree): tools/run_sanitized_tests.sh.
@@ -58,6 +61,20 @@ step "observability slice (ctest -L observability)"
 # smoke — cheap enough to keep inside the --fast inner loop.
 (cd "$BUILD_DIR" && ctest --output-on-failure -L observability -j "$JOBS")
 
+step "chaos slice (ctest -L chaos)"
+# Crash/restart + partition recovery, checkpoint/resume transcript pins,
+# exp_chaos safety gates, replay_roundtrip — the PR-7 lane.
+(cd "$BUILD_DIR" && ctest --output-on-failure -L chaos -j "$JOBS")
+
+step "incident replay round-trip (record -> replay, bit-for-bit)"
+# Belt to replay_roundtrip's braces: drive the tools/replay CLI exactly as
+# an operator would on a fresh incident dump.
+REPLAY_DIR="$(mktemp -d)"
+trap 'rm -rf "$REPLAY_DIR"' EXIT
+DUMP="$("$BUILD_DIR/tools/replay" --record="$REPLAY_DIR/incident" \
+    --scenario=integrity --seed=20260808)"
+"$BUILD_DIR/tools/replay" "$DUMP"
+
 if [[ -n "$FAST" ]]; then
   echo
   echo "[ci] --fast: skipping extended fuzz, bench smoke, determinism, TSan"
@@ -73,7 +90,7 @@ step "bench pipeline at smoke size (safety gates live in the exit codes)"
 # Into a scratch dir — the committed BENCH_*.json records at the repo root
 # are full-size and only regenerated deliberately via tools/run_benches.sh.
 SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR" "$SMOKE_DIR-injected"' EXIT
+trap 'rm -rf "$SMOKE_DIR" "$SMOKE_DIR-injected" "$REPLAY_DIR"' EXIT
 for BIN in "$BUILD_DIR"/bench/exp_*; do
   [[ -x "$BIN" ]] || continue
   NAME="$(basename "$BIN")"
@@ -111,7 +128,8 @@ rm -rf "$SMOKE_DIR-injected"
 
 step "bench determinism contract"
 tools/check_bench_determinism.sh build/bench/exp_rounds \
-    build/bench/exp_faults build/bench/exp_adversary build/bench/exp_batch
+    build/bench/exp_faults build/bench/exp_adversary build/bench/exp_batch \
+    build/bench/exp_chaos
 
 step "TSan lane: concurrency + statistical slices under ThreadSanitizer"
 cmake --preset sanitize-thread > /dev/null
