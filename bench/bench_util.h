@@ -272,8 +272,8 @@ class Reporter {
   // activity across two trajectories without schema sniffing.
   obs::Json robustness_json() const {
     static constexpr const char* kFamilies[] = {
-        "fault", "adversary", "retry", "degraded",
-        "limit", "chaos",     "checkpoint"};
+        "fault", "adversary", "retry",      "degraded", "limit",
+        "chaos", "checkpoint", "budget",    "breaker"};
     obs::Json out = obs::Json::object();
     for (const char* family : kFamilies) {
       const std::string prefix = std::string(family) + ".";

@@ -1,5 +1,7 @@
 #include "core/checkpoint.h"
 
+#include "core/budget.h"
+
 namespace setint::core {
 
 void Checkpoint::save(std::string_view tag, std::uint64_t phase,
@@ -14,6 +16,9 @@ void Checkpoint::save(std::string_view tag, std::uint64_t phase,
     throw CheckpointInterrupt("checkpoint: injected interrupt after " + tag_ +
                               " phase " + std::to_string(phase_));
   }
+  // Budget enforcement point: the snapshot is stored above, so a
+  // BudgetExhaustedError here interrupts exactly on the boundary.
+  if (budget_ != nullptr) budget_->check();
 }
 
 void Checkpoint::clear() {

@@ -37,6 +37,8 @@
 
 namespace setint::core {
 
+class SessionBudget;
+
 // Thrown by Checkpoint::save when the interrupt_after test knob fires.
 // The snapshot IS stored before the throw — the interruption lands
 // exactly on the boundary, losing nothing, which is what lets the resume
@@ -75,6 +77,14 @@ class Checkpoint {
   // simulating a crash landing exactly on a phase boundary.
   void interrupt_after(std::string_view tag, std::uint64_t phase);
 
+  // Overload governance (core/budget.h): when a budget is attached, every
+  // save() runs budget->check() AFTER storing the snapshot, making phase
+  // boundaries the cooperative budget-enforcement points. The snapshot
+  // lands first so a budget trip loses nothing — a later (cheaper) rung
+  // can still resume from it. Not owned; null detaches.
+  void set_budget(SessionBudget* budget) { budget_ = budget; }
+  SessionBudget* budget() const { return budget_; }
+
  private:
   std::string tag_;
   std::uint64_t phase_ = 0;
@@ -85,6 +95,7 @@ class Checkpoint {
   std::string interrupt_tag_;
   std::uint64_t interrupt_phase_ = 0;
   bool interrupt_armed_ = false;
+  SessionBudget* budget_ = nullptr;
 };
 
 }  // namespace setint::core

@@ -18,7 +18,10 @@ namespace setint::core {
 struct RetryPolicy {
   // Certified attempts (verification tree + certificate, fresh nonce each
   // time) before giving up. Replaces the old hard-coded kMaxRepetitions.
-  // At least 1 is always attempted. The default is sized for the
+  // Taken literally: 0 means NO certified attempts — the session goes
+  // straight to the deterministic backstop (reliable channel) or the
+  // degradation ladder (hostile transport), with zero retry.* activity
+  // (pinned by tests/robustness_test.cc). The default is sized for the
   // BENCH_faults acceptance bar: at flip rate 1e-3/bit an attempt survives
   // the integrity check with probability ~0.17, so 40 attempts leave
   // < 1e-3 exhaustion probability (>= 99% verified); a reliable channel
@@ -27,7 +30,24 @@ struct RetryPolicy {
 
   // Extra latency rounds charged to the channel before every re-attempt —
   // the cost model of a backoff timer on a real link. 0 = immediate retry.
+  // This is the BASE of the backoff schedule; with the default growth
+  // knobs below the schedule is flat (every re-attempt waits exactly this
+  // long), matching the original policy bit-for-bit.
   std::uint64_t backoff_rounds = 0;
+
+  // Exponential growth factor applied per re-attempt: re-attempt n waits
+  // backoff_rounds * backoff_multiplier^(n-1) rounds, capped below.
+  // 1.0 (default) keeps the flat schedule.
+  double backoff_multiplier = 1.0;
+
+  // Cap on the deterministic backoff step. 0 = uncapped.
+  std::uint64_t backoff_cap_rounds = 4096;
+
+  // Fraction of each step randomized by deterministic seeded jitter
+  // (core::backoff_rounds_for_attempt). 0.0 (default) = no jitter; the
+  // jitter draw is a pure hash of (session seed, attempt), so identical
+  // runs wait identically.
+  double backoff_jitter = 0.0;
 
   // Best-effort Basic-Intersection runs the degradation path may spend
   // looking for a fault-free superset (Lemma 3.3) after `max_attempts` is

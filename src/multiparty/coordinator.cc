@@ -39,24 +39,47 @@ VerifiedRunResult verified_two_party_intersection(
   }
   obs::Span verified_span(tracer, "verified_intersection");
 
-  // Phase-boundary checkpoint store, shared by every attempt. It only
-  // earns its keep under chaos: iid faults corrupt single messages (the
-  // retry loop is the right tool), while crash/partition blocks lose
-  // whole half-finished sessions that a snapshot can rescue.
+  // Session budget (core/budget.h): reads the channel's monotonic cost
+  // counter, so bits replayed after a checkpoint resume are charged
+  // exactly once — the channel meters them once. The chaos plan, when
+  // installed, is the deadline clock.
+  core::SessionBudget budget(hooks.budget, &channel.cost(), chaos);
+  const bool budget_enabled = hooks.budget.enabled();
+  core::RetryBudgetPool* pool = hooks.retry_pool;
+  core::CircuitBreaker* breaker =
+      hooks.breaker != nullptr && hooks.breaker->policy().enabled()
+          ? hooks.breaker
+          : nullptr;
+
+  // Phase-boundary checkpoint store, shared by every attempt. It earns
+  // its keep under chaos — iid faults corrupt single messages (the retry
+  // loop is the right tool), while crash/partition blocks lose whole
+  // half-finished sessions that a snapshot can rescue — and under a
+  // budget, whose cooperative enforcement points are exactly these
+  // boundaries (Checkpoint::set_budget).
   core::Checkpoint ckpt_store;
   core::Checkpoint* ckpt =
-      chaos != nullptr && hooks.checkpoint ? &ckpt_store : nullptr;
+      (chaos != nullptr || budget_enabled) && hooks.checkpoint ? &ckpt_store
+                                                               : nullptr;
+  if (ckpt != nullptr && budget_enabled) ckpt->set_budget(&budget);
 
-  const std::uint64_t max_attempts =
-      std::max<std::uint64_t>(1, retry.max_attempts);
+  // The per-session attempt budget, taken literally: 0 means no certified
+  // attempt at all — straight to the backstop (reliable transport) or the
+  // degradation ladder (hostile).
+  const std::uint64_t max_attempts = retry.max_attempts;
   VerifiedRunResult result;
+  result.repetitions = 0;
   std::uint64_t restarts_used = 0;
   std::uint64_t attempt_start_bits = 0;
   const auto finish = [&]() -> VerifiedRunResult& {
     result.cost = channel.cost();
+    result.budget_reason = budget.reason();
     if (ckpt != nullptr) {
       obs::count(tracer, "checkpoint.snapshots", ckpt->snapshots());
       obs::count(tracer, "checkpoint.restores", ckpt->restores());
+    }
+    if (budget_enabled) {
+      obs::count(tracer, "budget.checks", budget.checks());
     }
     return result;
   };
@@ -96,8 +119,23 @@ VerifiedRunResult verified_two_party_intersection(
     return true;
   };
 
-  for (std::uint64_t rep = 0; rep < max_attempts && !result.peer_lost;
-       ++rep) {
+  bool breaker_denied = false;
+  for (std::uint64_t rep = 0;
+       rep < max_attempts && !result.peer_lost && !budget.exhausted(); ++rep) {
+    if (breaker != nullptr && !breaker->allow()) {
+      // Open breaker: the accumulated evidence says this link is dead —
+      // stop burning attempts (and pool tokens) and take the ladder.
+      breaker_denied = true;
+      obs::count(tracer, "breaker.denials");
+      break;
+    }
+    if (rep > 0 && pool != nullptr && !pool->try_acquire()) {
+      // The shared retry pool is dry: no more re-attempts for anyone;
+      // this session keeps its answer obligation via the ladder.
+      budget.mark_exhausted(core::BudgetDimension::kPool);
+      obs::count(tracer, "budget.pool_denials");
+      break;
+    }
     result.repetitions = rep + 1;
     attempt_start_bits = channel.cost().bits_total;
     // Attempts draw fresh randomness, so a snapshot from a previous
@@ -122,8 +160,15 @@ VerifiedRunResult verified_two_party_intersection(
         // can breach max_rounds, which burns the attempt like any failure.
         if (backoff_due) {
           backoff_due = false;
-          channel.charge_extra_rounds(retry.backoff_rounds);
+          const core::BackoffPolicy schedule{
+              retry.backoff_rounds, retry.backoff_multiplier,
+              retry.backoff_cap_rounds, retry.backoff_jitter};
+          channel.charge_extra_rounds(
+              core::backoff_rounds_for_attempt(schedule, nonce, rep));
         }
+        // Between-attempt budget enforcement point (phase boundaries
+        // inside the attempt are covered by the checkpoint hook).
+        if (budget_enabled) budget.check();
         const core::IntersectionOutput out =
             core::verification_tree_intersection(
                 channel, shared, util::mix64(nonce, rep), universe, s, t,
@@ -145,6 +190,14 @@ VerifiedRunResult verified_two_party_intersection(
           if (ckpt != nullptr && ckpt->restores() > 0) {
             obs::count(tracer, "checkpoint.resume_successes");
           }
+          if (breaker != nullptr) {
+            const core::BreakerState before = breaker->state();
+            breaker->on_success();
+            if (before != core::BreakerState::kClosed &&
+                breaker->state() == core::BreakerState::kClosed) {
+              obs::count(tracer, "breaker.closes");
+            }
+          }
           result.intersection = out.alice;
           return finish();
         }
@@ -165,6 +218,21 @@ VerifiedRunResult verified_two_party_intersection(
           break;
         }
         if (ckpt == nullptr) attempt_live = false;
+      } catch (const core::BudgetExhaustedError& e) {
+        // A spending cap tripped at a phase boundary or between attempts.
+        // The snapshot (if any) landed before the throw, so the boundary
+        // loses nothing — but no further exact attempt can be afforded:
+        // the sticky exhausted flag ends the outer loop and the run
+        // descends the degradation ladder.
+        obs::count(tracer, "budget.exhaustions");
+        obs::count(tracer, std::string("budget.exhausted_") +
+                               core::budget_dimension_name(e.dimension));
+        if (recorder != nullptr) {
+          recorder->record(obs::FlightEventKind::kBudgetExhausted,
+                           core::budget_dimension_name(e.dimension), -1, 0,
+                           channel.cost().bits_total);
+        }
+        attempt_live = false;
       } catch (const core::ResourceLimitError&) {
         // A frame or a decode blew past a resource cap — the signature
         // move of a Byzantine peer. Burn the attempt like any decode
@@ -180,6 +248,21 @@ VerifiedRunResult verified_two_party_intersection(
         attempt_live = false;
       }
     }
+    // Every exit from the inner loop without a certificate is one failed
+    // attempt — feed the breaker so persistent link failure trips it.
+    if (breaker != nullptr) {
+      const core::BreakerState before = breaker->state();
+      breaker->on_failure();
+      if (before != core::BreakerState::kOpen &&
+          breaker->state() == core::BreakerState::kOpen) {
+        obs::count(tracer, "breaker.opens");
+        if (recorder != nullptr) {
+          recorder->record(obs::FlightEventKind::kBreakerOpen,
+                           "link breaker open", -1, 0,
+                           channel.cost().bits_total);
+        }
+      }
+    }
   }
 
   // The deterministic backstop trusts every byte the peer sends, so it is
@@ -190,7 +273,11 @@ VerifiedRunResult verified_two_party_intersection(
   const bool hostile = (faults != nullptr && faults->enabled()) ||
                        (adversary != nullptr && adversary->enabled()) ||
                        chaos != nullptr;
-  if (!hostile) {
+  // An exhausted budget (or an open breaker) must not reach the backstop
+  // either: the deterministic exchange costs Theta(k log(n/k)) bits the
+  // session by definition can no longer afford.
+  const bool overloaded = budget.exhausted() || breaker_denied;
+  if (!hostile && !overloaded) {
     // Reliable channel: only hash collisions (or limit breaches) can get
     // here, and the deterministic backstop is exact.
     obs::count(tracer, "mp.backstops");
@@ -219,12 +306,36 @@ VerifiedRunResult verified_two_party_intersection(
   // closes the residual 2^-32 checksum-collision window (duplicates and
   // delays cost bandwidth but never corrupt content, so they don't
   // disqualify a run).
+  if (budget.exhausted() && hooks.budget.refuse_on_exhaustion) {
+    // Bottom rung, by explicit request: a ResourceExhausted refusal
+    // instead of a weak superset. Empty answer, flagged neither verified
+    // nor degraded — `refused` is its own contract, and multiparty
+    // callers must skip (not intersect) a refused pair to keep the
+    // superset invariant.
+    obs::count(tracer, "budget.refusals");
+    if (recorder != nullptr) {
+      recorder->record(obs::FlightEventKind::kBudgetExhausted, "refused");
+      recorder->incident("refused: session budget exhausted");
+    }
+    result.verified = false;
+    result.degraded = false;
+    result.refused = true;
+    result.rung = core::DegradeRung::kRefused;
+    result.intersection.clear();
+    return finish();
+  }
+
   obs::Span degraded_span(tracer, "degraded");
   obs::count(tracer, "degraded.runs");
   if (recorder != nullptr) {
     recorder->record(obs::FlightEventKind::kDegrade, "superset answer");
-    recorder->incident(result.peer_lost ? "degraded: peer lost"
-                                        : "degraded: retry budget exhausted");
+    recorder->incident(
+        result.peer_lost ? "degraded: peer lost"
+        : budget.exhausted()
+            ? std::string("degraded: budget ") +
+                  core::budget_dimension_name(budget.reason())
+        : breaker_denied ? "degraded: breaker open"
+                         : "degraded: retry budget exhausted");
   }
   result.verified = false;
   result.degraded = true;
@@ -245,9 +356,15 @@ VerifiedRunResult verified_two_party_intersection(
   };
   // A lost peer cannot answer Basic-Intersection either: go straight to
   // the input fallback instead of burning attempts against a dead link.
+  // A blown deadline skips the middle rung for the same reason — the
+  // Lemma-3.3 exchange takes rounds the clock no longer has — while bit,
+  // round, attempt and pool exhaustion still afford the cheap superset.
+  const bool past_deadline =
+      budget.reason() == core::BudgetDimension::kDeadline;
   const std::uint64_t degraded_attempts =
-      result.peer_lost ? 0
-                       : std::max<std::uint64_t>(1, retry.degraded_attempts);
+      result.peer_lost || past_deadline
+          ? 0
+          : std::max<std::uint64_t>(1, retry.degraded_attempts);
   for (std::uint64_t d = 0; d < degraded_attempts; ++d) {
     const std::uint64_t before = content_faults();
     try {
@@ -256,6 +373,7 @@ VerifiedRunResult verified_two_party_intersection(
           universe, s, t, /*target_failure=*/1.0 / 64.0);
       if (content_faults() == before) {
         obs::count(tracer, "degraded.clean_supersets");
+        result.rung = core::DegradeRung::kFlaggedSuperset;
         result.intersection = cand.s_candidate;
         return finish();
       }
@@ -266,6 +384,7 @@ VerifiedRunResult verified_two_party_intersection(
   // Every degraded attempt was corrupted (or the peer is gone): the
   // caller's own input is the one superset that survives any fault rate.
   obs::count(tracer, "degraded.input_fallbacks");
+  result.rung = core::DegradeRung::kInputFallback;
   result.intersection.assign(s.begin(), s.end());
   return finish();
 }
@@ -304,6 +423,21 @@ MultipartyResult coordinator_intersection(sim::Network& network,
       params.chaos != nullptr ? params.chaos : network.chaos_plan();
   if (chaos != nullptr && !chaos->enabled()) chaos = nullptr;
 
+  // Overload governance, shared across every pairwise session of the run:
+  // one retry-token pool, one breaker per link (persisting across levels
+  // so evidence about a dead link accumulates), and a deterministic
+  // admission controller shedding sessions when the pool runs critical.
+  core::RetryBudgetPool pool(params.retry_pool_attempts);
+  core::BreakerBoard breakers(params.breaker);
+  core::AdmissionController admission(params.admission, &pool);
+  result.per_player_degraded.assign(sets.size(), 0);
+  // Honest accounting: a pair governed away (shed / short-circuited /
+  // refused / degraded / dead-skipped) charges BOTH endpoints.
+  const auto charge_pair = [&result](std::size_t x, std::size_t y) {
+    result.per_player_degraded[x] += 1;
+    result.per_player_degraded[y] += 1;
+  };
+
   while (active.size() > 1) {
     obs::Span level_span(tracer, "level=" + std::to_string(result.levels));
     std::vector<std::size_t> coordinators;
@@ -323,12 +457,40 @@ MultipartyResult coordinator_intersection(sim::Network& network,
           result.dead_player_skips += 1;
           result.degraded_pairs += 1;
           result.degraded = true;
+          charge_pair(coord, member);
           obs::count(tracer, "chaos.dead_player_skips");
           obs::count(tracer, "mp.degraded_pairs");
           continue;
         }
         const std::uint64_t nonce = util::mix64(
             util::mix64(result.levels, coord), util::mix64(member, 0xC0));
+        // Admission control: under critical pool pressure, shed the
+        // session before it spends anything. The seeded-priority decision
+        // is a pure function of (admission seed, pair nonce, pool level),
+        // so identical runs shed identical pairs.
+        if (!admission.admit(nonce)) {
+          result.shed_pairs += 1;
+          result.degraded_pairs += 1;
+          result.degraded = true;
+          charge_pair(coord, member);
+          obs::count(tracer, "budget.shed");
+          obs::count(tracer, "mp.degraded_pairs");
+          continue;
+        }
+        // Circuit-breaker gate: a link whose breaker is open goes
+        // straight to degradation — the accumulator keeps the superset
+        // invariant and the pool keeps its tokens.
+        core::CircuitBreaker* pair_breaker =
+            breakers.enabled() ? &breakers.link(coord, member) : nullptr;
+        if (pair_breaker != nullptr && !pair_breaker->allow()) {
+          result.breaker_short_circuits += 1;
+          result.degraded_pairs += 1;
+          result.degraded = true;
+          charge_pair(coord, member);
+          obs::count(tracer, "breaker.short_circuits");
+          obs::count(tracer, "mp.degraded_pairs");
+          continue;
+        }
         // Bind the Byzantine player (if any) to the channel role it holds
         // in this pair; pairs of honest players run with no adversary.
         sim::Adversary* pair_adversary = nullptr;
@@ -349,6 +511,9 @@ MultipartyResult coordinator_intersection(sim::Network& network,
         hooks.player_a = coord;
         hooks.player_b = member;
         hooks.checkpoint = params.checkpoint;
+        hooks.budget = params.budget;
+        hooks.retry_pool = pool.enabled() ? &pool : nullptr;
+        hooks.breaker = pair_breaker;
         VerifiedRunResult vr = verified_two_party_intersection(
             shared, nonce, universe, current[coord], current[member],
             params.tree, k, params.retry, hooks);
@@ -361,21 +526,38 @@ MultipartyResult coordinator_intersection(sim::Network& network,
         result.total_bits_replayed += vr.bits_replayed;
         obs::count(tracer, "mp.pairwise_runs");
         obs::count(tracer, "mp.repetitions", vr.repetitions);
-        if (vr.degraded) {
+        if (vr.refused) {
+          result.refused_pairs += 1;
+          obs::count(tracer, "budget.refused_pairs");
+        }
+        if (vr.degraded || vr.refused) {
           // The degraded answer is still a superset of coord-cap-member,
           // hence of the m-way intersection, so intersecting it into the
-          // accumulator keeps the one-sided invariant.
+          // accumulator keeps the one-sided invariant. A refusal carries
+          // no answer at all and is handled below like a skip.
           result.degraded_pairs += 1;
           result.degraded = true;
+          charge_pair(coord, member);
           obs::count(tracer, "mp.degraded_pairs");
         }
-        acc = util::set_intersection(acc, vr.intersection);
+        // A refused session returned the EMPTY set by contract —
+        // intersecting that in would silently destroy the superset
+        // invariant, so a refused pair leaves the accumulator untouched.
+        if (!vr.refused) {
+          acc = util::set_intersection(acc, vr.intersection);
+        }
       }
       current[coord] = std::move(acc);
     }
     network.end_batch();
     active = std::move(coordinators);
     result.levels += 1;
+  }
+
+  result.pool_retry_denials = pool.denials();
+  result.breaker_opens = breakers.total_opens();
+  if (pool.enabled()) {
+    obs::count(tracer, "budget.pool_spent", pool.spent());
   }
 
   result.intersection = current[active[0]];

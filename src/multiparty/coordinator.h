@@ -15,6 +15,8 @@
 
 #include <cstddef>
 
+#include "core/breaker.h"
+#include "core/budget.h"
 #include "core/resource_limits.h"
 #include "core/retry.h"
 #include "core/verification_tree.h"
@@ -53,6 +55,16 @@ struct VerifiedRunResult {
   std::uint64_t restarts = 0;       // crash/partition blocks waited out
   std::uint64_t bits_replayed = 0;  // bits re-sent past the last checkpoint
   bool peer_lost = false;  // peer never came back; degraded without retries
+
+  // Overload governance (core/budget.h): the degradation-ladder rung the
+  // session ended on, and — when a session budget tripped — which
+  // dimension. `refused` is the bottom rung: the session returned NO
+  // answer (empty set, verified=false, degraded=false) because
+  // SessionBudgetSpec::refuse_on_exhaustion asked for an explicit
+  // ResourceExhausted over a weak superset.
+  core::DegradeRung rung = core::DegradeRung::kExact;
+  bool refused = false;
+  core::BudgetDimension budget_reason = core::BudgetDimension::kNone;
 };
 
 // Environment for one certified session. None of the pointers are owned.
@@ -80,6 +92,19 @@ struct VerifiedRunResult {
 //               from scratch when `checkpoint` is false — up to
 //               retry.max_restarts times; a permanently dead peer yields
 //               peer_lost + the degraded input-fallback superset.
+//   budget    — per-session spending caps (core/budget.h), enforced at
+//               phase boundaries (via the checkpoint hook) and between
+//               attempts. Exhaustion ends certified attempts, skips the
+//               backstop (which would spend more), and descends the
+//               degradation ladder — or refuses outright when
+//               refuse_on_exhaustion is set.
+//   retry_pool— shared coordinator-level retry-token pool; every
+//               RE-attempt draws one token, and a dry pool ends this
+//               session's retries (budget_reason = kPool).
+//   breaker   — per-link circuit breaker. The session feeds it attempt
+//               outcomes (on_success on a passing certificate, on_failure
+//               otherwise) and honors allow() before every attempt; the
+//               coordinator additionally gates whole sessions on it.
 struct SessionHooks {
   obs::Tracer* tracer = nullptr;
   sim::FaultPlan* faults = nullptr;
@@ -90,6 +115,9 @@ struct SessionHooks {
   std::size_t player_a = 0;
   std::size_t player_b = 1;
   bool checkpoint = true;  // phase-boundary resume (core/checkpoint.h)
+  core::SessionBudgetSpec budget;
+  core::RetryBudgetPool* retry_pool = nullptr;
+  core::CircuitBreaker* breaker = nullptr;
 };
 
 VerifiedRunResult verified_two_party_intersection(
@@ -138,6 +166,28 @@ struct MultipartyParams {
 
   // Phase-boundary checkpointing for chaos recovery (core/checkpoint.h).
   bool checkpoint = true;
+
+  // ---- Overload governance (core/budget.h, core/breaker.h) ----
+
+  // Per-session spending caps applied to every pairwise sub-run. Default
+  // (all zero) is disabled and free.
+  core::SessionBudgetSpec budget;
+
+  // Shared retry-token pool capacity across ALL pairwise sessions of this
+  // run; 0 = unlimited. With a pool, one pathological link can exhaust
+  // its own session's attempts but not starve the other m-1 sessions.
+  std::uint64_t retry_pool_attempts = 0;
+
+  // Per-link circuit breaker policy (failure_threshold 0 = disabled).
+  // Breakers persist across levels of the recursion, so evidence about a
+  // dead link accumulates; an open breaker short-circuits the whole pair
+  // straight to honest degradation without spending a bit.
+  core::BreakerPolicy breaker;
+
+  // Deterministic admission control: when the retry pool drains below
+  // admission.critical_fraction, new pair-sessions are shed by seeded
+  // priority before they start (critical_fraction 0 = off).
+  core::AdmissionPolicy admission;
 };
 
 struct MultipartyResult {
@@ -158,6 +208,21 @@ struct MultipartyResult {
   std::uint64_t total_restarts = 0;
   std::uint64_t total_bits_replayed = 0;
   std::uint64_t dead_player_skips = 0;
+
+  // Overload-governance accounting. Shed, short-circuited and refused
+  // pairs are all also counted in degraded_pairs (the accumulator skipped
+  // them, so the answer is a flagged superset).
+  std::uint64_t shed_pairs = 0;              // admission control rejections
+  std::uint64_t breaker_short_circuits = 0;  // open-breaker pair skips
+  std::uint64_t refused_pairs = 0;           // sessions ending on kRefused
+  std::uint64_t pool_retry_denials = 0;      // dry-pool retry denials
+  std::uint64_t breaker_opens = 0;           // breaker trips across links
+
+  // Honest per-player accounting: per_player_degraded[p] counts the
+  // pairwise sub-runs involving global player p that ended degraded,
+  // shed, short-circuited, refused or dead-skipped — both endpoints of a
+  // governed-away pair are charged, so no player's loss is hidden.
+  std::vector<std::uint64_t> per_player_degraded;
 };
 
 // Computes the m-way intersection of `sets` (each a subset of [universe)).

@@ -24,14 +24,35 @@ namespace {
 // the left player advances with its set unchanged, which keeps every
 // carried set a superset of the true intersection at the price of a
 // degraded (possibly strict-superset) final answer.
+// Overload-governance state shared by every match of one tournament run
+// (core/budget.h, core/breaker.h): one retry-token pool, per-link
+// breakers persisting across bracket levels, one admission controller.
+struct Governance {
+  core::RetryBudgetPool pool;
+  core::BreakerBoard breakers;
+  core::AdmissionController admission;
+
+  explicit Governance(const MultipartyParams& params)
+      : pool(params.retry_pool_attempts),
+        breakers(params.breaker),
+        admission(params.admission, &pool) {}
+};
+
 std::vector<std::size_t> advance_bracket(
     sim::Network& network, const sim::SharedRandomness& shared,
     std::uint64_t universe, std::vector<util::Set>& current,
     const std::vector<std::size_t>& level,
     const MultipartyParams& params, std::size_t k, std::uint64_t level_nonce,
-    sim::FaultPlan* faults, sim::ChaosPlan* chaos, MultipartyResult* result) {
+    sim::FaultPlan* faults, sim::ChaosPlan* chaos, Governance* gov,
+    MultipartyResult* result) {
   std::vector<std::size_t> next;
   obs::Tracer* tracer = network.tracer();
+  // Honest accounting: a match governed or degraded away charges BOTH
+  // players (the loser's constraint is what the final answer lost).
+  const auto charge_pair = [result](std::size_t x, std::size_t y) {
+    result->per_player_degraded[x] += 1;
+    result->per_player_degraded[y] += 1;
+  };
   const core::ResourceLimits* limits =
       params.limits.enabled() ? &params.limits : nullptr;
   // Bind the Byzantine player (if any) to the channel role it holds in a
@@ -60,6 +81,7 @@ std::vector<std::size_t> advance_bracket(
       result->degraded_pairs += 1;
       result->degraded = true;
       result->dead_player_skips += 1;
+      charge_pair(left, right);
       obs::count(tracer, "chaos.dead_player_skips");
       obs::count(tracer, "mp.degraded_pairs");
       obs::count(tracer, "mp.skipped_matches");
@@ -68,6 +90,34 @@ std::vector<std::size_t> advance_bracket(
     }
     const std::uint64_t nonce =
         util::mix64(level_nonce, util::mix64(left, right));
+    // Admission control: shed the match before it spends anything when
+    // the shared retry pool is critical. Left advances unchanged —
+    // exactly the skipped-match degradation, paid up front.
+    if (!gov->admission.admit(nonce)) {
+      result->shed_pairs += 1;
+      result->degraded_pairs += 1;
+      result->degraded = true;
+      charge_pair(left, right);
+      obs::count(tracer, "budget.shed");
+      obs::count(tracer, "mp.degraded_pairs");
+      obs::count(tracer, "mp.skipped_matches");
+      next.push_back(left);
+      continue;
+    }
+    // Circuit-breaker gate: an open link goes straight to the skip.
+    core::CircuitBreaker* match_breaker =
+        gov->breakers.enabled() ? &gov->breakers.link(left, right) : nullptr;
+    if (match_breaker != nullptr && !match_breaker->allow()) {
+      result->breaker_short_circuits += 1;
+      result->degraded_pairs += 1;
+      result->degraded = true;
+      charge_pair(left, right);
+      obs::count(tracer, "breaker.short_circuits");
+      obs::count(tracer, "mp.degraded_pairs");
+      obs::count(tracer, "mp.skipped_matches");
+      next.push_back(left);
+      continue;
+    }
     sim::Adversary* match_adversary = bind_adversary(left, right);
     if (match_adversary != nullptr) obs::count(tracer, "mp.byzantine_pairs");
     if (final_level) {
@@ -81,6 +131,9 @@ std::vector<std::size_t> advance_bracket(
       hooks.player_a = left;
       hooks.player_b = right;
       hooks.checkpoint = params.checkpoint;
+      hooks.budget = params.budget;
+      hooks.retry_pool = gov->pool.enabled() ? &gov->pool : nullptr;
+      hooks.breaker = match_breaker;
       VerifiedRunResult vr = verified_two_party_intersection(
           shared, nonce, universe, current[left], current[right], params.tree,
           k, params.retry, hooks);
@@ -90,18 +143,37 @@ std::vector<std::size_t> advance_bracket(
       result->total_bits_replayed += vr.bits_replayed;
       obs::count(tracer, "mp.pairwise_runs");
       obs::count(tracer, "mp.repetitions", vr.repetitions);
-      if (vr.degraded) {
+      if (vr.refused) {
+        result->refused_pairs += 1;
+        obs::count(tracer, "budget.refused_pairs");
+      }
+      if (vr.degraded || vr.refused) {
         result->degraded_pairs += 1;
         result->degraded = true;
+        charge_pair(left, right);
         obs::count(tracer, "mp.degraded_pairs");
       }
-      current[left] = std::move(vr.intersection);
+      // A refused final match carries left's set up unchanged (still a
+      // superset) — the refusal's empty answer must not be intersected in.
+      if (!vr.refused) {
+        current[left] = std::move(vr.intersection);
+      }
     } else {
-      const std::uint64_t tries =
-          std::max<std::uint64_t>(1, params.retry.max_attempts);
+      // The per-match attempt budget, taken literally: 0 attempts means
+      // the match is skipped outright (honest degradation), mirroring the
+      // certified-session semantics.
+      const std::uint64_t tries = params.retry.max_attempts;
       bool advanced = false;
       for (std::uint64_t attempt = 0; attempt < tries && !advanced;
            ++attempt) {
+        if (match_breaker != nullptr && !match_breaker->allow()) {
+          obs::count(tracer, "breaker.denials");
+          break;
+        }
+        if (attempt > 0 && gov->pool.enabled() && !gov->pool.try_acquire()) {
+          obs::count(tracer, "budget.pool_denials");
+          break;
+        }
         sim::Channel channel;
         channel.set_fault_plan(faults);
         channel.set_adversary(match_adversary);
@@ -135,7 +207,11 @@ std::vector<std::size_t> advance_bracket(
           // Inside the try: the backoff charge can breach max_rounds when
           // limits are installed, which discards the attempt.
           if (attempt > 0) {
-            channel.charge_extra_rounds(params.retry.backoff_rounds);
+            const core::BackoffPolicy schedule{
+                params.retry.backoff_rounds, params.retry.backoff_multiplier,
+                params.retry.backoff_cap_rounds, params.retry.backoff_jitter};
+            channel.charge_extra_rounds(
+                core::backoff_rounds_for_attempt(schedule, nonce, attempt));
           }
           const core::IntersectionOutput out =
               core::verification_tree_intersection(
@@ -157,12 +233,25 @@ std::vector<std::size_t> advance_bracket(
           network.bill_pairwise_in_batch(left, right, channel.cost());
           obs::count(tracer, "retry.decode_failures");
         }
+        if (match_breaker != nullptr) {
+          if (advanced) {
+            match_breaker->on_success();
+          } else {
+            const core::BreakerState before = match_breaker->state();
+            match_breaker->on_failure();
+            if (before != core::BreakerState::kOpen &&
+                match_breaker->state() == core::BreakerState::kOpen) {
+              obs::count(tracer, "breaker.opens");
+            }
+          }
+        }
       }
       if (!advanced) {
         // Skipped match: left carries its set up unchanged (still a
         // superset); right's constraint is lost, so flag degradation.
         result->degraded_pairs += 1;
         result->degraded = true;
+        charge_pair(left, right);
         obs::count(tracer, "mp.degraded_pairs");
         obs::count(tracer, "mp.skipped_matches");
       }
@@ -207,6 +296,9 @@ MultipartyResult tournament_intersection(sim::Network& network,
       params.chaos != nullptr ? params.chaos : network.chaos_plan();
   if (chaos != nullptr && !chaos->enabled()) chaos = nullptr;
 
+  Governance gov(params);
+  result.per_player_degraded.assign(sets.size(), 0);
+
   while (active.size() > 1) {
     obs::Span level_span(tracer, "level=" + std::to_string(result.levels));
     // Partition active players into groups; every group runs its bracket
@@ -226,7 +318,7 @@ MultipartyResult tournament_intersection(sim::Network& network,
         const std::uint64_t level_nonce = util::mix64(
             0x7031, util::mix64(result.levels, util::mix64(depth, bracket[0])));
         bracket = advance_bracket(network, shared, universe, current, bracket,
-                                  params, k, level_nonce, faults, chaos,
+                                  params, k, level_nonce, faults, chaos, &gov,
                                   &result);
       }
       network.end_batch();
@@ -237,6 +329,11 @@ MultipartyResult tournament_intersection(sim::Network& network,
     for (const auto& bracket : brackets) winners.push_back(bracket[0]);
     active = std::move(winners);
     result.levels += 1;
+  }
+  result.pool_retry_denials = gov.pool.denials();
+  result.breaker_opens = gov.breakers.total_opens();
+  if (gov.pool.enabled()) {
+    obs::count(tracer, "budget.pool_spent", gov.pool.spent());
   }
   result.intersection = current[active[0]];
   return result;

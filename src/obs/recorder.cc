@@ -23,6 +23,9 @@ const char* flight_event_kind_name(FlightEventKind kind) {
     case FlightEventKind::kCrash: return "crash";
     case FlightEventKind::kPartition: return "partition";
     case FlightEventKind::kRestart: return "restart";
+    case FlightEventKind::kBudgetExhausted: return "budget_exhausted";
+    case FlightEventKind::kBreakerOpen: return "breaker_open";
+    case FlightEventKind::kShed: return "shed";
   }
   return "unknown";
 }

@@ -46,6 +46,9 @@ enum class FlightEventKind : std::uint8_t {
   kCrash,            // chaos: a send hit a crashed/dead endpoint
   kPartition,        // chaos: a send hit a partitioned link
   kRestart,          // recovery layer resumed after a crash/partition wait
+  kBudgetExhausted,  // a session budget dimension tripped (core/budget.h)
+  kBreakerOpen,      // a per-link circuit breaker tripped open
+  kShed,             // admission control shed a pair-session pre-start
 };
 
 // Stable lowercase name ("message", "integrity_failure", ...).

@@ -53,12 +53,27 @@ void set_replay_context(obs::FlightRecorder& rec, util::SetView s,
                   std::to_string(options.retry.max_attempts));
   rec.set_context("retry.backoff_rounds",
                   std::to_string(options.retry.backoff_rounds));
+  rec.set_context("retry.backoff_multiplier",
+                  fmt_double(options.retry.backoff_multiplier));
+  rec.set_context("retry.backoff_cap_rounds",
+                  std::to_string(options.retry.backoff_cap_rounds));
+  rec.set_context("retry.backoff_jitter",
+                  fmt_double(options.retry.backoff_jitter));
   rec.set_context("retry.degraded_attempts",
                   std::to_string(options.retry.degraded_attempts));
   rec.set_context("retry.max_restarts",
                   std::to_string(options.retry.max_restarts));
   rec.set_context("retry.max_resume_wait_rounds",
                   std::to_string(options.retry.max_resume_wait_rounds));
+  if (options.budget.enabled()) {
+    rec.set_context("budget.max_bits", std::to_string(options.budget.max_bits));
+    rec.set_context("budget.max_rounds",
+                    std::to_string(options.budget.max_rounds));
+    rec.set_context("budget.deadline_ticks",
+                    std::to_string(options.budget.deadline_ticks));
+    rec.set_context("budget.refuse_on_exhaustion",
+                    options.budget.refuse_on_exhaustion ? "1" : "0");
+  }
   if (options.limits.enabled()) {
     rec.set_context("limits.max_message_bits",
                     std::to_string(options.limits.max_message_bits));
@@ -171,6 +186,7 @@ IntersectResult intersect(util::SetView s, util::SetView t,
   hooks.recorder = options.recorder;
   hooks.chaos = options.chaos_plan;
   hooks.checkpoint = options.checkpoint;
+  hooks.budget = options.budget;
   const multiparty::VerifiedRunResult run =
       multiparty::verified_two_party_intersection(
           shared, options.seed, universe, s, t, params, k, options.retry,
@@ -187,6 +203,9 @@ IntersectResult intersect(util::SetView s, util::SetView t,
   // degrade to a flagged superset.
   result.verified = run.verified;
   result.degraded = run.degraded;
+  result.rung = run.rung;
+  result.refused = run.refused;
+  result.budget_reason = run.budget_reason;
   if (options.tracer != nullptr) {
     // HDR distributions of the run's headline costs — deterministic (no
     // clocks), so the batch engine's serial-vs-parallel byte-equality
@@ -198,7 +217,7 @@ IntersectResult intersect(util::SetView s, util::SetView t,
     // faulted or Byzantine runs are outside the Theorem 3.6 cost model
     // (injected duplicates and crafted frames bill real bits), so they
     // carry no envelope rather than a misleading one.
-    if (!run.degraded && options.fault_plan == nullptr &&
+    if (!run.degraded && !run.refused && options.fault_plan == nullptr &&
         options.adversary == nullptr && options.chaos_plan == nullptr) {
       obs::EnvelopeSample sample;
       sample.k = k;

@@ -54,6 +54,7 @@
 #include <span>
 #include <vector>
 
+#include "core/budget.h"
 #include "core/resource_limits.h"
 #include "core/retry.h"
 #include "obs/recorder.h"
@@ -100,6 +101,13 @@ struct IntersectOptions {
   // Phase-boundary checkpointing (core/checkpoint.h) for chaos recovery.
   // Off = a crash burns the whole attempt and replays it from scratch.
   bool checkpoint = true;
+  // Overload governance (core/budget.h): per-session caps on bits, rounds
+  // and a simulated deadline, enforced cooperatively at phase boundaries.
+  // Exhaustion descends the degradation ladder (exact -> flagged superset
+  // -> input fallback) — or, with budget.refuse_on_exhaustion, stops at
+  // an explicit refusal (IntersectResult::refused, empty answer). Default
+  // (all zero) is disabled, free, and leaves transcripts bit-identical.
+  core::SessionBudgetSpec budget;
 };
 
 struct IntersectResult {
@@ -117,6 +125,14 @@ struct IntersectResult {
   // phase checkpoint while doing so.
   std::uint64_t restarts = 0;
   std::uint64_t bits_replayed = 0;
+  // Overload governance: the degradation-ladder rung the run ended on
+  // (exact / flagged_superset / input_fallback / refused), whether the
+  // run was an explicit ResourceExhausted refusal (empty intersection,
+  // neither verified nor degraded), and — when a session budget tripped —
+  // which dimension (bits / rounds / deadline / pool).
+  core::DegradeRung rung = core::DegradeRung::kExact;
+  bool refused = false;
+  core::BudgetDimension budget_reason = core::BudgetDimension::kNone;
   // Cost + phase breakdown + metrics. Phases/metrics are populated only
   // when options.tracer was set; cost is always filled.
   obs::RunReport report;

@@ -366,6 +366,60 @@ TEST(FaultE2E, TotalLossFallsBackToOwnInput) {
   EXPECT_GT(plan.stats().dropped_messages, 0u);
 }
 
+// Retry-exhaustion edge: max_attempts = 0 means NO certified attempts at
+// all. Under a hostile transport the session must go straight to the
+// degradation ladder — zero repetitions, zero retry.* activity, full
+// degraded.* parity — instead of sneaking in a clamped first attempt.
+TEST(FaultE2E, ZeroAttemptsGoStraightToDegradation) {
+  util::Rng rng(0xF4);
+  const util::SetPair pair = util::random_set_pair(rng, 1u << 12, 16, 4);
+  sim::FaultSpec spec;
+  spec.drop_prob = 1.0;
+  spec.seed = 3;
+  sim::FaultPlan plan(spec);
+  obs::Tracer tracer;
+  setint::IntersectOptions options;
+  options.universe = 1u << 12;
+  options.fault_plan = &plan;
+  options.tracer = &tracer;
+  options.retry.max_attempts = 0;
+  options.retry.degraded_attempts = 2;
+  const setint::IntersectResult result =
+      setint::intersect(pair.s, pair.t, options);
+  EXPECT_FALSE(result.verified);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.repetitions, 0u);
+  EXPECT_TRUE(util::is_subset(pair.expected_intersection, result.intersection));
+  // Counter parity pinned: no certified attempt ran, exactly one
+  // degraded run did.
+  const auto& counters = tracer.metrics().counters();
+  const auto value = [&counters](std::string_view name) -> std::uint64_t {
+    const auto it = counters.find(std::string(name));
+    return it == counters.end() ? 0 : it->second.value();
+  };
+  EXPECT_EQ(value("retry.attempts"), 0u);
+  EXPECT_EQ(value("retry.decode_failures"), 0u);
+  EXPECT_EQ(value("mp.verified_runs"), 0u);
+  EXPECT_EQ(value("degraded.runs"), 1u);
+}
+
+// On a RELIABLE channel max_attempts = 0 skips the randomized attempts
+// but still reaches the deterministic backstop: exact answer, verified,
+// zero repetitions — refusing to try is not refusing to answer.
+TEST(FaultE2E, ZeroAttemptsStillExactOnReliableChannel) {
+  util::Rng rng(0xF5);
+  const util::SetPair pair = util::random_set_pair(rng, 1u << 12, 16, 4);
+  setint::IntersectOptions options;
+  options.universe = 1u << 12;
+  options.retry.max_attempts = 0;
+  const setint::IntersectResult result =
+      setint::intersect(pair.s, pair.t, options);
+  EXPECT_TRUE(result.verified);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(result.repetitions, 0u);
+  EXPECT_EQ(result.intersection, pair.expected_intersection);
+}
+
 // PR-1 invariant, now with fault overhead in the stream: duplicate bits
 // and delay/backoff rounds must land in BOTH the channel CostStats and the
 // tracer's phase tree, so the synthetic root row still equals the total.

@@ -9,7 +9,10 @@
 #      conformance envelopes, bench_compare smoke)
 #   4. the chaos slice by label (crash/restart + partition recovery,
 #      checkpoint/resume transcript pins, exp_chaos safety gates) plus an
-#      incident-replay round-trip through the tools/replay CLI
+#      incident-replay round-trip through the tools/replay CLI, and the
+#      overload slice by label (budgets, breakers, retry pool, admission,
+#      degradation ladder, exp_overload gates, bench_compare identity on
+#      the committed BENCH_overload.json)
 #   5. a longer seeded fuzz run than the in-suite smoke test
 #   6. every bench binary end-to-end at smoke size (each one gates its own
 #      safety/acceptance claims via its exit code)
@@ -65,6 +68,23 @@ step "chaos slice (ctest -L chaos)"
 # Crash/restart + partition recovery, checkpoint/resume transcript pins,
 # exp_chaos safety gates, replay_roundtrip — the PR-7 lane.
 (cd "$BUILD_DIR" && ctest --output-on-failure -L chaos -j "$JOBS")
+
+step "overload slice (ctest -L overload)"
+# Budgets, backoff, retry pool, admission control, circuit breakers, the
+# degradation ladder, and the exp_overload safety/efficiency gates — the
+# PR-8 lane. The sweep's own exit code carries the ladder-safety,
+# breaker-beats-flat-retry and unhit-budget-bit-identity gates; on top of
+# that, bench_compare must pass the committed BENCH_overload.json against
+# itself (schema + identity check on the recorded trajectory).
+(cd "$BUILD_DIR" && ctest --output-on-failure -L overload -j "$JOBS")
+OVERLOAD_DIR="$BUILD_DIR/overload-lane"
+rm -rf "$OVERLOAD_DIR"
+mkdir -p "$OVERLOAD_DIR/committed"
+"$BUILD_DIR/bench/exp_overload" --smoke --seed=24145 \
+    --json="$OVERLOAD_DIR/exp_overload.json" > /dev/null
+cp "$REPO_ROOT/BENCH_overload.json" "$OVERLOAD_DIR/committed/"
+"$BUILD_DIR/tools/bench_compare" "$OVERLOAD_DIR/committed" \
+    "$OVERLOAD_DIR/committed"
 
 step "incident replay round-trip (record -> replay, bit-for-bit)"
 # Belt to replay_roundtrip's braces: drive the tools/replay CLI exactly as
@@ -129,7 +149,7 @@ rm -rf "$SMOKE_DIR-injected"
 step "bench determinism contract"
 tools/check_bench_determinism.sh build/bench/exp_rounds \
     build/bench/exp_faults build/bench/exp_adversary build/bench/exp_batch \
-    build/bench/exp_chaos
+    build/bench/exp_chaos build/bench/exp_overload
 
 step "TSan lane: concurrency + statistical slices under ThreadSanitizer"
 cmake --preset sanitize-thread > /dev/null

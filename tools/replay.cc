@@ -5,7 +5,8 @@
 //   replay <dump.jsonl>
 //
 // Record mode runs one canned facade session whose configuration is known
-// to raise an incident (scenarios: integrity, crash, partition, degrade)
+// to raise an incident (scenarios: integrity, crash, partition, degrade,
+// overload)
 // with the flight recorder's dump path set to <prefix>; it prints the
 // JSONL post-mortem file it produced. Every facade session stamps its full
 // configuration — seeds, inputs, retry policy, fault and chaos specs —
@@ -51,7 +52,7 @@ using setint::obs::Json;
                "usage: replay --record=<prefix> --scenario=<name> "
                "[--seed=<u64>]\n"
                "       replay <dump.jsonl>\n"
-               "scenarios: integrity, crash, partition, degrade\n");
+               "scenarios: integrity, crash, partition, degrade, overload\n");
   std::exit(2);
 }
 
@@ -140,6 +141,11 @@ Scenario make_scenario(const std::string& name, std::uint64_t seed) {
     sc.fault = spec;
     sc.options.retry.max_attempts = 2;
     sc.options.retry.degraded_attempts = 2;
+  } else if (name == "overload") {
+    // A bit budget far below the protocol's cost: the first phase
+    // boundary trips it and the session descends the degradation ladder
+    // (core/budget.h), firing the budget-exhausted incident.
+    sc.options.budget.max_bits = 64;
   } else {
     usage("unknown scenario");
   }
@@ -253,12 +259,28 @@ int replay_mode(const std::string& dump_path) {
       parse_u64(context_value(ctx, "retry.max_attempts", "40"));
   options.retry.backoff_rounds =
       parse_u64(context_value(ctx, "retry.backoff_rounds", "0"));
+  options.retry.backoff_multiplier =
+      parse_double(context_value(ctx, "retry.backoff_multiplier", "1"));
+  options.retry.backoff_cap_rounds =
+      parse_u64(context_value(ctx, "retry.backoff_cap_rounds", "4096"));
+  options.retry.backoff_jitter =
+      parse_double(context_value(ctx, "retry.backoff_jitter", "0"));
   options.retry.degraded_attempts =
       parse_u64(context_value(ctx, "retry.degraded_attempts", "4"));
   options.retry.max_restarts =
       parse_u64(context_value(ctx, "retry.max_restarts", "16"));
   options.retry.max_resume_wait_rounds =
       parse_u64(context_value(ctx, "retry.max_resume_wait_rounds", "4096"));
+  if (has_key(ctx, "budget.max_bits")) {
+    options.budget.max_bits =
+        parse_u64(context_value(ctx, "budget.max_bits", "0"));
+    options.budget.max_rounds =
+        parse_u64(context_value(ctx, "budget.max_rounds", "0"));
+    options.budget.deadline_ticks =
+        parse_u64(context_value(ctx, "budget.deadline_ticks", "0"));
+    options.budget.refuse_on_exhaustion =
+        context_value(ctx, "budget.refuse_on_exhaustion", "0") == "1";
+  }
   if (has_key(ctx, "limits.max_total_bits")) {
     options.limits.max_message_bits =
         parse_u64(context_value(ctx, "limits.max_message_bits", "0"));
