@@ -19,6 +19,14 @@ void Checkpoint::save(std::string_view tag, std::uint64_t phase,
   // Budget enforcement point: the snapshot is stored above, so a
   // BudgetExhaustedError here interrupts exactly on the boundary.
   if (budget_ != nullptr) budget_->check();
+  // Sans-IO park, strictly after the budget hook: an exhausted budget at
+  // this boundary surfaces as BudgetExhaustedError in the stepped path
+  // exactly as it would blocking, and budget.checks counts stay equal.
+  if (park_at_boundaries_) {
+    park_pending_ = true;
+    throw CheckpointPark("checkpoint: parked at " + tag_ + " phase " +
+                         std::to_string(phase_));
+  }
 }
 
 void Checkpoint::clear() {

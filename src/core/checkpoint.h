@@ -48,6 +48,18 @@ class CheckpointInterrupt : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// Thrown by Checkpoint::save when park-at-boundaries mode is armed
+// (set_park_at_boundaries) — the cooperative-yield signal of the sans-IO
+// engine (core/engine.h). Like CheckpointInterrupt, the snapshot IS
+// stored before the throw, so a parked session re-enters the protocol,
+// restores the boundary it parked on, and runs exactly one phase further.
+// Unlike the interrupt knob it is tag-agnostic and persistent: while
+// armed, EVERY save parks, whatever protocol wrote it.
+class CheckpointPark : public CheckpointInterrupt {
+ public:
+  using CheckpointInterrupt::CheckpointInterrupt;
+};
+
 class Checkpoint {
  public:
   Checkpoint() = default;
@@ -66,16 +78,36 @@ class Checkpoint {
   void clear();
 
   // Protocols call this when they actually resume from the stored
-  // snapshot, so the recovery layer can report checkpoint.restores.
-  void note_restore() { restores_ += 1; }
+  // snapshot, so the recovery layer can report checkpoint.restores. A
+  // re-entry that resumes a deliberately PARKED boundary (CheckpointPark)
+  // is engine bookkeeping, not crash recovery: it lands in park_resumes()
+  // instead, keeping checkpoint.restores bit-identical between the
+  // blocking path and the stepped sans-IO path.
+  void note_restore() {
+    if (park_pending_) {
+      park_pending_ = false;
+      park_resumes_ += 1;
+    } else {
+      restores_ += 1;
+    }
+  }
 
   std::uint64_t snapshots() const { return snapshots_; }
   std::uint64_t restores() const { return restores_; }
+  std::uint64_t park_resumes() const { return park_resumes_; }
 
   // Test knob: the next save() with this tag and phase >= `phase` stores
   // the snapshot, disarms the knob, and throws CheckpointInterrupt —
   // simulating a crash landing exactly on a phase boundary.
   void interrupt_after(std::string_view tag, std::uint64_t phase);
+
+  // Sans-IO stepping (core/engine.h): while armed, every save() stores
+  // its snapshot, runs the budget hook, and then throws CheckpointPark.
+  // The park lands LAST so per-boundary budget.checks counts — and the
+  // precedence of BudgetExhaustedError over a park — are identical to the
+  // blocking path.
+  void set_park_at_boundaries(bool armed) { park_at_boundaries_ = armed; }
+  bool park_at_boundaries() const { return park_at_boundaries_; }
 
   // Overload governance (core/budget.h): when a budget is attached, every
   // save() runs budget->check() AFTER storing the snapshot, making phase
@@ -92,6 +124,9 @@ class Checkpoint {
   std::uint64_t bits_at_boundary_ = 0;
   std::uint64_t snapshots_ = 0;
   std::uint64_t restores_ = 0;
+  std::uint64_t park_resumes_ = 0;
+  bool park_at_boundaries_ = false;
+  bool park_pending_ = false;
   std::string interrupt_tag_;
   std::uint64_t interrupt_phase_ = 0;
   bool interrupt_armed_ = false;

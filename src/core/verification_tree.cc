@@ -287,6 +287,11 @@ IntersectionOutput verification_tree_intersection(
         local.leaf_reruns[u] += 1;
       }
       local.total_bi_runs += failed_leaves.size();
+      // Emitted here — per completed stage, before the phase-boundary
+      // save — not from local.total_bi_runs at the end: `local` restarts
+      // from zero on every checkpoint re-entry, so an end-of-run total
+      // under-counts any resumed session (crash restore or sans-IO park).
+      obs::count(tracer, "vt.bi_runs", failed_leaves.size());
     }
 
     obs::count(tracer, "vt.stage_failures",
@@ -312,7 +317,6 @@ IntersectionOutput verification_tree_intersection(
     }
   }
 
-  obs::count(tracer, "vt.bi_runs", local.total_bi_runs);
   if (tracer != nullptr) {
     for (std::uint32_t reruns : local.leaf_reruns) {
       obs::observe(tracer, "vt.leaf_reruns", reruns);

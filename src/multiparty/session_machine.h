@@ -1,0 +1,69 @@
+// The certified multiparty session as a sans-IO protocol machine.
+//
+// core::CheckpointedMachine wraps one BARE protocol; the certified
+// two-party session is bigger — retry loop, 2k-bit certificate,
+// deterministic backstop, degradation ladder — and its control flow lives
+// ABOVE the checkpointed verification tree. VerifiedSessionMachine
+// therefore drives multiparty::VerifiedSessionDriver in resumable mode:
+// each engine step calls driver.step(), which advances exactly one phase
+// boundary of the underlying protocol (or one rung of the ladder) and
+// parks. Everything the blocking verified_two_party_intersection()
+// produces — VerifiedRunResult, checkpoint.*/budget.* metrics, the
+// transcript digest — is available afterwards and must match the
+// blocking run bit for bit; tests/sansio_test.cc pins this under fault,
+// chaos and budget hooks.
+//
+// The machine owns copies of its inputs and its SharedRandomness, so a
+// scheduler can hold 10^5 of them with no external lifetime obligations
+// beyond the SessionHooks pointers (tracer/faults/chaos/...), which the
+// caller must keep alive for the machine's lifetime — same contract as
+// the blocking call.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/engine.h"
+#include "multiparty/coordinator.h"
+
+namespace setint::multiparty {
+
+struct SessionMachineConfig {
+  std::uint64_t seed = 1;   // SharedRandomness master seed
+  std::uint64_t nonce = 0;
+  std::uint64_t universe = std::uint64_t{1} << 20;
+  util::Set s;
+  util::Set t;
+  core::VerificationTreeParams tree;
+  std::size_t k_bound = 0;  // 0 = auto (max input size)
+  core::RetryPolicy retry;
+  SessionHooks hooks;       // pointers must outlive the machine
+};
+
+class VerifiedSessionMachine final : public core::ProtocolMachine {
+ public:
+  explicit VerifiedSessionMachine(SessionMachineConfig cfg);
+
+  std::string_view kind() const override { return "verified_session"; }
+  sim::Channel& channel() override { return driver_->channel(); }
+  const VerifiedRunResult& result() const { return driver_->result(); }
+  VerifiedSessionDriver& driver() { return *driver_; }
+
+  // Hash over the answer AND its contract flags: a superset that arrives
+  // flagged verified (or vice versa) must not compare equal.
+  std::uint64_t result_fingerprint() const override;
+
+ protected:
+  bool advance() override { return driver_->step(); }
+
+ private:
+  SessionMachineConfig cfg_;
+  sim::SharedRandomness shared_;
+  std::unique_ptr<VerifiedSessionDriver> driver_;
+};
+
+// The same fingerprint over a blocking run's result, for differential
+// comparison.
+std::uint64_t fingerprint_verified_result(const VerifiedRunResult& r);
+
+}  // namespace setint::multiparty

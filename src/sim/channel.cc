@@ -236,6 +236,7 @@ util::BitBuffer Channel::send(PartyId from, util::BitBuffer payload,
   // digest — the bit-for-bit equality tools/replay asserts between an
   // incident's original session and its re-execution.
   if (recorder_ != nullptr) recorder_->mix_payload(payload.fingerprint());
+  if (digest_enabled_) digest_ = fold_digest(digest_, from, payload.fingerprint());
   if (transcript_) transcript_->record(from, payload, std::move(label));
   return payload;
 }

@@ -79,6 +79,18 @@ class Channel {
   // Transcript if recording was enabled, else nullptr.
   const Transcript* transcript() const { return transcript_.get(); }
 
+  // Opt-in streaming transcript digest: folds every delivered body with
+  // sim::fold_digest at the exact point a recording channel would store
+  // it, so digest() always equals what Transcript::digest() would return
+  // — without the O(total bits) storage. This is what lets the sans-IO
+  // scheduler hold 10^4-10^6 concurrent sessions and still assert
+  // bit-identity against the blocking reference (docs/PROTOCOL.md,
+  // "Sans-IO engine"). Off by default: the fingerprint fold costs a pass
+  // over each payload, which the exp_cpu hot-path gates must not pay.
+  void enable_digest() { digest_enabled_ = true; }
+  bool digest_enabled() const { return digest_enabled_; }
+  std::uint64_t digest() const { return digest_; }
+
   // Install (or clear, with nullptr) a tracer; not owned, must outlive the
   // channel's sends.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
@@ -152,6 +164,8 @@ class Channel {
 
  private:
   CostStats cost_;
+  bool digest_enabled_ = false;
+  std::uint64_t digest_ = kTranscriptDigestSeed;
   bool has_last_direction_ = false;
   PartyId last_direction_ = PartyId::kAlice;
   std::unique_ptr<Transcript> transcript_;

@@ -51,11 +51,16 @@ std::ostream& operator<<(std::ostream& os, const Transcript& t) {
   return os << t.ToString();
 }
 
+std::uint64_t fold_digest(std::uint64_t h, PartyId from,
+                          std::uint64_t payload_fingerprint) {
+  h = util::mix64(h, static_cast<std::uint64_t>(index(from)));
+  return util::mix64(h, payload_fingerprint);
+}
+
 std::uint64_t Transcript::digest() const {
-  std::uint64_t h = 0x5ee7ab1eu;
+  std::uint64_t h = kTranscriptDigestSeed;
   for (const auto& e : entries_) {
-    h = util::mix64(h, static_cast<std::uint64_t>(index(e.from)));
-    h = util::mix64(h, e.payload.fingerprint());
+    h = fold_digest(h, e.from, e.payload.fingerprint());
   }
   return h;
 }

@@ -43,6 +43,14 @@ struct CostStats {
 // GoogleTest and iostream printing support.
 std::ostream& operator<<(std::ostream& os, const CostStats& c);
 
+// Transcript-digest fold, shared between Transcript::digest() (post-hoc,
+// over stored entries) and Channel's opt-in streaming digest (folded per
+// delivered message, no storage). Keeping one definition is what makes
+// "streaming digest == Transcript::digest()" an identity, not a test.
+inline constexpr std::uint64_t kTranscriptDigestSeed = 0x5ee7ab1eu;
+std::uint64_t fold_digest(std::uint64_t h, PartyId from,
+                          std::uint64_t payload_fingerprint);
+
 // Optional bit-exact record of every message (for tests and debugging).
 struct TranscriptEntry {
   PartyId from;

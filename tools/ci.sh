@@ -12,7 +12,10 @@
 #      incident-replay round-trip through the tools/replay CLI, and the
 #      overload slice by label (budgets, breakers, retry pool, admission,
 #      degradation ladder, exp_overload gates, bench_compare identity on
-#      the committed BENCH_overload.json)
+#      the committed BENCH_overload.json), and the sansio slice by label
+#      (framing/park pins, re-chunking invariance, the scheduler-vs-
+#      blocking digest differential, exp_service gates, bench_compare
+#      identity on the committed BENCH_service.json)
 #   5. a longer seeded fuzz run than the in-suite smoke test
 #   6. every bench binary end-to-end at smoke size (each one gates its own
 #      safety/acceptance claims via its exit code)
@@ -25,7 +28,8 @@
 #      wall_ms)
 #  10. the ThreadSanitizer lane: the concurrency + statistical slices
 #      rebuilt under TSan (build-tsan/) — the batch engine's data-race
-#      gate
+#      gate — plus exp_service --threads=2/8 (the sharded event loop's
+#      thread-invariance gate under TSan)
 #
 # Usage: tools/ci.sh [--fast]
 #   --fast  skip steps 5-9 (inner-loop edit/test cycles)
@@ -85,6 +89,22 @@ mkdir -p "$OVERLOAD_DIR/committed"
 cp "$REPO_ROOT/BENCH_overload.json" "$OVERLOAD_DIR/committed/"
 "$BUILD_DIR/tools/bench_compare" "$OVERLOAD_DIR/committed" \
     "$OVERLOAD_DIR/committed"
+
+step "sansio slice (ctest -L sansio)"
+# Sans-IO engine + scheduler — the PR-9 lane: framing/park regression
+# pins, random re-chunking invariance, the scheduler-vs-blocking digest
+# differential, and the exp_service gates (S1 digest identity against the
+# blocking engine, S3 thread invariance) via its exit code. bench_compare
+# must also pass the committed BENCH_service.json against itself.
+(cd "$BUILD_DIR" && ctest --output-on-failure -L sansio -j "$JOBS")
+SANSIO_DIR="$BUILD_DIR/sansio-lane"
+rm -rf "$SANSIO_DIR"
+mkdir -p "$SANSIO_DIR/committed"
+"$BUILD_DIR/bench/exp_service" --smoke --seed=24145 --threads=2 \
+    --json="$SANSIO_DIR/exp_service.json" > /dev/null
+cp "$REPO_ROOT/BENCH_service.json" "$SANSIO_DIR/committed/"
+"$BUILD_DIR/tools/bench_compare" "$SANSIO_DIR/committed" \
+    "$SANSIO_DIR/committed"
 
 step "incident replay round-trip (record -> replay, bit-for-bit)"
 # Belt to replay_roundtrip's braces: drive the tools/replay CLI exactly as
@@ -149,13 +169,21 @@ rm -rf "$SMOKE_DIR-injected"
 step "bench determinism contract"
 tools/check_bench_determinism.sh build/bench/exp_rounds \
     build/bench/exp_faults build/bench/exp_adversary build/bench/exp_batch \
-    build/bench/exp_chaos build/bench/exp_overload
+    build/bench/exp_chaos build/bench/exp_overload build/bench/exp_service
 
 step "TSan lane: concurrency + statistical slices under ThreadSanitizer"
 cmake --preset sanitize-thread > /dev/null
 cmake --build --preset sanitize-thread -j "$JOBS" > /dev/null
 (cd "$REPO_ROOT/build-tsan" &&
      ctest --output-on-failure -L "concurrency|statistical" -j "$JOBS")
+# The sharded event loop with real threads: exp_service's S3 section runs
+# the same fleet on 1/2/N scheduler shards and gates on bit-identical
+# aggregates, so a data race in run_service shows up either as a TSan
+# report or as a broken-invariance nonzero exit.
+"$REPO_ROOT/build-tsan/bench/exp_service" --smoke --seed=24145 --threads=2 \
+    --json="$REPO_ROOT/build-tsan/exp_service_tsan_t2.json" > /dev/null
+"$REPO_ROOT/build-tsan/bench/exp_service" --smoke --seed=24145 --threads=8 \
+    --json="$REPO_ROOT/build-tsan/exp_service_tsan_t8.json" > /dev/null
 
 echo
 echo "[ci] OK"

@@ -45,7 +45,7 @@ fi
 EXPERIMENTS=(tradeoff rounds zoo error multiparty_avg multiparty_worst
              applications intersection_size private_coin eqk internals
              ablation disj_tradeoff skew planner faults adversary batch cpu
-             chaos overload)
+             chaos overload service)
 
 for exp in "${EXPERIMENTS[@]}"; do
   if [[ -n "$ONLY" && ",$ONLY," != *",$exp,"* ]]; then
