@@ -40,6 +40,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "sim/channel.h"
+#include "simd/dispatch.h"
 #include "util/rng.h"
 #include "util/set_util.h"
 
@@ -54,7 +55,15 @@ namespace setint::bench {
 // always present) and optional "metrics" (full merged MetricsRegistry) and
 // notes.envelope_audit blocks. tools/bench_compare consumes both v1 and
 // v2.
-inline constexpr int kBenchSchemaVersion = 2;
+//
+// v3 (SIMD engine PR): environment gains a "cpu" block — the detected
+// feature bits (avx2, sse4_1, popcnt) and the kernel tier the process
+// actually dispatched to (environment.cpu.dispatch_tier: "scalar" |
+// "sse41" | "avx2", after SETINT_FORCE_SCALAR / SETINT_FORCE_TIER).
+// Timing numbers from records with different dispatch_tier values are
+// incomparable; tools/bench_compare refuses to diff them even under
+// --perf-tol. tools/bench_compare consumes v1 through v3.
+inline constexpr int kBenchSchemaVersion = 3;
 
 struct Options {
   std::uint64_t seed = 0x5e71;
@@ -117,6 +126,16 @@ inline obs::Json environment_json() {
 #else
   env["git_sha"] = "unknown";
 #endif
+  // v3: CPU features + the kernel tier this process dispatches to. Timing
+  // columns are only comparable between records with equal dispatch_tier
+  // (bench_compare enforces this).
+  const simd::CpuFeatures& cpu = simd::detected_features();
+  obs::Json cpu_block = obs::Json::object();
+  cpu_block["avx2"] = cpu.avx2;
+  cpu_block["sse4_1"] = cpu.sse4_1;
+  cpu_block["popcnt"] = cpu.popcnt;
+  cpu_block["dispatch_tier"] = simd::tier_name(simd::active_tier());
+  env["cpu"] = std::move(cpu_block);
   return env;
 }
 

@@ -16,6 +16,14 @@
 // Timing cells live in columns whose names contain "wall_ms" so the bench
 // determinism filter strips them (the bench_util.h contract); everything
 // else — counts, checksums, digests — is deterministic and compared.
+//
+// SIMD lane (E-CPU.5..7): the adaptive intersection oracle and bitmap
+// kernels engine-vs-baseline (checksum-gated, timing informational), plus
+// a scalar-vs-SIMD differential gate that forces every kernel tier
+// against the scalar reference. The record's environment.cpu block says
+// which tier the timing columns were measured on (schema v3); records
+// from different tiers are timing-incomparable (tools/bench_compare
+// enforces this).
 #include <algorithm>
 #include <bit>
 #include <ctime>
@@ -37,6 +45,8 @@
 #include "hashing/primes.h"
 #include "sim/channel.h"
 #include "sim/randomness.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
 #include "util/rng.h"
 #include "util/set_util.h"
 
@@ -452,6 +462,238 @@ bool run_telemetry_overhead(bench::Reporter& rep) {
   return ok;
 }
 
+// ---------------------------------------------------------------------------
+// E-CPU.5: adaptive intersection oracle — engine vs std::set_intersection.
+// ---------------------------------------------------------------------------
+
+// Order-sensitive checksum: catches wrong elements, wrong counts, and
+// wrong ordering alike.
+std::uint64_t intersect_checksum(std::span<const std::uint64_t> out,
+                                 std::size_t n) {
+  std::uint64_t acc = static_cast<std::uint64_t>(n) * 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc = (acc ^ out[i]) * 0x2545f4914f6cdd1dull;
+  }
+  return acc;
+}
+
+bool run_intersect_oracle(bench::Reporter& rep) {
+  auto& t = rep.table(
+      "E-CPU.5: adaptive intersection oracle vs std::set_intersection",
+      {"shape", "na", "nb", "algo", "tier", "out", "checksum", "identical",
+       "baseline ns_per_elem (wall_ms)", "engine ns_per_elem (wall_ms)",
+       "speedup (wall_ms ratio)"});
+  bool all_ok = true;
+
+  // Shapes straddle the heuristic's crossovers: balanced -> kBlock,
+  // ratio >= kGallopRatio -> kGallop, ratio >= kBlockGallopRatio ->
+  // kBlockGallop, and a tiny-small case that stays on scalar merge.
+  struct Shape {
+    const char* name;
+    std::size_t na;
+    std::size_t nb;
+  };
+  const unsigned shrink = rep.smoke() ? 3 : 0;  // smoke: sizes / 8
+  const Shape shapes[] = {
+      {"balanced_4k", 4096u >> shrink, 4096u >> shrink},
+      {"balanced_64k", 65536u >> shrink, 65536u >> shrink},
+      {"skewed_64x", 1024u >> shrink, 65536u >> shrink},
+      {"skewed_2048x", 64, 131072u >> shrink},
+      {"tiny_small", 8, 64},
+  };
+  util::Rng rng(rep.seed_for(0xC5));
+  for (const Shape& sh : shapes) {
+    // A universe ~4x the large side gives a dense instance with a real
+    // intersection instead of two nearly-disjoint sparse sets.
+    const std::uint64_t universe = static_cast<std::uint64_t>(sh.nb) * 4;
+    const util::Set a = util::random_set(rng, universe, sh.na);
+    const util::Set b = util::random_set(rng, universe, sh.nb);
+    std::vector<std::uint64_t> out(std::min(sh.na, sh.nb) +
+                                   simd::kIntersectPadding);
+    const int reps = static_cast<int>(
+        std::max<std::size_t>(1, (rep.smoke() ? (1u << 16) : (1u << 22)) /
+                                     (sh.na + sh.nb)));
+
+    std::uint64_t baseline_sum = 0;
+    double t0 = cpu_seconds();
+    for (int i = 0; i < reps; ++i) {
+      auto end = std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                                       out.begin());
+      baseline_sum = intersect_checksum(
+          out, static_cast<std::size_t>(end - out.begin()));
+    }
+    const double baseline_ms = (cpu_seconds() - t0) * 1e3;
+
+    std::uint64_t engine_sum = 0;
+    std::size_t n_out = 0;
+    t0 = cpu_seconds();
+    for (int i = 0; i < reps; ++i) {
+      n_out = simd::intersect_sorted(a, b, out);
+      engine_sum = intersect_checksum(out, n_out);
+    }
+    const double engine_ms = (cpu_seconds() - t0) * 1e3;
+
+    const bool match = baseline_sum == engine_sum;
+    all_ok = all_ok && match;
+    const simd::IntersectAlgo algo =
+        simd::plan_intersect(sh.na, sh.nb, simd::active_tier());
+    const double total =
+        static_cast<double>(sh.na + sh.nb) * reps;
+    t.add_row({sh.name, bench::fmt_u64(sh.na), bench::fmt_u64(sh.nb),
+               simd::intersect_algo_name(algo),
+               simd::tier_name(simd::active_tier()), bench::fmt_u64(n_out),
+               fmt_hex(engine_sum), match ? "yes" : "NO",
+               bench::fmt_double(baseline_ms * 1e6 / total, 2),
+               bench::fmt_double(engine_ms * 1e6 / total, 2),
+               bench::fmt_double(baseline_ms / std::max(1e-12, engine_ms), 2)});
+  }
+  t.print();
+  return all_ok;
+}
+
+// ---------------------------------------------------------------------------
+// E-CPU.6: bitmap AND + popcount — engine vs the word-at-a-time loop.
+// ---------------------------------------------------------------------------
+
+bool run_bitmap_micro(bench::Reporter& rep) {
+  auto& t = rep.table(
+      "E-CPU.6: occupancy-bitmap AND+popcount, engine vs scalar loop",
+      {"op", "words", "reps", "checksum", "identical",
+       "baseline ns_per_word (wall_ms)", "engine ns_per_word (wall_ms)",
+       "speedup (wall_ms ratio)"});
+  bool all_ok = true;
+  const std::size_t words = rep.smoke() ? (1u << 9) : (1u << 13);
+  const int reps = rep.smoke() ? 20 : 200;
+  util::Rng rng(rep.seed_for(0xC6));
+  std::vector<std::uint64_t> a(words), b(words);
+  for (auto& w : a) w = rng.next();
+  for (auto& w : b) w = rng.next();
+
+  MicroResult r;
+  double t0 = cpu_seconds();
+  for (int i = 0; i < reps; ++i) {
+    std::uint64_t acc = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      acc += static_cast<std::uint64_t>(std::popcount(a[w] & b[w]));
+    }
+    r.checksum_baseline = acc;
+  }
+  r.baseline_ms = (cpu_seconds() - t0) * 1e3;
+  t0 = cpu_seconds();
+  for (int i = 0; i < reps; ++i) {
+    r.checksum_engine = simd::bitmap_and_count(a, b);
+  }
+  r.engine_ms = (cpu_seconds() - t0) * 1e3;
+  add_micro_row(t, "bitmap_and_count", words, reps, r, all_ok);
+
+  t.print();
+  return all_ok;
+}
+
+// ---------------------------------------------------------------------------
+// E-CPU.7: scalar-vs-SIMD differential gate. Forces every dispatch tier
+// the hardware supports against the scalar reference over a randomized
+// battery; any mismatch fails the binary. No timing columns — this
+// section exists purely so a silent divergence between tiers cannot
+// survive a bench run even if the unit suite was skipped.
+// ---------------------------------------------------------------------------
+
+bool run_simd_differential_gate(bench::Reporter& rep) {
+  auto& t = rep.table(
+      "E-CPU.7: scalar-vs-SIMD differential gate (forced tiers)",
+      {"tier", "intersect_cases", "hash_cases", "bitmap_cases", "identical"});
+  bool all_ok = true;
+  const int trials = rep.smoke() ? 12 : 60;
+  const std::uint64_t universe = std::uint64_t{1} << 24;
+
+  for (const simd::Tier tier :
+       {simd::Tier::kScalar, simd::Tier::kSse41, simd::Tier::kAvx2}) {
+    if (tier > simd::detected_tier()) continue;
+    std::uint64_t isect_cases = 0, hash_cases = 0, bitmap_cases = 0;
+    bool tier_ok = true;
+    util::Rng rng(rep.seed_for(0xC7));  // same battery for every tier
+
+    // Intersection: every algorithm at this tier vs the scalar merge.
+    for (int trial = 0; trial < trials; ++trial) {
+      const std::size_t na = 1 + rng.below(1u << 10);
+      const std::size_t nb = 1 + rng.below(1u << 12);
+      const std::uint64_t u = std::max<std::uint64_t>(na + nb, 4 * nb);
+      const util::Set a = util::random_set(rng, u, na);
+      const util::Set b = util::random_set(rng, u, nb);
+      std::vector<std::uint64_t> ref(std::min(na, nb) +
+                                     simd::kIntersectPadding);
+      std::vector<std::uint64_t> got(ref.size());
+      const std::size_t n_ref = simd::intersect_sorted_with(
+          simd::IntersectAlgo::kScalarMerge, simd::Tier::kScalar, a, b, ref);
+      for (const simd::IntersectAlgo algo :
+           {simd::IntersectAlgo::kScalarMerge, simd::IntersectAlgo::kGallop,
+            simd::IntersectAlgo::kBlock, simd::IntersectAlgo::kBlockGallop}) {
+        const std::size_t n_got =
+            simd::intersect_sorted_with(algo, tier, a, b, got);
+        tier_ok = tier_ok && intersect_checksum(got, n_got) ==
+                                 intersect_checksum(ref, n_ref);
+        ++isect_cases;
+      }
+    }
+
+    // Hash lanes: batched evaluation under a forced tier vs element-wise.
+    {
+      const simd::ScopedTierOverride forced(tier);
+      std::vector<std::uint64_t> xs(1u << 10), out(1u << 10);
+      for (auto& x : xs) x = rng.below(universe);
+      const auto h =
+          hashing::PairwiseHash::sample(rng, universe, 512 * 512);
+      h.hash_many(xs, out);
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        tier_ok = tier_ok && out[i] == h(xs[i]);
+        ++hash_cases;
+      }
+      const auto fks = hashing::FksCompressor::sample(rng, universe, 1024);
+      fks.hash_many(xs, out);
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        tier_ok = tier_ok && out[i] == fks(xs[i]);
+        ++hash_cases;
+      }
+    }
+
+    // Bitmap kernels under a forced tier vs the plain loop.
+    {
+      const simd::ScopedTierOverride forced(tier);
+      for (int trial = 0; trial < trials; ++trial) {
+        const std::size_t words = 1 + rng.below(1u << 8);
+        std::vector<std::uint64_t> a(words), b(words), out(words);
+        for (auto& w : a) w = rng.next();
+        for (auto& w : b) w = rng.next();
+        std::uint64_t want = 0;
+        for (std::size_t w = 0; w < words; ++w) {
+          want += static_cast<std::uint64_t>(std::popcount(a[w] & b[w]));
+        }
+        tier_ok = tier_ok && simd::bitmap_and_count(a, b) == want;
+        simd::bitmap_and(a, b, out);
+        for (std::size_t w = 0; w < words; ++w) {
+          tier_ok = tier_ok && out[w] == (a[w] & b[w]);
+        }
+        ++bitmap_cases;
+      }
+    }
+
+    all_ok = all_ok && tier_ok;
+    t.add_row({simd::tier_name(tier), bench::fmt_u64(isect_cases),
+               bench::fmt_u64(hash_cases), bench::fmt_u64(bitmap_cases),
+               tier_ok ? "yes" : "NO"});
+  }
+  t.print();
+
+  obs::Json note = obs::Json::object();
+  note["detected_tier"] = simd::tier_name(simd::detected_tier());
+  note["dispatch_tier"] = simd::tier_name(simd::active_tier());
+  note["gallop_ratio"] = std::uint64_t{simd::kGallopRatio};
+  note["block_gallop_ratio"] = std::uint64_t{simd::kBlockGallopRatio};
+  note["block_min_small"] = std::uint64_t{simd::kBlockMinSmall};
+  rep.note("simd", std::move(note));
+  return all_ok;
+}
+
 // Envelope audit table shared by main (the auditor collects samples from
 // E-CPU.0 and E-CPU.2).
 bool report_envelope(bench::Reporter& rep,
@@ -487,6 +729,9 @@ int main(int argc, char** argv) {
   run_protocol_throughput(rep, auditor);
   ok = run_telemetry_overhead(rep) && ok;
   ok = report_envelope(rep, auditor) && ok;
+  ok = run_intersect_oracle(rep) && ok;
+  ok = run_bitmap_micro(rep) && ok;
+  ok = run_simd_differential_gate(rep) && ok;
   if (!ok) {
     std::fprintf(stderr,
                  "[exp_cpu] FAIL: engine diverged from the golden transcript, "

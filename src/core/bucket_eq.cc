@@ -7,6 +7,7 @@
 #include "eq/amortized_eq.h"
 #include "hashing/pairwise.h"
 #include "obs/tracer.h"
+#include "simd/kernels.h"
 #include "util/arena.h"
 #include "util/bitio.h"
 #include "util/flat_buckets.h"
@@ -115,12 +116,20 @@ IntersectionOutput bucket_eq_intersection(sim::Channel& channel,
   std::vector<InstanceRef> refs;
   std::vector<util::BitBuffer> xs;
   std::vector<util::BitBuffer> ys;
+  // Joint membership via the occupancy bitmaps: one vectorized AND +
+  // popcount tells how many buckets are populated on BOTH sides — only
+  // those can spawn EQ instances, so the expansion loop skips the rest
+  // after the (transcript-mandated) size-vector reads.
+  const std::uint64_t joint =
+      simd::bitmap_and_count(sb.occupancy, tb.occupancy);
+  obs::count(tracer, "bucket_eq.joint_buckets", joint);
   for (std::size_t i = 0; i < k; ++i) {
     const std::uint64_t na = ra.read_gamma64();
     const std::uint64_t nb = rb.read_gamma64();
     if (na != sb.bucket_size(i) || nb != tb.bucket_size(i)) {
       throw std::logic_error("bucket_eq: size vector mismatch");
     }
+    if (!sb.occupied(i) || !tb.occupied(i)) continue;
     const std::span<const std::uint64_t> si = sb.bucket(i);
     const std::span<const std::uint64_t> ti = tb.bucket(i);
     for (std::size_t a = 0; a < na; ++a) {

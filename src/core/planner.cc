@@ -58,6 +58,46 @@ double estimate_bits(PlanKind kind, const PlannerQuery& query, int rounds_r) {
   throw std::logic_error("planner: unknown kind");
 }
 
+double estimate_local_ns(PlanKind kind, const PlannerQuery& query,
+                         int rounds_r, simd::Tier tier) {
+  validate(query);
+  // Per-element throughput constants (ns/element on the reference box,
+  // BENCH_cpu.json SIMD lane). Hash lanes default-route to the batched
+  // scalar pipeline at EVERY hardware tier — the measured crossover says
+  // scalar MULX beats the AVX2 32-bit-limb mulhi emulation (see
+  // simd/kernels.cc hash_lane_tier) — so their cost is tier-independent.
+  // The intersection oracle genuinely gains on both vector tiers.
+  const double hash_ns = 5.0;
+  const double isect_ns = tier == simd::Tier::kAvx2  ? 0.6
+                          : tier == simd::Tier::kSse41 ? 2.0
+                                                       : 3.0;
+  const double k = static_cast<double>(query.k);
+  switch (kind) {
+    case PlanKind::kDeterministicExchange:
+      // One adaptive intersection over ~2k elements plus Rice coding.
+      return k * (2.0 * isect_ns + 8.0);
+    case PlanKind::kOneRoundHash:
+      // Both parties hash k elements; verification re-intersects.
+      return k * (2.0 * hash_ns + isect_ns + 4.0);
+    case PlanKind::kToyBuckets:
+      // Two expected verify/re-run sweeps: hashing both sides plus the
+      // per-bucket reconcile intersections.
+      return k * (4.0 * hash_ns + 2.0 * isect_ns + 8.0);
+    case PlanKind::kBucketEq:
+      // big_h then h over both inputs (4 hash passes), bucket build, and
+      // the amortized-EQ instance stream.
+      return k * (4.0 * hash_ns + 24.0);
+    case PlanKind::kVerificationTree: {
+      if (rounds_r <= 1) {
+        return estimate_local_ns(PlanKind::kOneRoundHash, query, 1, tier);
+      }
+      // Each of the r stages re-hashes the surviving candidates.
+      return k * (2.0 * static_cast<double>(rounds_r) * hash_ns + 12.0);
+    }
+  }
+  throw std::logic_error("planner: unknown kind");
+}
+
 std::uint64_t estimate_rounds(PlanKind kind, const PlannerQuery& query,
                               int rounds_r) {
   validate(query);
@@ -82,12 +122,15 @@ std::uint64_t estimate_rounds(PlanKind kind, const PlannerQuery& query,
 std::vector<Plan> enumerate_plans(const PlannerQuery& query) {
   validate(query);
   std::vector<Plan> plans;
+  const simd::Tier tier = simd::active_tier();
   auto add = [&](PlanKind kind, int r, std::string description) {
     Plan plan;
     plan.kind = kind;
     plan.rounds_r = r;
     plan.estimated_bits = estimate_bits(kind, query, r);
     plan.estimated_rounds = estimate_rounds(kind, query, r);
+    plan.estimated_local_ns = estimate_local_ns(kind, query, r, tier);
+    plan.kernel_tier = tier;
     plan.description = std::move(description);
     if (query.round_budget == 0 ||
         plan.estimated_rounds <= query.round_budget) {
@@ -104,8 +147,13 @@ std::vector<Plan> enumerate_plans(const PlannerQuery& query) {
     add(PlanKind::kVerificationTree, r,
         "verification tree, r = " + std::to_string(r));
   }
+  // Bits first (communication is the paper's currency); ties break toward
+  // the plan that is locally cheaper on the dispatched kernel tier.
   std::sort(plans.begin(), plans.end(), [](const Plan& a, const Plan& b) {
-    return a.estimated_bits < b.estimated_bits;
+    if (a.estimated_bits != b.estimated_bits) {
+      return a.estimated_bits < b.estimated_bits;
+    }
+    return a.estimated_local_ns < b.estimated_local_ns;
   });
   return plans;
 }

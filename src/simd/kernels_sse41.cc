@@ -1,0 +1,152 @@
+// SSE4.1 tier: 2-wide 64-bit intersect and bitmap kernels. Compiled with
+// -msse4.1 -mpopcnt (per-file flags in src/CMakeLists.txt); only entered
+// after cpuid confirms both features.
+//
+// This tier deliberately carries NO hash lanes: a 2-wide 64-bit mulhi
+// pipeline spends more on 32-bit limb shuffling than it saves over the
+// scalar 128-bit multiply, so the dispatcher routes sse41-tier hash
+// calls to the scalar reference (see kernels.cc). The win here is the
+// block intersect (the only 64-bit vector compare SSE4.1 offers is
+// PCMPEQQ — exactly what the block kernel needs; all ordering decisions
+// are scalar) and hardware-POPCNT bitmap loops.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <smmintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernels_internal.h"
+
+namespace setint::simd::sse41 {
+
+namespace {
+
+// Compress-store LUT for the 2-bit match mask: PSHUFB byte indices that
+// pack the selected 64-bit lanes to the front. Unselected tail bytes are
+// don't-care (absorbed by the output padding contract).
+struct ShufLut {
+  alignas(16) std::uint8_t idx[4][16];
+};
+
+constexpr ShufLut make_shuf_lut() {
+  ShufLut lut{};
+  for (int mask = 0; mask < 4; ++mask) {
+    int c = 0;
+    for (int lane = 0; lane < 2; ++lane) {
+      if ((mask >> lane) & 1) {
+        for (int byte = 0; byte < 8; ++byte) {
+          lut.idx[mask][c * 8 + byte] =
+              static_cast<std::uint8_t>(lane * 8 + byte);
+        }
+        ++c;
+      }
+    }
+  }
+  return lut;
+}
+
+constexpr ShufLut kShufLut = make_shuf_lut();
+
+}  // namespace
+
+std::size_t intersect_block(const std::uint64_t* a, std::size_t na,
+                            const std::uint64_t* b, std::size_t nb,
+                            std::uint64_t* out) {
+  std::size_t i = 0, j = 0, c = 0;
+  while (i + 2 <= na && j + 2 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    // va vs vb and vb with its halves swapped: all four lane pairs.
+    const __m128i swapped = _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2));
+    const __m128i eq = _mm_or_si128(_mm_cmpeq_epi64(va, vb),
+                                    _mm_cmpeq_epi64(va, swapped));
+    const int mask = _mm_movemask_pd(_mm_castsi128_pd(eq));
+    const __m128i shuf = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(kShufLut.idx[mask]));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + c),
+                     _mm_shuffle_epi8(va, shuf));
+    c += static_cast<std::size_t>(std::popcount(static_cast<unsigned>(mask)));
+    const std::uint64_t a_max = a[i + 1];
+    const std::uint64_t b_max = b[j + 1];
+    if (a_max <= b_max) i += 2;
+    if (b_max <= a_max) j += 2;
+  }
+  return c + scalar::intersect_merge(a + i, na - i, b + j, nb - j, out + c);
+}
+
+std::size_t intersect_block_gallop(const std::uint64_t* small, std::size_t ns,
+                                   const std::uint64_t* large, std::size_t nl,
+                                   std::uint64_t* out) {
+  const std::size_t nblocks = nl / 2;
+  std::size_t c = 0, blk = 0, k = 0;
+  for (; k < ns && blk < nblocks; ++k) {
+    const std::uint64_t x = small[k];
+    if (large[blk * 2 + 1] < x) {
+      // Gallop over 2-element blocks by block max, then binary search.
+      std::size_t offset = 1;
+      while (blk + offset < nblocks && large[(blk + offset) * 2 + 1] < x) {
+        offset <<= 1;
+      }
+      std::size_t lo = blk + (offset >> 1);        // block max < x
+      std::size_t hi = std::min(nblocks, blk + offset);
+      while (lo + 1 < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (large[mid * 2 + 1] < x) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      blk = hi;
+      if (blk >= nblocks) break;  // x beyond every full block: tail below
+    }
+    const __m128i vx = _mm_set1_epi64x(static_cast<long long>(x));
+    const __m128i vb = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(large + blk * 2));
+    const __m128i eq = _mm_cmpeq_epi64(vx, vb);
+    if (_mm_movemask_pd(_mm_castsi128_pd(eq)) != 0) out[c++] = x;
+  }
+  return c + scalar::intersect_gallop(small + k, ns - k, large + nblocks * 2,
+                                      nl - nblocks * 2, out + c);
+}
+
+std::uint64_t bitmap_and_count(const std::uint64_t* a, const std::uint64_t* b,
+                               std::size_t n) {
+  // std::popcount compiles to the POPCNT instruction in this TU.
+  std::uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    c0 += static_cast<std::uint64_t>(std::popcount(a[i] & b[i]));
+    c1 += static_cast<std::uint64_t>(std::popcount(a[i + 1] & b[i + 1]));
+    c2 += static_cast<std::uint64_t>(std::popcount(a[i + 2] & b[i + 2]));
+    c3 += static_cast<std::uint64_t>(std::popcount(a[i + 3] & b[i + 3]));
+  }
+  for (; i < n; ++i) {
+    c0 += static_cast<std::uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  return c0 + c1 + c2 + c3;
+}
+
+void bitmap_and(const std::uint64_t* a, const std::uint64_t* b,
+                std::uint64_t* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_and_si128(va, vb));
+  }
+  for (; i < n; ++i) out[i] = a[i] & b[i];
+}
+
+}  // namespace setint::simd::sse41
+
+#endif  // x86-64

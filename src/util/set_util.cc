@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "simd/kernels.h"
+
 namespace setint::util {
 
 bool is_canonical_set(SetView s) {
@@ -24,9 +26,13 @@ void validate_set(SetView s, std::uint64_t universe) {
 }
 
 Set set_intersection(SetView a, SetView b) {
-  Set out;
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
+  // Adaptive SIMD oracle (scalar merge / galloping / block kernels by
+  // size ratio and dispatch tier — src/simd/kernels.h). The over-sized
+  // allocation is the kernel's compress-store padding contract; the
+  // resize trims it to the exact result.
+  Set out(std::min(a.size(), b.size()) + simd::kIntersectPadding);
+  const std::size_t n = simd::intersect_sorted(a, b, out);
+  out.resize(n);
   return out;
 }
 

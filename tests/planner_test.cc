@@ -101,5 +101,64 @@ TEST(Planner, RejectsMalformedQueries) {
   EXPECT_THROW(core::choose_plan(impossible), std::invalid_argument);
 }
 
+TEST(Planner, PlansCarryTheDispatchedKernelTier) {
+  core::PlannerQuery query;
+  query.universe = std::uint64_t{1} << 24;
+  query.k = 4096;
+  for (const core::Plan& plan : core::enumerate_plans(query)) {
+    EXPECT_EQ(plan.kernel_tier, simd::active_tier()) << plan.description;
+    EXPECT_GT(plan.estimated_local_ns, 0.0) << plan.description;
+  }
+}
+
+TEST(Planner, LocalCostKnowsTheKernelTier) {
+  core::PlannerQuery query;
+  query.universe = std::uint64_t{1} << 24;
+  query.k = 4096;
+  for (const core::PlanKind kind :
+       {core::PlanKind::kDeterministicExchange, core::PlanKind::kOneRoundHash,
+        core::PlanKind::kToyBuckets, core::PlanKind::kBucketEq,
+        core::PlanKind::kVerificationTree}) {
+    const double scalar_ns =
+        core::estimate_local_ns(kind, query, /*rounds_r=*/3,
+                                simd::Tier::kScalar);
+    const double sse41_ns =
+        core::estimate_local_ns(kind, query, 3, simd::Tier::kSse41);
+    const double avx2_ns =
+        core::estimate_local_ns(kind, query, 3, simd::Tier::kAvx2);
+    // Monotone down the ladder: a wider tier is never priced higher.
+    EXPECT_GE(scalar_ns, sse41_ns) << static_cast<int>(kind);
+    EXPECT_GE(sse41_ns, avx2_ns) << static_cast<int>(kind);
+    // The intersection-bearing protocols genuinely get cheaper on AVX2;
+    // hash lanes default-route to the batched scalar pipeline on every
+    // tier (measured crossover — see simd/kernels.cc), so purely
+    // hash-bound kinds price the same up and down the ladder.
+    if (kind == core::PlanKind::kBucketEq ||
+        kind == core::PlanKind::kVerificationTree) {
+      EXPECT_EQ(scalar_ns, avx2_ns) << static_cast<int>(kind);
+    } else {
+      EXPECT_GT(scalar_ns, avx2_ns) << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(Planner, KernelTierBreaksBitTies) {
+  // estimate_local_ns is part of the sort key (after bits): the ordering
+  // produced by enumerate_plans must be non-decreasing in bits, and
+  // within equal bits non-decreasing in local cost.
+  core::PlannerQuery query;
+  query.universe = std::uint64_t{1} << 30;
+  query.k = 1024;
+  const auto plans = core::enumerate_plans(query);
+  for (std::size_t i = 1; i < plans.size(); ++i) {
+    const bool bits_ordered =
+        plans[i - 1].estimated_bits < plans[i].estimated_bits;
+    const bool tie_ordered =
+        plans[i - 1].estimated_bits == plans[i].estimated_bits &&
+        plans[i - 1].estimated_local_ns <= plans[i].estimated_local_ns;
+    EXPECT_TRUE(bits_ordered || tie_ordered) << i;
+  }
+}
+
 }  // namespace
 }  // namespace setint

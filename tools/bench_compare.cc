@@ -11,7 +11,11 @@
 //
 //   timing    name contains "wall_ms" — ignored unless --perf-tol is
 //             given (clocks are excluded from the determinism contract;
-//             see bench_util.h)
+//             see bench_util.h). Even with --perf-tol, timing cells are
+//             only compared when both records carry the same
+//             environment.cpu.dispatch_tier (schema v3): numbers measured
+//             on different SIMD tiers are incomparable, so a tier change
+//             downgrades the whole timing comparison to a note.
 //   identity  digest / checksum / identical / identity / within /
 //             verdict / exact / ok — must match byte-for-byte
 //   quality   verified / speedup / slack — fails when NEW < OLD·(1-tol)
@@ -361,8 +365,28 @@ int compare_records(Verdict& v, const std::string& record, const Json& olddoc,
       }
     }
   }
-  compare_sections(v, record, olddoc, newdoc, opts);
-  compare_robustness(v, record, olddoc, newdoc, opts);
+  // Timing cells are only meaningful between runs on the same SIMD
+  // dispatch tier: an AVX2 box vs a scalar box differ by design, not by
+  // regression. A tier mismatch (or a v2 record without the cpu block)
+  // turns --perf-tol off for this pair and leaves a note.
+  Options eff = opts;
+  if (opts.perf_tol_pct >= 0.0 && olde != nullptr && newe != nullptr) {
+    auto tier_of = [](const Json* env) -> std::string {
+      const Json* cpu = env->find("cpu");
+      const Json* tier = cpu != nullptr ? cpu->find("dispatch_tier") : nullptr;
+      return tier != nullptr ? tier->dump() : "<absent>";
+    };
+    const std::string old_tier = tier_of(olde);
+    const std::string new_tier = tier_of(newe);
+    if (old_tier != new_tier) {
+      v.warn(record, "environment.cpu.dispatch_tier",
+             "timing incomparable across SIMD tiers (" + old_tier + " -> " +
+                 new_tier + "); skipping wall_ms cells despite --perf-tol");
+      eff.perf_tol_pct = -1.0;
+    }
+  }
+  compare_sections(v, record, olddoc, newdoc, eff);
+  compare_robustness(v, record, olddoc, newdoc, eff);
   compare_envelope(v, record, olddoc, newdoc);
   return 0;
 }

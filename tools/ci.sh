@@ -16,12 +16,21 @@
 #      (framing/park pins, re-chunking invariance, the scheduler-vs-
 #      blocking digest differential, exp_service gates, bench_compare
 #      identity on the committed BENCH_service.json)
+#   4b. the simd slice by label (forced-tier differential suite for the
+#      SIMD local-compute engine, golden + digest pins), run twice: with
+#      native dispatch and under SETINT_FORCE_SCALAR=1
 #   5. a longer seeded fuzz run than the in-suite smoke test
 #   6. every bench binary end-to-end at smoke size (each one gates its own
 #      safety/acceptance claims via its exit code)
 #   7. the perf-smoke lane: exp_cpu --smoke, gating ONLY on the
 #      golden-transcript bit-identity exit code and JSON emission (no
 #      timing thresholds — CI containers are 1-core and noisy)
+#   7b. the simd bench lane: exp_cpu re-run under SETINT_FORCE_SCALAR=1
+#      and bench_compare'd against the native-dispatch record — every
+#      checksum, digest, bits and rounds cell must be bit-identical across
+#      tiers (timing is skipped as cross-tier incomparable) — plus an
+#      ASan/UBSan pass over the intrinsics (ctest -L simd in
+#      build-sanitize/)
 #   8. the telemetry-overhead gate (exp_cpu --gate-overhead=50) and the
 #      bench_compare self-diff + injected-regression check
 #   9. the bench determinism contract (same seed => identical JSON modulo
@@ -106,6 +115,15 @@ cp "$REPO_ROOT/BENCH_service.json" "$SANSIO_DIR/committed/"
 "$BUILD_DIR/tools/bench_compare" "$SANSIO_DIR/committed" \
     "$SANSIO_DIR/committed"
 
+step "simd slice (ctest -L simd), native dispatch + forced scalar"
+# The PR-10 lane: randomized differential suite forcing every kernel
+# family through each dispatch tier vs the scalar reference, plus the
+# golden-transcript and digest pins. Run twice so the scalar fallback
+# path is proven bit-identical on the same box that dispatches AVX2.
+(cd "$BUILD_DIR" && ctest --output-on-failure -L simd -j "$JOBS")
+(cd "$BUILD_DIR" &&
+     SETINT_FORCE_SCALAR=1 ctest --output-on-failure -L simd -j "$JOBS")
+
 step "incident replay round-trip (record -> replay, bit-for-bit)"
 # Belt to replay_roundtrip's braces: drive the tools/replay CLI exactly as
 # an operator would on a fresh incident dump.
@@ -146,6 +164,24 @@ step "perf smoke: exp_cpu bit-identity gate + JSON emission"
     --json="$SMOKE_DIR/perf_smoke_cpu.json" > /dev/null
 [[ -s "$SMOKE_DIR/perf_smoke_cpu.json" ]] || {
   echo "[ci] FAIL: exp_cpu produced no JSON record" >&2; exit 1; }
+
+step "simd bench lane: forced-scalar exp_cpu vs native dispatch"
+# The scalar-vs-SIMD trajectory gate: the same seed under
+# SETINT_FORCE_SCALAR=1 must reproduce every deterministic cell of the
+# native-dispatch record — transcript digests, engine checksums, bits,
+# rounds. bench_compare skips wall_ms cells here by design (different
+# dispatch tiers are timing-incomparable); the E-CPU.5 algo/tier columns
+# legitimately differ and only warn (info class).
+SETINT_FORCE_SCALAR=1 "$BUILD_DIR/bench/exp_cpu" --smoke --seed=24145 \
+    --json="$SMOKE_DIR/perf_smoke_cpu_scalar.json" > /dev/null
+"$BUILD_DIR/tools/bench_compare" "$SMOKE_DIR/perf_smoke_cpu.json" \
+    "$SMOKE_DIR/perf_smoke_cpu_scalar.json"
+
+step "simd sanitizer pass (ASan+UBSan over the intrinsics, -L simd)"
+# Compress-stores write up to kIntersectPadding elements past the logical
+# output; ASan proves the padding contract is honored, UBSan the pointer
+# arithmetic in the gallop kernels. Reuses the build-sanitize/ tree.
+tools/run_sanitized_tests.sh -L simd
 
 step "telemetry overhead gate (exp_cpu --gate-overhead=50)"
 # The recorder hook may cost at most 50% on the un-instrumented hot path
